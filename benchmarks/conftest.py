@@ -1,0 +1,28 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Every benchmark runs its figure once per round (``pedantic`` with a
+single round): the measured quantity is the simulated experiment's
+wall time, and the *assertions* check the paper's qualitative claims
+on the returned series.  Figures print their data tables so a
+``pytest benchmarks/ --benchmark-only -s`` run shows the same rows the
+paper plots.
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, fn, *args, **kwargs):
+    """Run a figure function under pytest-benchmark, print its table."""
+    from repro.bench import format_figure
+
+    result = benchmark.pedantic(
+        lambda: fn(*args, **kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(format_figure(result))
+    return result
+
+
+@pytest.fixture
+def figure_runner():
+    return run_and_report

@@ -1,0 +1,82 @@
+"""Distribution-sensitivity study (paper §V future work).
+
+"It is also important to test the impact of different size
+distributions on performance, and how the variation in sizes might
+affect the crossover points."  We sweep the fused driver's best and
+worst configurations over four generators; the sorting gain should
+track the distribution's size *spread* (bimodal worst-case for the
+unsorted driver, constant needing no sorting at all).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import VBatch
+from repro.core.fused import FusedDriver
+from repro.device import Device
+from repro.distributions import DISTRIBUTIONS
+from repro.flops import batch_flops, gflops
+
+BATCH = 2000
+NMAX = 384
+DISTS = ("constant", "uniform", "gaussian", "bimodal", "exponential")
+
+
+def run_config(dist_name, etm, sorting):
+    device = Device(execute_numerics=False)
+    sizes = DISTRIBUTIONS[dist_name](BATCH, NMAX, seed=0)
+    batch = VBatch.allocate(device, sizes, "d")
+    device.reset_clock()
+    FusedDriver(device, etm=etm, sorting=sorting).factorize(batch, NMAX)
+    return gflops(batch_flops(sizes, "potrf", "d"), device.synchronize())
+
+
+def test_distribution_sweep(benchmark):
+    def run():
+        table = {}
+        for name in DISTS:
+            base = run_config(name, "classic", False)
+            best = run_config(name, "aggressive", True)
+            table[name] = (base, best, best / base - 1.0)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    for name, (base, best, gain) in table.items():
+        print(f"  {name:12} base {base:7.1f}  best {best:7.1f}  gain {gain * 100:5.1f}%")
+
+    # Every distribution benefits (or at least never loses) from the
+    # full technique stack...
+    for name, (base, best, gain) in table.items():
+        assert gain > -0.02, name
+    # ...variable-size distributions more than the fixed-size one.
+    assert table["gaussian"][2] > table["constant"][2] + 0.05
+    assert table["exponential"][2] > table["constant"][2] + 0.05
+
+
+def test_constant_distribution_needs_no_sorting(benchmark):
+    """Fixed sizes: sorting has nothing to reorder, only overhead."""
+
+    def run():
+        unsorted = run_config("constant", "aggressive", False)
+        sorted_ = run_config("constant", "aggressive", True)
+        return unsorted, sorted_
+
+    unsorted, sorted_ = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert abs(sorted_ / unsorted - 1.0) < 0.05
+
+
+def test_exponential_stresses_unsorted_most(benchmark):
+    """Many tiny matrices under a long tail: every unsorted launch is
+    configured for the tail (big shared memory, low occupancy) while
+    most blocks are small — the worst case for the unsorted driver, so
+    sorting gains exceed the uniform case."""
+
+    def gain(name):
+        return run_config(name, "classic", True) / run_config(name, "classic", False) - 1.0
+
+    def run():
+        return gain("exponential"), gain("uniform")
+
+    exponential, uniform = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert exponential > uniform

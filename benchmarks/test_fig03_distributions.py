@@ -1,0 +1,41 @@
+"""Figure 3: histograms of the matrix-size distributions (paper §IV-B).
+
+Paper claims reproduced here: with batch 2000 and Nmax 512 the uniform
+generator covers nearly every size ("most sizes appear at least once,
+with the majority appearing between 1 and 5 times"), while the Gaussian
+one concentrates mass around Nmax/2 with sparse boundaries.
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig3_distributions
+from repro.distributions import uniform_sizes
+
+
+def test_fig3_histograms(benchmark, figure_runner):
+    fig = figure_runner(benchmark, fig3_distributions, batch_count=2000, max_size=512, bin_width=8)
+
+    uniform = fig.get("uniform").array
+    gaussian = fig.get("gaussian").array
+    assert uniform.sum() == 2000
+    assert gaussian.sum() == 2000
+
+    # Uniform: flat-ish across the range; every 8-wide bin populated.
+    assert np.all(uniform > 0)
+    assert uniform.max() / max(uniform.min(), 1) < 6
+
+    # Gaussian: peak near the middle, sparse boundaries.
+    mid = len(gaussian) // 2
+    assert gaussian[mid - 8 : mid + 8].sum() > 4 * gaussian[:8].sum()
+    assert gaussian[mid - 8 : mid + 8].sum() > 4 * gaussian[-8:].sum()
+
+
+def test_fig3_paper_occurrence_claim(benchmark):
+    """Most sizes appear 1-5 times in a 2000-sample uniform draw."""
+    sizes = benchmark.pedantic(
+        lambda: uniform_sizes(2000, 512, seed=0), rounds=1, iterations=1, warmup_rounds=0
+    )
+    values, counts = np.unique(sizes, return_counts=True)
+    assert values.size > 0.9 * 512  # most sizes appear at least once
+    share_1_to_5 = np.count_nonzero((counts >= 1) & (counts <= 5)) / values.size
+    assert share_1_to_5 > 0.6

@@ -1,0 +1,48 @@
+"""Figure 4: kernel fusion vs separated BLAS on fixed-size batches.
+
+Paper claims reproduced: large fused-over-separated speedups at small
+sizes (13x SP / 7x DP on the K40c; the simulator compresses the extreme
+end but preserves the shape), decaying with size, and dropping below
+1x at the large end where the separated approach takes over (the
+motivation for the crossover design).
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig4_fusion_fixed
+
+SIZES = (8, 16, 32, 64, 128, 256, 384, 512, 768)
+
+
+def test_fig4_single_precision(benchmark, figure_runner):
+    fig = figure_runner(benchmark, fig4_fusion_fixed, "s", sizes=SIZES, batch_count=1000)
+    speedup = fig.get("speedup").array
+
+    assert fig.notes["max_speedup"] > 3.0
+    # The peak lives at small sizes (n <= 64).
+    assert np.nanargmax(speedup) <= SIZES.index(64)
+    # Decay: the large-size end is far below the peak.
+    assert speedup[-1] < 0.55 * fig.notes["max_speedup"]
+
+
+def test_fig4_double_precision(benchmark, figure_runner):
+    fig = figure_runner(benchmark, fig4_fusion_fixed, "d", sizes=SIZES, batch_count=1000)
+    speedup = fig.get("speedup").array
+
+    assert fig.notes["max_speedup"] > 3.0
+    assert np.nanargmax(speedup) <= SIZES.index(64)
+    # "A steady trend where the speedup is going below one."
+    assert fig.notes["min_speedup"] < 1.05
+    assert speedup[-1] == fig.notes["min_speedup"]
+
+
+def test_fig4_sp_peak_exceeds_dp_peak(benchmark):
+    """Paper: 13x SP vs 7x DP — the SP advantage is at least comparable."""
+
+    def both():
+        sp = fig4_fusion_fixed("s", sizes=(16, 32, 64), batch_count=600)
+        dp = fig4_fusion_fixed("d", sizes=(16, 32, 64), batch_count=600)
+        return sp, dp
+
+    sp, dp = benchmark.pedantic(both, rounds=1, iterations=1, warmup_rounds=0)
+    assert sp.notes["max_speedup"] > dp.notes["max_speedup"] * 0.95

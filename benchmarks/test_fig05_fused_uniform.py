@@ -1,0 +1,52 @@
+"""Figure 5: the four fused-driver versions, uniform distribution.
+
+Paper claims reproduced: ETM-aggressive beats ETM-classic (11-35%
+there; the mechanisms yield a compressed but same-signed gap here);
+implicit sorting improves both ETM modes; the best configuration is
+ETM-aggressive + implicit sorting.
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig5_fused_variants
+
+NMAX = (64, 128, 256, 384, 512)
+BATCH = 3000
+
+
+def _assert_variant_ordering(fig):
+    classic = fig.get("etm-classic").array
+    aggressive = fig.get("etm-aggressive").array
+    classic_sorted = fig.get("etm-classic+sorting").array
+    best = fig.get("etm-aggressive+sorting").array
+
+    # Aggressive never loses to classic (same launches, finer ETM).
+    assert np.all(aggressive >= classic * 0.99)
+    # Sorting helps the classic driver everywhere.
+    assert np.all(classic_sorted >= classic * 0.99)
+    # The paper's best configuration dominates plain classic clearly.
+    assert np.all(best > classic)
+    assert fig.notes["aggressive_gain_max"] > 0.05
+    assert fig.notes["sorting_gain_classic_max"] > 0.08
+
+
+def test_fig5_single_precision(benchmark, figure_runner):
+    fig = figure_runner(
+        benchmark, fig5_fused_variants, "s", nmax_values=NMAX, batch_count=BATCH
+    )
+    _assert_variant_ordering(fig)
+    # Performance grows with Nmax over this range (more work per launch).
+    best = fig.get("etm-aggressive+sorting").array
+    assert best[-1] > best[0]
+
+
+def test_fig5_double_precision(benchmark, figure_runner):
+    fig = figure_runner(
+        benchmark, fig5_fused_variants, "d", nmax_values=NMAX, batch_count=BATCH
+    )
+    _assert_variant_ordering(fig)
+    # DP runs at a fraction of SP (64 vs 192 lanes per SMX).
+    sp_probe = fig5_fused_variants("s", nmax_values=(256,), batch_count=BATCH)
+    dp_at_256 = fig.get("etm-aggressive+sorting").values[NMAX.index(256)]
+    sp_at_256 = sp_probe.get("etm-aggressive+sorting").values[0]
+    assert dp_at_256 < sp_at_256

@@ -1,0 +1,64 @@
+"""Figure 7: crossover between kernel fusion and separation.
+
+Paper claims reproduced: the fused approach wins below a crossover
+max-size and becomes infeasible (shared memory) or slower beyond it;
+the combined "switch" tracks the better of the two; single precision
+crosses later than double (smaller elements keep the fused panel in
+shared memory longer).
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig7_crossover
+
+NMAX = (128, 192, 256, 384, 512, 768, 1024)
+BATCH = 800
+
+
+def _crossover_index(fused, separated):
+    """First x index where the separated approach wins (or None)."""
+    for i, (f, s) in enumerate(zip(fused, separated)):
+        if np.isnan(f) or s > f:
+            return i
+    return None
+
+
+def test_fig7_double_precision(benchmark, figure_runner):
+    fig = figure_runner(benchmark, fig7_crossover, "d", nmax_values=NMAX, batch_count=BATCH)
+    fused = fig.get("fused").array
+    separated = fig.get("separated").array
+    switch = fig.get("switch").array
+
+    # Fused wins at the small end, separated at the large end.
+    assert fused[0] > separated[0]
+    assert separated[-1] > fused[-1] if not np.isnan(fused[-1]) else True
+    idx = _crossover_index(fused, separated)
+    assert idx is not None and 0 < idx < len(NMAX)
+
+    # The switch tracks the better approach within a small tolerance.
+    best = np.fmax(np.nan_to_num(fused), np.nan_to_num(separated))
+    assert np.all(switch >= 0.93 * best)
+
+
+def test_fig7_single_precision(benchmark, figure_runner):
+    fig = figure_runner(benchmark, fig7_crossover, "s", nmax_values=NMAX, batch_count=BATCH)
+    fused = fig.get("fused").array
+    separated = fig.get("separated").array
+    assert fused[0] > separated[0]
+    switch = fig.get("switch").array
+    best = np.fmax(np.nan_to_num(fused), np.nan_to_num(separated))
+    assert np.all(switch >= 0.93 * best)
+
+
+def test_fig7_sp_crosses_later_than_dp(benchmark):
+    def both():
+        return (
+            fig7_crossover("s", nmax_values=NMAX, batch_count=400),
+            fig7_crossover("d", nmax_values=NMAX, batch_count=400),
+        )
+
+    sp, dp = benchmark.pedantic(both, rounds=1, iterations=1, warmup_rounds=0)
+    sp_idx = _crossover_index(sp.get("fused").array, sp.get("separated").array)
+    dp_idx = _crossover_index(dp.get("fused").array, dp.get("separated").array)
+    assert dp_idx is not None
+    assert sp_idx is None or sp_idx >= dp_idx

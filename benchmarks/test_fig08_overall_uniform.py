@@ -1,0 +1,61 @@
+"""Figure 8: overall performance vs every baseline, uniform sizes.
+
+Paper claims reproduced: the vbatched routine beats all alternatives;
+the dynamic one-core-per-matrix CPU scheme is the best competitor and
+beats its static variant; the multithreaded-MKL and MAGMA-hybrid
+schemes trail badly; the padding baseline wastes flops and runs out of
+device memory at the large end (truncated curve); speedups vs the best
+competitor fall in the paper's reported band (1.11-2.42x SP,
+1.51-2.29x DP — the simulator lands in an overlapping range).
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig8_overall
+
+NMAX = (256, 512, 768, 1000, 1500, 2000)
+BATCH = 800
+
+
+def _assert_overall_ordering(fig):
+    vb = fig.get("magma-vbatched").array
+    dyn = fig.get("cpu-1core-dynamic").array
+    stat = fig.get("cpu-1core-static").array
+    mt = fig.get("cpu-mkl-mt").array
+    hyb = fig.get("magma-hybrid").array
+
+    assert np.all(vb > dyn)          # proposed routine always wins
+    assert np.all(dyn > stat)        # dynamic beats static scheduling
+    assert np.all(dyn > mt)          # one-core-per-matrix beats all-cores-on-one
+    assert np.all(mt > hyb)          # hybrid is the worst choice here
+    assert fig.notes["speedup_vs_best_competitor_min"] > 1.0
+
+
+def test_fig8_single_precision(benchmark, figure_runner):
+    fig = figure_runner(benchmark, fig8_overall, "s", nmax_values=NMAX, batch_count=BATCH)
+    _assert_overall_ordering(fig)
+    assert 1.0 < fig.notes["speedup_vs_best_competitor_min"] < 2.5
+    assert 1.5 < fig.notes["speedup_vs_best_competitor_max"] < 4.5
+
+
+def test_fig8_double_precision(benchmark, figure_runner):
+    fig = figure_runner(benchmark, fig8_overall, "d", nmax_values=NMAX, batch_count=BATCH)
+    _assert_overall_ordering(fig)
+    assert 1.0 < fig.notes["speedup_vs_best_competitor_min"] < 2.0
+    assert 1.5 < fig.notes["speedup_vs_best_competitor_max"] < 3.5
+    # "Up to 3x faster" than the padding workaround.
+    assert fig.notes["speedup_vs_padding_max"] > 2.5
+    # "The performance graphs of the padding technique look truncated
+    # due to running out of the GPU memory."
+    assert fig.notes["padding_oom_points"] >= 1
+
+
+def test_fig8_padding_oom_threshold(benchmark):
+    """800 padded 2000x2000 doubles = 25.6 GB > the K40c's 12 GB."""
+    fig = benchmark.pedantic(
+        lambda: fig8_overall("d", nmax_values=(1000, 2000), batch_count=800),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    pad = fig.get("fixed-batched+padding").array
+    assert not np.isnan(pad[0])  # 800 x 1000^2 x 8 B = 6.4 GB fits
+    assert np.isnan(pad[1])      # 25.6 GB does not

@@ -1,0 +1,54 @@
+"""Figure 9: overall performance vs every baseline, Gaussian sizes.
+
+Same ordering claims as Fig 8; the Gaussian concentration around
+Nmax/2 narrows the GPU's edge at small Nmax (the paper reports
+1.31-2.07x SP / 1.21-2.52x DP vs the best competitor).
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig8_overall, fig9_overall_gaussian
+
+NMAX = (256, 512, 768, 1000, 1500, 2000)
+BATCH = 800
+
+
+def test_fig9_single_precision(benchmark, figure_runner):
+    fig = figure_runner(
+        benchmark, fig9_overall_gaussian, "s", nmax_values=NMAX, batch_count=BATCH
+    )
+    vb = fig.get("magma-vbatched").array
+    dyn = fig.get("cpu-1core-dynamic").array
+    assert np.all(vb > dyn)
+    assert np.all(dyn > fig.get("cpu-1core-static").array)
+    assert 1.0 < fig.notes["speedup_vs_best_competitor_min"] < 2.2
+    assert fig.notes["speedup_vs_best_competitor_max"] < 4.5
+
+
+def test_fig9_double_precision(benchmark, figure_runner):
+    fig = figure_runner(
+        benchmark, fig9_overall_gaussian, "d", nmax_values=NMAX, batch_count=BATCH
+    )
+    vb = fig.get("magma-vbatched").array
+    assert np.all(vb > fig.get("cpu-1core-dynamic").array)
+    assert np.all(vb > fig.get("magma-hybrid").array)
+    assert 1.0 < fig.notes["speedup_vs_best_competitor_min"] < 2.0
+    assert 1.5 < fig.notes["speedup_vs_best_competitor_max"] < 3.5
+    assert fig.notes["padding_oom_points"] >= 1
+
+
+def test_fig9_gaussian_narrows_small_nmax_edge(benchmark):
+    """The Gaussian's mid-size mass suits the CPU cache: the GPU's
+    minimum speedup drops relative to the uniform workload."""
+
+    def both():
+        return (
+            fig8_overall("d", nmax_values=(256, 512), batch_count=BATCH),
+            fig9_overall_gaussian("d", nmax_values=(256, 512), batch_count=BATCH),
+        )
+
+    uni, gau = benchmark.pedantic(both, rounds=1, iterations=1, warmup_rounds=0)
+    assert (
+        gau.notes["speedup_vs_best_competitor_min"]
+        <= uni.notes["speedup_vs_best_competitor_min"] + 0.05
+    )

@@ -1,0 +1,45 @@
+"""Figure 10: energy to solution, CPU vs GPU (paper §IV-G).
+
+Paper claims reproduced: "the GPU implementation is always more
+efficient than the CPU ones, in terms of both time and energy to
+solution", reaching "a factor up to 3x more energy efficient".
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig10_energy
+from repro.energy import run_energy_experiment
+
+BUCKETS = (
+    (16, 64, 10000),
+    (64, 256, 3000),
+    (128, 256, 2000),
+    (256, 512, 1000),
+    (512, 1024, 500),
+    (768, 1024, 300),
+)
+
+
+def test_fig10_energy_ratios(benchmark, figure_runner):
+    fig = figure_runner(benchmark, fig10_energy, buckets=BUCKETS, precision="d")
+    ratios = fig.get("cpu_over_gpu").array
+
+    # Always more energy efficient on the GPU...
+    assert np.all(ratios > 1.0)
+    # ...by up to a factor approaching 3.
+    assert 2.2 < fig.notes["max_energy_ratio"] < 3.6
+    # Larger matrices widen the gap (the GPU's throughput advantage
+    # grows faster than its extra board power).
+    assert ratios[-1] > ratios[0]
+
+
+def test_fig10_time_and_energy_both_favor_gpu(benchmark):
+    comp = benchmark.pedantic(
+        lambda: run_energy_experiment(256, 512, 1000, "d"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert comp.time_ratio > 1.0
+    assert comp.energy_ratio > 1.0
+    # Average node power sits between idle and the combined caps.
+    assert 50 < comp.gpu.average_watts < 300
+    assert 50 < comp.cpu.average_watts < 300

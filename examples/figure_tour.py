@@ -1,0 +1,59 @@
+"""Regenerate every paper figure at reduced scale and print the tables.
+
+Run:  python examples/figure_tour.py [--full]
+
+``--full`` runs the paper-scale parameters (batch 3000/800, Nmax up to
+2000) and takes a few minutes; the default reduced sweep finishes in
+well under a minute.  This is the same harness the ``benchmarks/``
+suite drives — see EXPERIMENTS.md for the recorded paper-vs-measured
+comparison.
+"""
+
+import sys
+import time
+
+from repro.bench import figures, format_figure
+
+
+def main(full: bool = False):
+    if full:
+        runs = [
+            (figures.fig3_distributions, {}),
+            (figures.fig4_fusion_fixed, dict(precision="s")),
+            (figures.fig4_fusion_fixed, dict(precision="d")),
+            (figures.fig5_fused_variants, dict(precision="s")),
+            (figures.fig5_fused_variants, dict(precision="d")),
+            (figures.fig6_fused_variants_gaussian, dict(precision="s")),
+            (figures.fig6_fused_variants_gaussian, dict(precision="d")),
+            (figures.fig7_crossover, dict(precision="s")),
+            (figures.fig7_crossover, dict(precision="d")),
+            (figures.fig8_overall, dict(precision="s")),
+            (figures.fig8_overall, dict(precision="d")),
+            (figures.fig9_overall_gaussian, dict(precision="s")),
+            (figures.fig9_overall_gaussian, dict(precision="d")),
+            (figures.fig10_energy, {}),
+            (figures.aux_interface_overhead, {}),
+        ]
+    else:
+        small_nmax = (64, 128, 256, 512)
+        runs = [
+            (figures.fig3_distributions, dict(bin_width=32)),
+            (figures.fig4_fusion_fixed, dict(precision="d", sizes=(16, 64, 256, 512), batch_count=500)),
+            (figures.fig5_fused_variants, dict(precision="d", nmax_values=small_nmax, batch_count=1000)),
+            (figures.fig6_fused_variants_gaussian, dict(precision="d", nmax_values=small_nmax, batch_count=1000)),
+            (figures.fig7_crossover, dict(precision="d", nmax_values=(128, 256, 512, 768), batch_count=400)),
+            (figures.fig8_overall, dict(precision="d", nmax_values=(256, 512, 1000, 2000), batch_count=400)),
+            (figures.fig9_overall_gaussian, dict(precision="d", nmax_values=(256, 512, 1000), batch_count=400)),
+            (figures.fig10_energy, dict(buckets=((64, 256, 1000), (256, 512, 500), (512, 1024, 250)))),
+            (figures.aux_interface_overhead, dict(batch_count=1000)),
+        ]
+
+    for fn, kwargs in runs:
+        t0 = time.time()
+        fig = fn(**kwargs)
+        print(format_figure(fig))
+        print(f"   ({time.time() - t0:.1f} s)\n")
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv[1:])

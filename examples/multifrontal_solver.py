@@ -1,0 +1,64 @@
+"""Sparse multifrontal Cholesky on the vbatched foundation.
+
+Run:  python examples/multifrontal_solver.py
+
+The paper's intro motivates vbatched routines with "large scale sparse
+direct multifrontal solvers", and §V names them the destination for the
+kernels built here.  ``repro.multifrontal`` is that destination: nested
+dissection orders a sparse SPD system, symbolic analysis builds the
+frontal structures, and the numeric sweep eliminates every level's
+fronts — genuinely different sizes — with ONE vbatched partial-Cholesky
+call per level on the simulated device.  This example solves a 2-D
+Poisson-like system end to end and verifies against dense SciPy.
+"""
+
+import networkx as nx
+import numpy as np
+import scipy.linalg as sla
+
+from repro.device import Device
+from repro.multifrontal import analyze, factorize, solve
+
+
+def main():
+    grid = 40
+    g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(grid, grid))
+    n = g.number_of_nodes()
+    a = nx.laplacian_matrix(g).astype(float).toarray()
+    a += 4.0 * np.eye(n)
+    print(f"{grid}x{grid} grid Laplacian: n = {n}, nnz = {2 * g.number_of_edges() + n}")
+
+    sym = analyze(g, min_size=8)
+    print(f"symbolic: {len(sym.fronts)} fronts over {len(sym.levels)} levels, "
+          f"largest front {sym.max_front}")
+
+    device = Device()
+    fac = factorize(device, a, sym)
+    print(f"numeric: {fac.total_flops / 1e6:.2f} Mflop in "
+          f"{fac.elapsed * 1e3:.3f} ms simulated ({fac.gflops:.1f} Gflop/s)")
+    for depth, stats in enumerate(fac.level_stats):
+        lo, hi = stats["orders"]
+        print(f"  level {depth:2d}: {stats['fronts']:4d} fronts, orders "
+              f"{lo:4d}..{hi:4d} -> {stats['gflops']:6.1f} Gflop/s")
+
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(n)
+    x = solve(fac, b)
+    residual = np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+    x_ref = sla.solve(a, b, assume_a="pos")
+    print(f"relative residual: {residual:.2e}; "
+          f"max diff vs dense solve: {np.max(np.abs(x - x_ref)):.2e}")
+    assert residual < 1e-12
+
+    # The memory story: dense would need n^2 doubles; the fronts peak
+    # far below that.
+    dense_bytes = n * n * 8
+    front_bytes = max(
+        sum(f.order**2 * 8 for f in level) for level in sym.levels
+    )
+    print(f"peak level footprint {front_bytes / 1e6:.2f} MB vs dense "
+          f"{dense_bytes / 1e6:.2f} MB ({dense_bytes / front_bytes:.0f}x saving)")
+
+
+if __name__ == "__main__":
+    main()

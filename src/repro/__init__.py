@@ -1,0 +1,90 @@
+"""repro — variable-size batched matrix computation on a simulated GPU.
+
+A from-scratch reproduction of Abdelfattah, Haidar, Tomov & Dongarra,
+"On the Development of Variable Size Batched Computation for
+Heterogeneous Parallel Architectures" (IPDPS-W 2016).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Device, VBatch, potrf_vbatched, make_spd_batch
+    from repro.distributions import uniform_sizes
+
+    device = Device()
+    sizes = uniform_sizes(batch_count=200, max_size=128, seed=0)
+    batch = VBatch.from_host(device, make_spd_batch(sizes, "d"))
+    device.reset_clock()                  # time the factorization only
+    result = potrf_vbatched(device, batch)
+    print(f"{result.gflops:.1f} Gflop/s via the {result.approach} approach")
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from .types import Precision
+from .errors import (
+    ArgumentError,
+    BatchNumericalError,
+    DeviceError,
+    DeviceOutOfMemory,
+    LaunchError,
+    ReproError,
+    StreamError,
+)
+from .device import Device, DeviceSpec, K40C, Stream
+from .cpu import CpuSpec, MklModel, SANDY_BRIDGE_2X8
+from .core import (
+    CrossoverPolicy,
+    PotrfOptions,
+    PotrfResult,
+    VBatch,
+    potrf_batched_fixed,
+    potrf_vbatched,
+    potrf_vbatched_max,
+)
+from .extensions import (
+    geqrf_vbatched,
+    getrf_vbatched,
+    getrs_vbatched,
+    potrs_vbatched,
+)
+from .hostblas import make_spd, make_spd_batch
+from . import batched_blas, distributions, flops, multifrontal
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Precision",
+    "ReproError",
+    "ArgumentError",
+    "BatchNumericalError",
+    "DeviceError",
+    "DeviceOutOfMemory",
+    "LaunchError",
+    "StreamError",
+    "Device",
+    "DeviceSpec",
+    "K40C",
+    "Stream",
+    "CpuSpec",
+    "MklModel",
+    "SANDY_BRIDGE_2X8",
+    "VBatch",
+    "PotrfOptions",
+    "PotrfResult",
+    "CrossoverPolicy",
+    "potrf_vbatched",
+    "potrf_vbatched_max",
+    "potrf_batched_fixed",
+    "getrf_vbatched",
+    "geqrf_vbatched",
+    "getrs_vbatched",
+    "potrs_vbatched",
+    "make_spd",
+    "make_spd_batch",
+    "batched_blas",
+    "distributions",
+    "multifrontal",
+    "flops",
+    "__version__",
+]

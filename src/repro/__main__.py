@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``figures`` — regenerate paper figures and print their data tables;
+* ``tune`` — run the autotuner for a routine/precision and print the
+  chosen configuration;
+* ``profile`` — run a vbatched factorization and print the per-kernel
+  flat profile (optionally exporting a Chrome trace);
+* ``energy`` — run one Fig-10 energy bucket.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figures(args) -> int:
+    from .bench import figures as figs, format_ascii_chart, format_figure
+
+    registry = {
+        "3": lambda: figs.fig3_distributions(),
+        "4": lambda: figs.fig4_fusion_fixed(args.precision),
+        "5": lambda: figs.fig5_fused_variants(args.precision),
+        "6": lambda: figs.fig6_fused_variants_gaussian(args.precision),
+        "7": lambda: figs.fig7_crossover(args.precision),
+        "8": lambda: figs.fig8_overall(args.precision),
+        "9": lambda: figs.fig9_overall_gaussian(args.precision),
+        "10": lambda: figs.fig10_energy(),
+        "aux": lambda: figs.aux_interface_overhead(args.precision),
+    }
+    wanted = args.fig or list(registry)
+    for key in wanted:
+        if key not in registry:
+            print(f"unknown figure {key!r}; known: {', '.join(registry)}", file=sys.stderr)
+            return 2
+        fig = registry[key]()
+        print(format_ascii_chart(fig) if args.chart else format_figure(fig))
+        print()
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .autotune import Tuner, TuningCache
+
+    tuner = Tuner(cache=TuningCache(args.cache) if args.cache else None)
+    if args.routine == "fused_nb":
+        r = tuner.tune_fused_nb(args.size, args.precision)
+    elif args.routine == "crossover":
+        r = tuner.tune_crossover(args.precision)
+    elif args.routine == "gemm":
+        r = tuner.tune_gemm_tiling(args.size, args.size, 32, args.precision)
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    print(f"{r.routine}[{r.precision}, band {r.band}]: {r.choice} "
+          f"({r.gflops:.1f} Gflop/s, swept {r.swept} candidates)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .bench import export_chrome_trace, format_profile
+    from .core import PotrfOptions, VBatch, potrf_vbatched
+    from .device import Device
+    from .distributions import generate_sizes
+
+    device = Device(execute_numerics=False)
+    sizes = generate_sizes(args.distribution, args.batch, args.max_size, seed=args.seed)
+    batch = VBatch.allocate(device, sizes, args.precision)
+    device.reset_clock()
+    result = potrf_vbatched(device, batch, PotrfOptions())
+    print(f"{result.gflops:.1f} Gflop/s via {result.approach} "
+          f"({result.elapsed * 1e3:.2f} ms simulated)\n")
+    print(format_profile(device.timeline))
+    if args.trace:
+        path = export_chrome_trace(device.timeline, args.trace)
+        print(f"\nChrome trace written to {path}")
+    return 0
+
+
+def _cmd_energy(args) -> int:
+    from .energy import run_energy_experiment
+
+    comp = run_energy_experiment(args.low, args.high, args.batch, args.precision)
+    print(f"workload {comp.workload}:")
+    print(f"  cpu: {comp.cpu.elapsed * 1e3:8.2f} ms  {comp.cpu.joules:8.2f} J")
+    print(f"  gpu: {comp.gpu.elapsed * 1e3:8.2f} ms  {comp.gpu.joules:8.2f} J")
+    print(f"  energy ratio (cpu/gpu): {comp.energy_ratio:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Variable-size batched computation reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("--fig", action="append", help="figure id (3..10, aux); repeatable")
+    p.add_argument("-p", "--precision", default="d", choices="sdcz")
+    p.add_argument("--chart", action="store_true", help="render ASCII bar charts")
+    p.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("tune", help="run the autotuner")
+    p.add_argument("routine", choices=["fused_nb", "crossover", "gemm"])
+    p.add_argument("-p", "--precision", default="d", choices="sdcz")
+    p.add_argument("-n", "--size", type=int, default=256)
+    p.add_argument("--cache", help="JSON file to persist results")
+    p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("profile", help="profile a vbatched factorization")
+    p.add_argument("-p", "--precision", default="d", choices="sdcz")
+    p.add_argument("-b", "--batch", type=int, default=1000)
+    p.add_argument("-n", "--max-size", type=int, default=256)
+    p.add_argument("-d", "--distribution", default="uniform")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", help="write a Chrome trace JSON here")
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("energy", help="one energy-to-solution bucket")
+    p.add_argument("--low", type=int, default=256)
+    p.add_argument("--high", type=int, default=512)
+    p.add_argument("-b", "--batch", type=int, default=1000)
+    p.add_argument("-p", "--precision", default="d", choices="sdcz")
+    p.set_defaults(fn=_cmd_energy)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

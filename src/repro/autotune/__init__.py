@@ -1,0 +1,22 @@
+"""Autotuning framework (paper §III-B, §III-D).
+
+The paper autotunes the fused kernel "for all the possible sizes" via
+compile-time templates, and its framework picks crossover points and
+gemm tile shapes by measurement.  This package does the analogue on the
+simulator: sweep a parameter space on synthetic batches, memoize the
+winner per (routine, precision, size band), and optionally persist the
+table to JSON so later sessions skip the sweep.
+"""
+
+from .space import FUSED_NB_TEMPLATES, GEMM_TILINGS, size_band
+from .cache import TuningCache
+from .tuner import Tuner, TuningResult
+
+__all__ = [
+    "FUSED_NB_TEMPLATES",
+    "GEMM_TILINGS",
+    "size_band",
+    "TuningCache",
+    "Tuner",
+    "TuningResult",
+]

@@ -1,0 +1,43 @@
+"""Persistent store for tuning results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["TuningCache"]
+
+
+class TuningCache:
+    """Keyed store for tuner winners, optionally persisted to JSON.
+
+    Keys are ``(routine, precision, band)`` triples; values are plain
+    JSON-serializable dicts (chosen parameter + measured Gflop/s).
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._data: dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            self._data = json.loads(self.path.read_text())
+
+    @staticmethod
+    def _key(routine: str, precision: str, band: int) -> str:
+        return f"{routine}:{precision}:{band}"
+
+    def get(self, routine: str, precision: str, band: int) -> dict | None:
+        return self._data.get(self._key(routine, precision, band))
+
+    def put(self, routine: str, precision: str, band: int, value: dict) -> None:
+        self._data[self._key(routine, precision, band)] = value
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(self._data, indent=2, sort_keys=True))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        if self.path is not None and self.path.exists():
+            self.path.unlink()

@@ -1,0 +1,32 @@
+"""Parameter spaces the tuner sweeps."""
+
+from __future__ import annotations
+
+from ..kernels.gemm import GemmTiling
+
+__all__ = ["FUSED_NB_TEMPLATES", "GEMM_TILINGS", "size_band"]
+
+#: Compile-time panel-width templates of the fused kernel (§III-D:
+#: "a modular templated interface ... nb predefined at compile time").
+FUSED_NB_TEMPLATES = (2, 4, 6, 8, 12, 16, 24, 32)
+
+#: Candidate gemm tile shapes (from the batched-GEMM tuning study [3]).
+GEMM_TILINGS = (
+    GemmTiling(blk_m=64, blk_n=64, blk_k=16, threads=256, regs_per_thread=64),
+    GemmTiling(blk_m=64, blk_n=32, blk_k=16, threads=128, regs_per_thread=64),
+    GemmTiling(blk_m=32, blk_n=32, blk_k=16, threads=128, regs_per_thread=64),
+    GemmTiling(blk_m=32, blk_n=32, blk_k=8, threads=64, regs_per_thread=48),
+    GemmTiling(blk_m=16, blk_n=16, blk_k=16, threads=64, regs_per_thread=32),
+)
+
+_BANDS = (16, 32, 64, 128, 192, 256, 384, 512, 768, 1024)
+
+
+def size_band(n: int) -> int:
+    """Quantize a size to its tuning band (the table key)."""
+    if n <= 0:
+        raise ValueError(f"size must be positive, got {n}")
+    for b in _BANDS:
+        if n <= b:
+            return b
+    return _BANDS[-1]

@@ -1,0 +1,177 @@
+"""Measurement-driven tuner over the simulator.
+
+Each method builds synthetic timing-only batches, sweeps one parameter
+space, and memoizes the fastest configuration per size band — "packaging
+and deployment at the user site to trigger final stages of tuning at
+the moment of execution" (paper §III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.batch import VBatch
+from ..core.fused import FusedDriver
+from ..core.separated import SeparatedDriver
+from ..device import Device
+from ..distributions import uniform_sizes
+from ..errors import LaunchError
+from ..flops import batch_flops, gflops
+from ..kernels.gemm import GemmTask, VbatchedGemmKernel
+from ..types import Precision
+from .cache import TuningCache
+from .space import FUSED_NB_TEMPLATES, GEMM_TILINGS, size_band
+
+__all__ = ["Tuner", "TuningResult"]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Winner of one sweep."""
+
+    routine: str
+    precision: str
+    band: int
+    choice: dict
+    gflops: float
+    swept: int
+
+    def as_dict(self) -> dict:
+        return {"choice": self.choice, "gflops": self.gflops, "swept": self.swept}
+
+
+class Tuner:
+    """Sweeps tuning spaces on a (simulated) device."""
+
+    def __init__(self, cache: TuningCache | None = None, batch_count: int = 500, seed: int = 0):
+        if batch_count <= 0:
+            raise ValueError(f"batch_count must be positive, got {batch_count}")
+        # Explicit None check: an empty TuningCache has len() == 0 and
+        # would be discarded by a truthiness test.
+        self.cache = cache if cache is not None else TuningCache()
+        self.batch_count = batch_count
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _fixed_run(self, n: int, precision: Precision, driver_factory) -> float:
+        device = Device(execute_numerics=False)
+        batch = VBatch.allocate(device, [n] * self.batch_count, precision)
+        device.reset_clock()
+        driver_factory(device).factorize(batch, n)
+        return gflops(
+            batch_flops([n] * self.batch_count, "potrf", precision), device.synchronize()
+        )
+
+    def tune_fused_nb(self, n: int, precision: Precision | str) -> TuningResult:
+        """Pick the fastest fused-kernel panel width for a size band."""
+        prec = Precision(precision)
+        band = size_band(n)
+        cached = self.cache.get("fused_nb", prec.value, band)
+        if cached is not None:
+            return TuningResult("fused_nb", prec.value, band, cached["choice"],
+                                cached["gflops"], cached["swept"])
+        best = None
+        swept = 0
+        for nb in FUSED_NB_TEMPLATES:
+            try:
+                g = self._fixed_run(
+                    band, prec,
+                    lambda dev, nb=nb: FusedDriver(dev, etm="classic", sorting=False, nb=nb),
+                )
+            except LaunchError:
+                continue  # template infeasible at this size
+            swept += 1
+            if best is None or g > best[0]:
+                best = (g, nb)
+        if best is None:
+            raise LaunchError(f"no feasible fused template for n={band} ({prec.value})")
+        result = TuningResult("fused_nb", prec.value, band, {"nb": best[1]}, best[0], swept)
+        self.cache.put("fused_nb", prec.value, band, result.as_dict())
+        return result
+
+    # ------------------------------------------------------------------
+    def tune_crossover(
+        self,
+        precision: Precision | str,
+        grid: tuple[int, ...] = (128, 192, 256, 320, 384, 448, 512, 640, 768, 896, 1024),
+        batch_count: int = 400,
+    ) -> TuningResult:
+        """Find where the separated approach overtakes the fused one.
+
+        Sweeps uniform vbatched workloads over ``grid`` and returns the
+        last max-size at which fusion still wins (the §IV-E crossover).
+        """
+        prec = Precision(precision)
+        cached = self.cache.get("crossover", prec.value, 0)
+        if cached is not None:
+            return TuningResult("crossover", prec.value, 0, cached["choice"],
+                                cached["gflops"], cached["swept"])
+
+        crossover = grid[0]
+        best_g = 0.0
+        swept = 0
+        for nmax in grid:
+            sizes = uniform_sizes(batch_count, nmax, seed=self.seed)
+            flops = batch_flops(sizes, "potrf", prec)
+            results = {}
+            for label, factory in (
+                ("fused", lambda dev: FusedDriver(dev)),
+                ("separated", lambda dev: SeparatedDriver(dev)),
+            ):
+                device = Device(execute_numerics=False)
+                batch = VBatch.allocate(device, sizes, prec)
+                device.reset_clock()
+                try:
+                    factory(device).factorize(batch, nmax)
+                    results[label] = gflops(flops, device.synchronize())
+                except LaunchError:
+                    results[label] = float("nan")
+            swept += 1
+            if not np.isnan(results["fused"]) and (
+                np.isnan(results["separated"]) or results["fused"] >= results["separated"]
+            ):
+                crossover = nmax
+                best_g = results["fused"]
+        result = TuningResult(
+            "crossover", prec.value, 0, {"crossover_size": crossover}, best_g, swept
+        )
+        self.cache.put("crossover", prec.value, 0, result.as_dict())
+        return result
+
+    # ------------------------------------------------------------------
+    def tune_gemm_tiling(
+        self, m: int, n: int, k: int, precision: Precision | str
+    ) -> TuningResult:
+        """Pick the fastest gemm tile shape for a problem shape band."""
+        prec = Precision(precision)
+        band = size_band(max(m, n))
+        cached = self.cache.get("gemm_tiling", prec.value, band)
+        if cached is not None:
+            return TuningResult("gemm_tiling", prec.value, band, cached["choice"],
+                                cached["gflops"], cached["swept"])
+        flops = self.batch_count * 2.0 * m * n * k
+        best = None
+        swept = 0
+        for tiling in GEMM_TILINGS:
+            device = Device(execute_numerics=False)
+            tasks = [GemmTask(m, n, k) for _ in range(self.batch_count)]
+            try:
+                device.launch(VbatchedGemmKernel(tasks, prec, tiling))
+            except LaunchError:
+                continue  # tile's shared memory does not fit (e.g. z)
+            g = gflops(flops, device.synchronize())
+            swept += 1
+            if best is None or g > best[0]:
+                best = (g, tiling)
+        assert best is not None, "the smallest tiling always fits"
+        choice = {
+            "blk_m": best[1].blk_m,
+            "blk_n": best[1].blk_n,
+            "blk_k": best[1].blk_k,
+            "threads": best[1].threads,
+        }
+        result = TuningResult("gemm_tiling", prec.value, band, choice, best[0], swept)
+        self.cache.put("gemm_tiling", prec.value, band, result.as_dict())
+        return result

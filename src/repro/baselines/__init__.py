@@ -1,0 +1,35 @@
+"""The comparison points of the paper's overall evaluation (Figs 8-9).
+
+Five alternatives to the proposed vbatched routines:
+
+* :func:`run_cpu_multithreaded` — all 16 cores on one matrix at a time
+  (MKL multithreaded), the paper's "not a wise option";
+* :func:`run_cpu_percore` — one core per matrix, static or dynamic
+  scheduling; dynamic is "the best competitor";
+* :func:`run_hybrid` — MAGMA's hybrid CPU-panel + GPU-update algorithm
+  applied to each matrix in sequence, "not the correct choice";
+* :func:`run_padding` — fixed-size batched routine over zero-padded
+  matrices, wasting flops and (beyond ~1.4k sizes) device memory;
+* the proposed routines themselves via :func:`run_vbatched`.
+
+Every runner returns a :class:`BaselineResult` so the figure harness
+can tabulate them uniformly.
+"""
+
+from .result import BaselineResult
+from .cpu_mkl import run_cpu_multithreaded
+from .cpu_percore import run_cpu_percore
+from .hybrid import run_hybrid
+from .gpu import run_padding, run_vbatched
+from .registry import BASELINES, run_baseline
+
+__all__ = [
+    "BaselineResult",
+    "run_cpu_multithreaded",
+    "run_cpu_percore",
+    "run_hybrid",
+    "run_padding",
+    "run_vbatched",
+    "BASELINES",
+    "run_baseline",
+]

@@ -1,0 +1,98 @@
+"""The MAGMA-hybrid baseline (paper §II, §IV-F).
+
+Classic hybrid one-sided factorization: the CPU factorizes each panel
+while the GPU applies the trailing-matrix update, one matrix at a time.
+"For small problems ... hybrid algorithms lose efficiency due to lack
+of parallelism, especially in the trailing matrix updates which fail to
+hide the latency of both the panel factorization and the data movement
+between the CPU and the GPU."
+
+Per matrix: upload, then for each ``nb`` panel a panel download, a CPU
+panel factorization, a panel upload, and a single-matrix GPU ``syrk``
+(few blocks — the device idles); finally a result download.  Matrices
+are processed in sequence, exactly how an application would call the
+hybrid ``magma_dpotrf`` per problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import flops as _flops
+from ..cpu import MklModel
+from ..hostblas import potrf as host_potrf
+from ..kernels.syrk import SyrkTask, VbatchedSyrkKernel
+from ..types import Precision, precision_info
+from .result import BaselineResult
+
+__all__ = ["run_hybrid", "HYBRID_PANEL_NB"]
+
+HYBRID_PANEL_NB = 128
+
+
+def run_hybrid(
+    device,
+    batch,
+    precision: Precision | str | None = None,
+    panel_nb: int = HYBRID_PANEL_NB,
+    mkl: MklModel | None = None,
+) -> BaselineResult:
+    """Run the hybrid algorithm over a :class:`~repro.core.batch.VBatch`.
+
+    GPU kernel and PCIe costs land on the simulated device clock; CPU
+    panel time is added as host time between launches (the host blocks
+    on each panel, which is precisely why the hybrid loses here).
+    """
+    if panel_nb <= 0:
+        raise ValueError(f"panel_nb must be positive, got {panel_nb}")
+    prec = Precision(precision) if precision is not None else batch.precision
+    info = precision_info(prec)
+    mkl = mkl or MklModel()
+    elem = info.bytes_per_element
+
+    t0 = device.synchronize()
+    cpu_busy = 0.0
+    for i in range(batch.batch_count):
+        n = int(batch.sizes_host[i])
+        if n == 0:
+            continue
+        # Matrix is assumed GPU-resident (as in the batched runs);
+        # panels bounce over PCIe each step.
+        for j0 in range(0, n, panel_nb):
+            jb = min(panel_nb, n - j0)
+            m = n - j0
+            panel_bytes = m * jb * elem
+            device._transfer(panel_bytes, "hybrid:panel_d2h", None)
+            # CPU panel: potf2 on the tile + trsm below, single core
+            # rate is what a lone panel achieves (the rest of the
+            # machine has nothing to do for this matrix).
+            panel_flops = _flops.potf2_flops(jb, prec) + _flops.trsm_flops(
+                m - jb, jb, "right", prec
+            )
+            cpu_time = panel_flops / mkl.sequential_rate(max(jb, 8), prec) \
+                + mkl.constants.call_overhead
+            device.host_time += cpu_time
+            cpu_busy += cpu_time
+            device._transfer(panel_bytes, "hybrid:panel_h2d", None)
+            n_trail = m - jb
+            if n_trail > 0:
+                device.launch(
+                    VbatchedSyrkKernel([SyrkTask(n=n_trail, k=jb)], prec)
+                )
+        if device.execute_numerics:
+            a = batch.matrix_view(i)
+            info_code = host_potrf(a, "l", nb=panel_nb)
+            if info_code != 0:
+                batch.infos_dev.data[i] = info_code
+
+    elapsed = device.synchronize() - t0
+    busy = np.zeros(16)
+    busy[0] = cpu_busy  # one core drives the hybrid loop
+    return BaselineResult(
+        label="magma-hybrid",
+        elapsed=elapsed,
+        total_flops=_flops.batch_flops(batch.sizes_host, "potrf", prec),
+        core_busy=busy,
+        gpu_timeline=device.timeline,
+        extra={"panel_nb": panel_nb},
+    )

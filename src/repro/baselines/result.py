@@ -1,0 +1,36 @@
+"""Uniform result record for every baseline runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import flops as _flops
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline run over one batch.
+
+    ``core_busy`` (CPU runs) and ``gpu_timeline`` (GPU runs) carry what
+    the energy model needs; either may be ``None`` for the other class
+    of runner.
+    """
+
+    label: str
+    elapsed: float
+    total_flops: float
+    extra: dict = field(default_factory=dict)
+    core_busy: np.ndarray | None = None
+    gpu_timeline: object | None = None
+
+    @property
+    def gflops(self) -> float:
+        return _flops.gflops(self.total_flops, self.elapsed)
+
+    def __post_init__(self):
+        if self.elapsed < 0 or self.total_flops < 0:
+            raise ValueError(f"negative result fields: {self.label}")

@@ -1,0 +1,30 @@
+"""Public vbatched BLAS interface (paper §III-A).
+
+The paper's interface proposal — per-matrix dimension arrays resident
+on the device, a batch count, and a max-dimension fast path — applied
+to the BLAS level itself: these entry points are the "modular,
+language-agnostic interfaces ... that would allow the entire linear
+algebra community to collectively develop a wide range of small matrix
+problems" the paper argues for (and that later became the Batched BLAS
+standardization effort).
+
+Each routine validates per-matrix dimensions with LAPACK-style
+argument numbering, launches the corresponding vbatched kernels, and
+runs on both planes: real numerics plus the calibrated timing model.
+"""
+
+from .containers import MatrixBatch
+from .routines import (
+    gemm_vbatched,
+    syrk_vbatched,
+    trsm_vbatched,
+    trtri_vbatched,
+)
+
+__all__ = [
+    "MatrixBatch",
+    "gemm_vbatched",
+    "syrk_vbatched",
+    "trsm_vbatched",
+    "trtri_vbatched",
+]

@@ -1,0 +1,73 @@
+"""Containers for reproduced figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Series", "FigureResult"]
+
+
+@dataclass
+class Series:
+    """One plotted curve: y-values over the figure's shared x-axis."""
+
+    label: str
+    values: list[float]
+
+    def __post_init__(self):
+        self.values = [float(v) for v in self.values]
+
+    @property
+    def array(self) -> np.ndarray:
+        return np.array(self.values)
+
+    def ratio_to(self, other: "Series") -> list[float]:
+        """Elementwise self/other (NaN where the other is NaN or zero)."""
+        out = []
+        for a, b in zip(self.values, other.values):
+            out.append(a / b if b and not np.isnan(b) and not np.isnan(a) else float("nan"))
+        return out
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: x-axis, named series, and free-form notes."""
+
+    figure: str
+    title: str
+    x_label: str
+    x_values: list
+    series: list[Series] = field(default_factory=list)
+    notes: dict = field(default_factory=dict)
+
+    def add(self, label: str, values) -> Series:
+        s = Series(label, list(values))
+        if len(s.values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(s.values)} points, x-axis has {len(self.x_values)}"
+            )
+        self.series.append(s)
+        return s
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        known = ", ".join(s.label for s in self.series)
+        raise KeyError(f"no series {label!r}; have: {known}")
+
+    def to_csv(self, path) -> "Path":
+        """Write the figure's data as CSV (x column + one per series)."""
+        import csv
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow([self.x_label] + [s.label for s in self.series])
+            for i, x in enumerate(self.x_values):
+                writer.writerow([x] + [s.values[i] for s in self.series])
+        return path

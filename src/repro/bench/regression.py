@@ -1,0 +1,107 @@
+"""Figure-snapshot regression tooling.
+
+The cost model is calibrated once; any later change to a constant or a
+kernel's work decomposition should be *deliberate*.  This module
+snapshots figure results to JSON and diffs a fresh run against the
+stored baseline within a tolerance — the simulator's equivalent of
+performance-regression CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from .harness import FigureResult, Series
+
+__all__ = ["save_snapshot", "load_snapshot", "compare_to_snapshot", "SeriesDrift"]
+
+
+def save_snapshot(fig: FigureResult, path: str | Path) -> Path:
+    """Serialize a figure's series (and notes) to JSON."""
+    path = Path(path)
+    payload = {
+        "figure": fig.figure,
+        "title": fig.title,
+        "x_label": fig.x_label,
+        "x_values": list(fig.x_values),
+        "series": {s.label: s.values for s in fig.series},
+        "notes": {k: v for k, v in fig.notes.items() if isinstance(v, (int, float, str))},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_snapshot(path: str | Path) -> FigureResult:
+    """Rebuild a :class:`FigureResult` from a snapshot file."""
+    data = json.loads(Path(path).read_text())
+    fig = FigureResult(data["figure"], data["title"], data["x_label"], data["x_values"])
+    for label, values in data["series"].items():
+        fig.add(label, values)
+    fig.notes.update(data.get("notes", {}))
+    return fig
+
+
+@dataclass(frozen=True)
+class SeriesDrift:
+    """Worst relative drift of one series vs. its snapshot."""
+
+    label: str
+    max_rel_drift: float
+    at_x: object
+
+    @property
+    def ok(self) -> bool:
+        return not math.isinf(self.max_rel_drift)
+
+
+def compare_to_snapshot(
+    fig: FigureResult, snapshot: FigureResult, rel_tol: float = 0.05
+) -> list[SeriesDrift]:
+    """Diff a fresh figure against a snapshot.
+
+    Returns per-series worst drifts; raises :class:`AssertionError`
+    listing every series whose drift exceeds ``rel_tol`` (NaN placement
+    must match exactly — an OOM point appearing or vanishing is always
+    a regression).
+    """
+    if list(fig.x_values) != list(snapshot.x_values):
+        raise AssertionError(
+            f"x-axis changed: {snapshot.x_values} -> {fig.x_values}"
+        )
+    drifts: list[SeriesDrift] = []
+    failures: list[str] = []
+    for snap_series in snapshot.series:
+        try:
+            current = fig.get(snap_series.label)
+        except KeyError:
+            failures.append(f"series {snap_series.label!r} disappeared")
+            continue
+        worst, worst_x = 0.0, None
+        for x, old, new in zip(fig.x_values, snap_series.values, current.values):
+            old_nan, new_nan = math.isnan(old), math.isnan(new)
+            if old_nan != new_nan:
+                failures.append(
+                    f"{snap_series.label} @ {x}: NaN placement changed "
+                    f"({old} -> {new})"
+                )
+                worst = math.inf
+                continue
+            if old_nan:
+                continue
+            denom = max(abs(old), 1e-300)
+            drift = abs(new - old) / denom
+            if drift > worst:
+                worst, worst_x = drift, x
+        drifts.append(SeriesDrift(snap_series.label, worst, worst_x))
+        if worst > rel_tol and not math.isinf(worst):
+            failures.append(
+                f"{snap_series.label} drifted {worst * 100:.1f}% at x={worst_x} "
+                f"(tolerance {rel_tol * 100:.1f}%)"
+            )
+    if failures:
+        raise AssertionError("figure drifted from snapshot:\n  " + "\n  ".join(failures))
+    return drifts

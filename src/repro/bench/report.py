@@ -1,0 +1,75 @@
+"""Plain-text rendering of reproduced figures."""
+
+from __future__ import annotations
+
+import math
+
+from .harness import FigureResult
+
+__all__ = ["format_table", "format_figure", "format_ascii_chart"]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "n/a"
+        if v == 0 or 0.01 <= abs(v) < 1e6:
+            return f"{v:.2f}" if abs(v) < 100 else f"{v:.1f}"
+        return f"{v:.3g}"
+    return str(v)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(parts):
+        return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def format_ascii_chart(fig: FigureResult, width: int = 48) -> str:
+    """Render a figure's series as horizontal bar charts (no matplotlib).
+
+    One block per series: each x value gets a bar scaled to the
+    figure-wide maximum, so relative magnitudes across series are
+    visually comparable — enough to eyeball a crossover in a terminal.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    finite = [
+        v
+        for s in fig.series
+        for v in s.values
+        if isinstance(v, float) and not math.isnan(v)
+    ]
+    top = max(finite, default=0.0)
+    lines = [f"== {fig.figure}: {fig.title} =="]
+    label_w = max((len(str(x)) for x in fig.x_values), default=1)
+    for s in fig.series:
+        lines.append(f"-- {s.label}")
+        for x, v in zip(fig.x_values, s.values):
+            if math.isnan(v):
+                lines.append(f"  {str(x):>{label_w}} | n/a")
+                continue
+            n = 0 if top == 0 else round(width * v / top)
+            lines.append(f"  {str(x):>{label_w}} | {'#' * n} {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def format_figure(fig: FigureResult) -> str:
+    """Render a figure as its data table plus notes."""
+    headers = [fig.x_label] + [s.label for s in fig.series]
+    rows = []
+    for i, x in enumerate(fig.x_values):
+        rows.append([x] + [s.values[i] for s in fig.series])
+    body = format_table(headers, rows)
+    head = f"== {fig.figure}: {fig.title} =="
+    notes = "\n".join(f"   note: {k} = {_fmt(v)}" for k, v in fig.notes.items())
+    return "\n".join(p for p in (head, body, notes) if p)

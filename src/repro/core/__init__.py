@@ -1,0 +1,27 @@
+"""The paper's contribution: variable-size batched (vbatched) routines.
+
+Public entry points live in :mod:`repro.core.interface`; the drivers
+implementing Approach 1 (fused kernels, §III-D), Approach 2 (separated
+vbatched BLAS, §III-E) and the crossover policy (§IV-E) are composed in
+:mod:`repro.core.driver`.
+"""
+
+from .batch import VBatch
+from .interface import (
+    potrf_vbatched,
+    potrf_vbatched_max,
+    potrf_batched_fixed,
+    PotrfOptions,
+    PotrfResult,
+)
+from .crossover import CrossoverPolicy
+
+__all__ = [
+    "VBatch",
+    "potrf_vbatched",
+    "potrf_vbatched_max",
+    "potrf_batched_fixed",
+    "PotrfOptions",
+    "PotrfResult",
+    "CrossoverPolicy",
+]

@@ -1,0 +1,138 @@
+"""The vbatched data structure (paper §III-A).
+
+A vbatched routine receives *arrays* of matrix pointers, sizes and
+leading dimensions, all resident in device memory — any arithmetic on
+them (max reductions, per-step offsets) must happen in GPU kernels.
+:class:`VBatch` models exactly that: per-matrix device allocations plus
+device-resident ``sizes``/``ldas``/``infos`` integer arrays.
+
+The host-side driver is *not* supposed to peek at ``sizes_host`` for
+control decisions; it goes through the auxiliary kernels in
+:mod:`repro.kernels.aux` (that is what the "interface overhead is
+negligible" experiment measures).  Simulated kernels, however, read
+``sizes_host`` freely — they play the role of the hardware, which sees
+device memory directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ArgumentError
+from ..types import Precision, precision_info
+
+__all__ = ["VBatch"]
+
+
+class VBatch:
+    """A batch of independent square matrices of (possibly) varying size."""
+
+    def __init__(self, device, matrices, sizes_host: np.ndarray, ldas_host: np.ndarray):
+        if len(matrices) != sizes_host.size or sizes_host.size != ldas_host.size:
+            raise ArgumentError(2, "matrices/sizes/ldas length mismatch")
+        if sizes_host.size == 0:
+            raise ArgumentError(2, "batch must contain at least one matrix")
+        if np.any(sizes_host < 0):
+            raise ArgumentError(2, "matrix sizes cannot be negative")
+        if np.any(ldas_host < np.maximum(sizes_host, 1)):
+            raise ArgumentError(3, "each lda must be >= max(1, n)")
+        self.device = device
+        self.matrices = list(matrices)
+        self.sizes_host = sizes_host.astype(np.int64)
+        self.ldas_host = ldas_host.astype(np.int64)
+        # Device-resident metadata (charged against device memory).
+        self.sizes_dev = device.alloc((sizes_host.size,), np.int64)
+        self.ldas_dev = device.alloc((sizes_host.size,), np.int64)
+        self.infos_dev = device.alloc((sizes_host.size,), np.int64)
+        if device.execute_numerics:
+            self.sizes_dev.data[...] = self.sizes_host
+            self.ldas_dev.data[...] = self.ldas_host
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def allocate(
+        cls,
+        device,
+        sizes: Sequence[int] | np.ndarray,
+        precision: Precision | str = Precision.D,
+        ldas: Sequence[int] | np.ndarray | None = None,
+    ) -> "VBatch":
+        """Allocate an uninitialized batch on the device (no host data).
+
+        Used by timing-only sweeps: the cost model never reads matrix
+        values, so zero-filled matrices time identically to real ones.
+        """
+        sizes = np.asarray(sizes, dtype=np.int64)
+        ldas = sizes.copy() if ldas is None else np.asarray(ldas, dtype=np.int64)
+        info = precision_info(Precision(precision))
+        mats = [
+            device.alloc((int(lda), int(n)), info.dtype)
+            for n, lda in zip(sizes, np.maximum(ldas, 1))
+        ]
+        return cls(device, mats, sizes, np.maximum(ldas, 1))
+
+    @classmethod
+    def from_host(cls, device, host_matrices: Sequence[np.ndarray]) -> "VBatch":
+        """Upload host matrices (one PCIe-charged transfer per matrix)."""
+        if not host_matrices:
+            raise ArgumentError(2, "batch must contain at least one matrix")
+        dtypes = {m.dtype for m in host_matrices}
+        if len(dtypes) != 1:
+            raise ArgumentError(2, f"mixed dtypes in batch: {sorted(map(str, dtypes))}")
+        for m in host_matrices:
+            if m.ndim != 2 or m.shape[0] != m.shape[1]:
+                raise ArgumentError(2, f"matrices must be square, got shape {m.shape}")
+        mats = [device.upload(m) for m in host_matrices]
+        sizes = np.array([m.shape[1] for m in host_matrices], dtype=np.int64)
+        ldas = np.array([max(m.shape[0], 1) for m in host_matrices], dtype=np.int64)
+        return cls(device, mats, sizes, ldas)
+
+    # ------------------------------------------------------------------
+    # views and metadata
+    # ------------------------------------------------------------------
+    @property
+    def batch_count(self) -> int:
+        return len(self.matrices)
+
+    @property
+    def precision(self) -> Precision:
+        return self.matrices[0].precision
+
+    @property
+    def max_size_host(self) -> int:
+        """Host-side max — for test assertions, not for driver logic."""
+        return int(self.sizes_host.max())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.matrices)
+
+    def matrix_view(self, i: int) -> np.ndarray:
+        """The live ``n x n`` view of matrix ``i`` inside its lda buffer."""
+        n = int(self.sizes_host[i])
+        return self.matrices[i].data[:n, :n]
+
+    def download_infos(self) -> np.ndarray:
+        """Fetch the per-matrix LAPACK info array to the host."""
+        return self.device.download(self.infos_dev)
+
+    def download_matrices(self) -> list[np.ndarray]:
+        """Fetch every factorized matrix back to the host."""
+        out = []
+        for i, m in enumerate(self.matrices):
+            full = self.device.download(m)
+            n = int(self.sizes_host[i])
+            out.append(full[:n, :n])
+        return out
+
+    def free(self) -> None:
+        """Release all device allocations owned by this batch."""
+        for m in self.matrices:
+            m.free()
+        self.sizes_dev.free()
+        self.ldas_dev.free()
+        self.infos_dev.free()

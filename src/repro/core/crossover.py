@@ -1,0 +1,61 @@
+"""Fused/separated selection policy (paper §IV-E).
+
+"For the test cases generated here, the crossover point is marked by
+the maximum size in the batch.  The reason behind choosing the maximum
+as the deciding criteria is that the kernel fusion approach cannot work
+for any matrix size, due to its shared memory requirements."
+
+Two rules compose:
+
+* a **hard feasibility bound** — beyond it the fused kernel cannot be
+  launched at all (shared memory / block-dimension limits), so the
+  separated approach is the only choice;
+* a **tuned crossover size** — below the bound, whichever approach is
+  faster; defaults come from sweeping both approaches on the simulator
+  (see :mod:`repro.autotune`), and Fig 7 regenerates the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ArgumentError
+from ..types import Precision
+from .fused import fused_max_feasible_size
+
+__all__ = ["CrossoverPolicy", "DEFAULT_CROSSOVER"]
+
+# Tuned on the simulated K40c by benchmarks/test_fig07_crossover.py:
+# the size of the batch maximum at which the separated approach starts
+# to win (batch 800, uniform sizes).  Single precision crosses later
+# (smaller elements -> the fused panel fits longer in shared memory and
+# stays occupancy-friendly); the z entry never crosses before the fused
+# feasibility bound, so it is clamped there.
+DEFAULT_CROSSOVER = {
+    Precision.S: 832,
+    Precision.D: 304,
+    Precision.C: 832,
+    Precision.Z: 1024,
+}
+
+
+@dataclass(frozen=True)
+class CrossoverPolicy:
+    """Chooses an approach from the batch's maximum size."""
+
+    precision: Precision
+    crossover_size: int | None = None
+
+    def resolved_crossover(self) -> int:
+        cross = (
+            self.crossover_size
+            if self.crossover_size is not None
+            else DEFAULT_CROSSOVER[self.precision]
+        )
+        return min(cross, fused_max_feasible_size(self.precision))
+
+    def choose(self, max_n: int) -> str:
+        """Return ``"fused"`` or ``"separated"`` for a batch max size."""
+        if max_n <= 0:
+            raise ArgumentError(1, f"max_n must be positive, got {max_n}")
+        return "fused" if max_n <= self.resolved_crossover() else "separated"

@@ -1,0 +1,120 @@
+"""Top-level factorization driver (paper §III-F).
+
+Chooses the approach (crossover policy), runs it, gathers timing and
+per-matrix info codes, and packages the result.  This is the layer the
+public interface in :mod:`repro.core.interface` calls into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import flops as _flops
+from ..errors import ArgumentError, BatchNumericalError
+from .batch import VBatch
+from .crossover import CrossoverPolicy
+from .fused import FusedDriver
+from .separated import SeparatedDriver
+
+__all__ = ["PotrfOptions", "PotrfResult", "run_potrf_vbatched"]
+
+
+@dataclass(frozen=True)
+class PotrfOptions:
+    """Knobs of the vbatched POTRF driver.
+
+    ``approach`` is ``"auto"`` (crossover policy), ``"fused"`` or
+    ``"separated"``.  ``on_error`` selects LAPACK-style reporting:
+    ``"info"`` returns per-matrix codes, ``"raise"`` additionally raises
+    :class:`BatchNumericalError` if any matrix failed (only meaningful
+    when the device executes numerics).
+    """
+
+    approach: str = "auto"
+    etm: str = "aggressive"
+    sorting: bool = True
+    nb: int | None = None
+    panel_nb: int = 128
+    syrk_mode: str = "vbatched"
+    crossover_size: int | None = None
+    on_error: str = "info"
+
+    def __post_init__(self):
+        if self.approach not in ("auto", "fused", "separated"):
+            raise ArgumentError(1, f"bad approach {self.approach!r}")
+        if self.on_error not in ("info", "raise"):
+            raise ArgumentError(8, f"bad on_error {self.on_error!r}")
+
+
+@dataclass
+class PotrfResult:
+    """Outcome of one vbatched factorization."""
+
+    approach: str
+    elapsed: float
+    total_flops: float
+    infos: np.ndarray
+    launch_stats: dict = field(default_factory=dict)
+    max_n: int = 0
+
+    @property
+    def gflops(self) -> float:
+        return _flops.gflops(self.total_flops, self.elapsed)
+
+    @property
+    def failed_count(self) -> int:
+        return int(np.count_nonzero(self.infos))
+
+
+def run_potrf_vbatched(device, batch: VBatch, max_n: int, options: PotrfOptions) -> PotrfResult:
+    """Execute the factorization and collect the result record."""
+    if max_n < batch.max_size_host:
+        raise ArgumentError(3, f"max_n={max_n} smaller than largest matrix in batch")
+    approach = options.approach
+    if approach == "auto":
+        approach = CrossoverPolicy(batch.precision, options.crossover_size).choose(max_n)
+
+    t0 = device.synchronize()
+    if approach == "fused":
+        stats = FusedDriver(
+            device, etm=options.etm, sorting=options.sorting, nb=options.nb
+        ).factorize(batch, max_n)
+        launch_stats = {
+            "steps": stats.steps,
+            "fused_launches": stats.fused_launches,
+            "aux_launches": stats.aux_launches,
+        }
+    else:
+        stats = SeparatedDriver(
+            device,
+            panel_nb=options.panel_nb,
+            inner_nb=options.nb,
+            syrk_mode=options.syrk_mode,
+        ).factorize(batch, max_n)
+        launch_stats = {
+            "steps": stats.steps,
+            "potf2_launches": stats.potf2_launches,
+            "trsm_launches": stats.trsm_launches,
+            "syrk_launches": stats.syrk_launches,
+            "aux_launches": stats.aux_launches,
+        }
+    elapsed = device.synchronize() - t0
+
+    if device.execute_numerics:
+        infos = batch.download_infos()
+    else:
+        infos = np.zeros(batch.batch_count, dtype=np.int64)
+    result = PotrfResult(
+        approach=approach,
+        elapsed=elapsed,
+        total_flops=_flops.batch_flops(batch.sizes_host, "potrf", batch.precision),
+        infos=infos,
+        launch_stats=launch_stats,
+        max_n=max_n,
+    )
+    if options.on_error == "raise" and result.failed_count:
+        failing = {int(i): int(v) for i, v in enumerate(infos) if v != 0}
+        raise BatchNumericalError(failing, f"potrf_vbatched[{batch.precision.value}]")
+    return result

@@ -1,0 +1,63 @@
+"""Fixed-size batched Cholesky (the pre-existing MAGMA functionality).
+
+The paper's starting point (§III-D, Fig 4): all matrices share one
+size.  Both approaches apply — the fused kernel per step, or the
+separated BLAS sequence — and this module is what the padding baseline
+and the Fig 4 fusion study run on.  Implementation-wise a fixed batch
+is just a :class:`VBatch` with constant sizes, so the vbatched drivers
+are reused directly; what differs is that no ETM ever fires (every
+block always has work) and no size metadata varies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ArgumentError
+from .batch import VBatch
+from .blas_steps import BlasStepDriver
+from .fused import FusedDriver, fused_max_feasible_size
+from .separated import SeparatedDriver
+
+__all__ = ["potrf_batched_fixed_run"]
+
+
+def potrf_batched_fixed_run(
+    device,
+    batch: VBatch,
+    n: int,
+    approach: str = "fused",
+    nb: int | None = None,
+    panel_nb: int = 128,
+) -> dict:
+    """Factorize a fixed-size batch with the chosen approach.
+
+    Returns a stats dict (``approach``, launch counters).  Raises
+    :class:`ArgumentError` if the batch is not actually fixed-size, or
+    if the fused approach is requested beyond its feasibility bound.
+    """
+    if not np.all(batch.sizes_host == n):
+        raise ArgumentError(3, "batch is not fixed-size; use potrf_vbatched")
+    if approach == "fused":
+        if n > fused_max_feasible_size(batch.precision, nb):
+            raise ArgumentError(
+                4,
+                f"fused approach infeasible for n={n} "
+                f"(max {fused_max_feasible_size(batch.precision, nb)}); use 'separated'",
+            )
+        stats = FusedDriver(device, etm="classic", sorting=False, nb=nb).factorize(batch, n)
+        return {"approach": "fused", "launches": stats.fused_launches, "steps": stats.steps}
+    if approach == "separated":
+        stats = SeparatedDriver(device, panel_nb=panel_nb).factorize(batch, n)
+        return {
+            "approach": "separated",
+            "launches": stats.potf2_launches + stats.trsm_launches + stats.syrk_launches,
+            "steps": stats.steps,
+        }
+    if approach == "blas":
+        # The un-fused generic batched-BLAS baseline of Fig 4.
+        stats = BlasStepDriver(device, nb=nb or 32).factorize(batch, n)
+        return {"approach": "blas", "launches": stats.total_launches, "steps": stats.steps}
+    raise ArgumentError(
+        4, f"approach must be 'fused', 'separated' or 'blas', got {approach!r}"
+    )

@@ -1,0 +1,163 @@
+"""Approach 1: the fused-kernel vbatched Cholesky driver (paper §III-D).
+
+Four variants, matching the progressive versions of Figs 5-6:
+
+1. ETM-classic only,
+2. ETM-aggressive only,
+3. ETM-classic + implicit sorting,
+4. ETM-aggressive + implicit sorting.
+
+The driver's main loop runs on the (simulated) host: each step it
+launches the auxiliary step-sizes kernel (whose output stays in device
+memory for the compute kernels) and then the fused step kernel — either
+one launch over the whole batch (ETM handles the finished matrices) or
+one per size window (implicit sorting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ArgumentError
+from ..types import Precision, precision_info
+from ..kernels.aux import StepSizesKernel
+from ..kernels.fused_potrf import FusedPotrfStepKernel
+from .batch import VBatch
+from .sorting import partition_windows, sorted_order
+
+__all__ = ["FusedDriver", "FusedRunStats", "default_fused_nb", "fused_max_feasible_size"]
+
+_WARP = 32
+_MAX_BLOCK_THREADS = 1024
+_SMEM_BUDGET = 48 * 1024
+
+
+_NB_TEMPLATES = (32, 24, 16, 12, 8, 6, 4, 2)
+
+# Tuned nb per (element size, max-size band): produced by sweeping the
+# templates on the simulator (repro.autotune regenerates this table).
+# Wider panels cut DRAM traffic and launches; narrower panels keep
+# occupancy (and thus latency hiding) up — the balance shifts with n.
+_NB_TABLE = {
+    4: ((96, 32), (160, 24), (10**9, 16)),
+    8: ((48, 24), (96, 16), (288, 12), (10**9, 8)),
+    16: ((48, 12), (144, 8), (320, 6), (10**9, 4)),
+}
+
+
+def default_fused_nb(max_n: int, precision: Precision | str) -> int:
+    """Tuned panel width for the fused kernel (the paper's template pick).
+
+    Uses the autotuned band table, then falls back to the widest
+    still-feasible template if the tabled choice exceeds the
+    shared-memory budget for this ``max_n``.
+    """
+    if max_n <= 0:
+        raise ArgumentError(1, f"max_n must be positive, got {max_n}")
+    elem = precision_info(Precision(precision)).bytes_per_element
+    rows = min(_MAX_BLOCK_THREADS, -(-max_n // _WARP) * _WARP)
+    choice = next(nb for bound, nb in _NB_TABLE[elem] if max_n <= bound)
+    for nb in (choice,) + tuple(t for t in _NB_TEMPLATES if t < choice):
+        if rows * nb * elem <= _SMEM_BUDGET:
+            return nb
+    return 1
+
+
+def fused_max_feasible_size(precision: Precision | str, nb: int | None = None) -> int:
+    """Largest batch-max size the fused kernel can handle at all.
+
+    Bounded by the 1024-thread block limit and by the narrowest panel
+    template still fitting in shared memory.
+    """
+    elem = precision_info(Precision(precision)).bytes_per_element
+    nb_min = nb if nb is not None else 2
+    by_smem = _SMEM_BUDGET // (nb_min * elem)
+    return min(_MAX_BLOCK_THREADS, (by_smem // _WARP) * _WARP)
+
+
+@dataclass
+class FusedRunStats:
+    """Launch accounting for one fused-driver run."""
+
+    steps: int = 0
+    fused_launches: int = 0
+    aux_launches: int = 0
+    window_launches_max: int = 0
+
+
+class FusedDriver:
+    """Runs the fused-kernel approach over a :class:`VBatch`."""
+
+    def __init__(
+        self,
+        device,
+        etm: str = "aggressive",
+        sorting: bool = True,
+        nb: int | None = None,
+        window_width: int | None = None,
+    ):
+        if etm not in ("classic", "aggressive"):
+            raise ArgumentError(2, f"etm must be 'classic' or 'aggressive', got {etm!r}")
+        self.device = device
+        self.etm = etm
+        self.sorting = sorting
+        self.nb = nb
+        self.window_width = window_width
+
+    def factorize(self, batch: VBatch, max_n: int) -> FusedRunStats:
+        """Advance every matrix to full factorization (Algorithm 1)."""
+        if max_n <= 0:
+            raise ArgumentError(3, f"max_n must be positive, got {max_n}")
+        nb = self.nb or default_fused_nb(max_n, batch.precision)
+        window = self.window_width or max(nb, _WARP)
+        stats = FusedRunStats()
+        dev = self.device
+
+        sizes = batch.sizes_host
+        order = sorted_order(sizes) if self.sorting else np.arange(batch.batch_count, dtype=np.int64)
+
+        # Device workspaces for the per-step auxiliary kernel, from
+        # the pooled allocator (repeated factorizations reuse them).
+        remaining_dev = dev.pool.get((batch.batch_count,), np.int64)
+        panel_dev = dev.pool.get((batch.batch_count,), np.int64)
+        stats_dev = dev.pool.get((2,), np.int64)
+
+        try:
+            steps = -(-max_n // nb)
+            for s in range(steps):
+                offset = s * nb
+                # The auxiliary kernel leaves per-matrix step metadata in
+                # device memory for the compute kernels; the host itself
+                # never reads it back — it derives the launch shape from
+                # the interface-provided max_n (paper §III-F).
+                dev.launch(
+                    StepSizesKernel(batch.sizes_dev, offset, nb, remaining_dev, panel_dev, stats_dev)
+                )
+                stats.aux_launches += 1
+                max_m = max_n - offset
+                if max_m <= 0:
+                    break
+                stats.steps += 1
+
+                if self.sorting:
+                    # Merge small windows up to roughly the device's block
+                    # capacity so no sub-launch wastes whole waves.
+                    windows = partition_windows(
+                        sizes, order, offset, window, min_count=256
+                    )
+                    stats.window_launches_max = max(stats.window_launches_max, len(windows))
+                    for win in windows:
+                        dev.launch(
+                            FusedPotrfStepKernel(batch, s, nb, win.indices, win.max_m, self.etm)
+                        )
+                        stats.fused_launches += 1
+                else:
+                    dev.launch(FusedPotrfStepKernel(batch, s, nb, order, max_m, self.etm))
+                    stats.fused_launches += 1
+        finally:
+            dev.pool.release(remaining_dev)
+            dev.pool.release(panel_dev)
+            dev.pool.release(stats_dev)
+        return stats

@@ -1,0 +1,68 @@
+"""Public vbatched API (paper §III-A).
+
+Two interfaces, exactly as proposed:
+
+* :func:`potrf_vbatched_max` — the expert interface: the caller supplies
+  the maximum dimension across the batch, "recommended when the user has
+  such information so that computing the maximums is waived";
+* :func:`potrf_vbatched` — the LAPACK-like interface: the maximum is
+  computed by a GPU reduction kernel, whose overhead "in most cases ...
+  is negligible" (measured by ``benchmarks/test_aux_overhead.py``).
+
+Plus :func:`potrf_batched_fixed` for the classic fixed-size case.
+"""
+
+from __future__ import annotations
+
+from ..errors import ArgumentError
+from ..kernels.aux import compute_max_size
+from .batch import VBatch
+from .driver import PotrfOptions, PotrfResult, run_potrf_vbatched
+from .fixed import potrf_batched_fixed_run
+
+__all__ = [
+    "potrf_vbatched",
+    "potrf_vbatched_max",
+    "potrf_batched_fixed",
+    "PotrfOptions",
+    "PotrfResult",
+]
+
+
+def potrf_vbatched_max(
+    device, batch: VBatch, max_n: int, options: PotrfOptions | None = None
+) -> PotrfResult:
+    """Cholesky-factorize a variable-size batch, trusting ``max_n``.
+
+    Every matrix in ``batch`` is overwritten with its lower Cholesky
+    factor (strictly-upper triangles untouched).  Per-matrix LAPACK
+    ``info`` codes are collected in the result.
+    """
+    if max_n <= 0:
+        raise ArgumentError(3, f"max_n must be positive, got {max_n}")
+    return run_potrf_vbatched(device, batch, max_n, options or PotrfOptions())
+
+
+def potrf_vbatched(device, batch: VBatch, options: PotrfOptions | None = None) -> PotrfResult:
+    """LAPACK-like interface: the max size is reduced on the device.
+
+    Wraps :func:`potrf_vbatched_max` after a GPU max-reduction kernel
+    plus an 8-byte download — both on the simulated clock, so the
+    interface overhead the paper discusses is measurable here.
+    """
+    max_n = compute_max_size(device, batch)
+    if max_n <= 0:
+        raise ArgumentError(2, "batch contains only empty matrices")
+    return potrf_vbatched_max(device, batch, max_n, options)
+
+
+def potrf_batched_fixed(
+    device,
+    batch: VBatch,
+    n: int,
+    approach: str = "fused",
+    nb: int | None = None,
+    panel_nb: int = 128,
+) -> dict:
+    """Fixed-size batched Cholesky (the pre-existing MAGMA routine)."""
+    return potrf_batched_fixed_run(device, batch, n, approach, nb, panel_nb)

@@ -1,0 +1,267 @@
+"""Approach 2: the separated vbatched BLAS driver (paper §III-E).
+
+A right-looking blocked Cholesky at panel width ``NB``: each step runs
+
+1. vbatched ``potf2`` on the ``jb x jb`` diagonal tiles (the fused
+   kernel reused tile-locally, §III-E1),
+2. vbatched ``trsm`` on the rows below (trtri + gemm sweep, §III-E2),
+3. vbatched ``syrk`` on the trailing submatrices (§III-E3) — either the
+   MAGMA-style single launch or the streamed per-matrix alternative.
+
+The driver passes per-step size information through the auxiliary
+kernels so finished matrices are "ignored onward as the computation
+progresses" (§III-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ArgumentError
+from ..kernels.aux import StepSizesKernel
+from ..kernels.gemm import GemmTask, GemmTiling, VbatchedGemmKernel
+from ..kernels.naive import NaivePotf2Kernel
+from ..kernels.potf2 import PanelPotf2StepKernel
+from ..kernels.syrk import StreamedSyrkLauncher, SyrkTask, VbatchedSyrkKernel
+from ..kernels.trsm import TrsmPanelItem, vbatched_trsm_panel
+from .batch import VBatch
+from .fused import default_fused_nb
+
+__all__ = ["SeparatedDriver", "SeparatedRunStats"]
+
+
+@dataclass
+class SeparatedRunStats:
+    """Launch accounting for one separated-driver run."""
+
+    steps: int = 0
+    potf2_launches: int = 0
+    trsm_launches: int = 0
+    syrk_launches: int = 0
+    aux_launches: int = 0
+
+
+class SeparatedDriver:
+    """Runs the separated-BLAS approach over a :class:`VBatch`."""
+
+    def __init__(
+        self,
+        device,
+        panel_nb: int = 128,
+        inner_nb: int | None = None,
+        ib: int = 32,
+        tiling: GemmTiling | None = None,
+        syrk_mode: str = "vbatched",
+        syrk_streams: int = 32,
+        panel_mode: str = "fused",
+    ):
+        if panel_nb <= 0:
+            raise ArgumentError(2, f"panel_nb must be positive, got {panel_nb}")
+        if syrk_mode not in ("vbatched", "streamed"):
+            raise ArgumentError(6, f"syrk_mode must be 'vbatched' or 'streamed', got {syrk_mode!r}")
+        if panel_mode not in ("fused", "naive"):
+            raise ArgumentError(8, f"panel_mode must be 'fused' or 'naive', got {panel_mode!r}")
+        self.device = device
+        self.panel_nb = panel_nb
+        self.inner_nb = inner_nb
+        self.ib = ib
+        self.tiling = tiling  # None -> per-precision default in each kernel
+        self.syrk_mode = syrk_mode
+        self.syrk_streams = syrk_streams
+        # "fused" factorizes diagonal tiles with the fused kernel
+        # (§III-E1); "naive" uses the pre-fusion generic potf2 sweep
+        # (the [13]-era baseline that Fig 4 compares against).
+        self.panel_mode = panel_mode
+
+    def factorize(self, batch: VBatch, max_n: int) -> SeparatedRunStats:
+        if max_n <= 0:
+            raise ArgumentError(3, f"max_n must be positive, got {max_n}")
+        dev = self.device
+        NB = self.panel_nb
+        inner_nb = self.inner_nb or default_fused_nb(NB, batch.precision)
+        stats = SeparatedRunStats()
+        sizes = batch.sizes_host
+        k = batch.batch_count
+        numerics = dev.execute_numerics
+
+        remaining_dev = dev.pool.get((k,), np.int64)
+        panel_dev = dev.pool.get((k,), np.int64)
+        stats_dev = dev.pool.get((2,), np.int64)
+        # trsm workspace: inverted diagonal blocks of every panel.
+        inv_ws = dev.pool.get((k, NB, NB), batch.matrices[0].dtype)
+
+        streamer = (
+            StreamedSyrkLauncher(dev, self.syrk_streams, self.tiling)
+            if self.syrk_mode == "streamed"
+            else None
+        )
+
+        try:
+            steps = -(-max_n // NB)
+            for s in range(steps):
+                offset = s * NB
+                # Metadata for the downstream kernels stays on the device;
+                # the host shapes launches from the interface max (§III-F).
+                dev.launch(
+                    StepSizesKernel(batch.sizes_dev, offset, NB, remaining_dev, panel_dev, stats_dev)
+                )
+                stats.aux_launches += 1
+                if max_n - offset <= 0:
+                    break
+                stats.steps += 1
+
+                remaining = np.maximum(0, sizes - offset)
+                jbs = np.minimum(remaining, NB)
+                max_jb = int(jbs.max())
+
+                # 1) Panel factorization on the diagonal tiles.
+                if self.panel_mode == "fused":
+                    for t in range(-(-max_jb // inner_nb)):
+                        dev.launch(
+                            PanelPotf2StepKernel(batch, offset, t, inner_nb, jbs, max_jb, etm="aggressive")
+                        )
+                        stats.potf2_launches += 1
+                else:
+                    stats.potf2_launches += self._naive_panel(
+                        batch, offset, jbs, max_jb, inv_ws, numerics
+                    )
+
+                # 2) Triangular solve for the rows below each tile.
+                items = []
+                for i in range(k):
+                    jb = int(jbs[i])
+                    m_below = int(remaining[i]) - jb
+                    if jb <= 0:
+                        items.append(TrsmPanelItem(0, 0))
+                        continue
+                    if numerics:
+                        a = batch.matrix_view(i)
+                        j1 = offset + jb
+                        items.append(
+                            TrsmPanelItem(
+                                m=max(0, m_below),
+                                jb=jb,
+                                l11=a[offset:j1, offset:j1],
+                                b=a[j1 : offset + int(remaining[i]), offset:j1],
+                                inv_ws=inv_ws.data[i, :jb, :jb],
+                            )
+                        )
+                    else:
+                        items.append(TrsmPanelItem(m=max(0, m_below), jb=jb))
+                if any(it.jb > 0 and it.m > 0 for it in items):
+                    stats.trsm_launches += vbatched_trsm_panel(
+                        dev, items, batch.precision, self.ib, self.tiling
+                    )
+
+                # 3) Trailing update: C -= B B^H on what remains.
+                tasks = []
+                for i in range(k):
+                    jb = int(jbs[i])
+                    n_trail = int(remaining[i]) - jb
+                    if jb <= 0 or n_trail <= 0:
+                        tasks.append(SyrkTask(0, 0))
+                        continue
+                    if numerics:
+                        a = batch.matrix_view(i)
+                        j1 = offset + jb
+                        tasks.append(
+                            SyrkTask(
+                                n=n_trail,
+                                k=jb,
+                                a=a[j1:, offset:j1],
+                                c=a[j1:, j1:],
+                            )
+                        )
+                    else:
+                        tasks.append(SyrkTask(n=n_trail, k=jb))
+                if any(t.n > 0 for t in tasks):
+                    if streamer is not None:
+                        live = [t for t in tasks if t.n > 0]
+                        streamer.launch_all(live, batch.precision)
+                        stats.syrk_launches += len(live)
+                        streamer.synchronize()
+                    else:
+                        dev.launch(VbatchedSyrkKernel(tasks, batch.precision, self.tiling))
+                        stats.syrk_launches += 1
+        finally:
+            dev.pool.release(remaining_dev)
+            dev.pool.release(panel_dev)
+            dev.pool.release(stats_dev)
+            dev.pool.release(inv_ws)
+        return stats
+
+    def _naive_panel(self, batch, offset, jbs, max_jb, inv_ws, numerics) -> int:
+        """Pre-fusion tile factorization: generic potf2 + gemm + trsm.
+
+        Sweeps the ``jb x jb`` diagonal tiles in ``ib``-wide sub-steps,
+        each costing a generic gemm update, a global-memory potf2 and a
+        tile-local trsm — the launch pattern kernel fusion collapses
+        into one kernel.
+        """
+        dev = self.device
+        ib = self.ib
+        launches = 0
+        k_count = batch.batch_count
+        for t in range(-(-max_jb // ib)):
+            local = t * ib
+            sub_jbs = np.clip(jbs - local, 0, ib)
+            if int(sub_jbs.max()) == 0:
+                break
+            col0 = offset + local
+            # Left-looking update of this sub-panel from the tile-local
+            # history columns.
+            if local > 0:
+                tasks = []
+                for i in range(k_count):
+                    rows = max(0, int(jbs[i]) - local)
+                    width = int(sub_jbs[i])
+                    if width == 0:
+                        tasks.append(GemmTask(0, 0, 0))
+                        continue
+                    if numerics:
+                        a = batch.matrix_view(i)
+                        tasks.append(
+                            GemmTask(
+                                m=rows, n=width, k=local,
+                                a=a[col0 : offset + int(jbs[i]), offset:col0],
+                                b=a[col0 : col0 + width, offset:col0],
+                                c=a[col0 : offset + int(jbs[i]), col0 : col0 + width],
+                                transb="c", alpha=-1.0, beta=1.0,
+                            )
+                        )
+                    else:
+                        tasks.append(GemmTask(m=rows, n=width, k=local))
+                dev.launch(
+                    VbatchedGemmKernel(tasks, batch.precision, self.tiling, label="panel_update")
+                )
+                launches += 1
+
+            dev.launch(NaivePotf2Kernel(batch, col0, sub_jbs, int(sub_jbs.max())))
+            launches += 1
+
+            # Tile-local trsm for panel rows below the ib sub-tile.
+            items = []
+            for i in range(k_count):
+                width = int(sub_jbs[i])
+                rows_below = max(0, int(jbs[i]) - local - width)
+                if width == 0 or rows_below == 0:
+                    items.append(TrsmPanelItem(0, 0))
+                    continue
+                if numerics:
+                    a = batch.matrix_view(i)
+                    c1 = col0 + width
+                    items.append(
+                        TrsmPanelItem(
+                            m=rows_below, jb=width,
+                            l11=a[col0:c1, col0:c1],
+                            b=a[c1 : offset + int(jbs[i]), col0:c1],
+                            inv_ws=inv_ws.data[i, :width, :width],
+                        )
+                    )
+                else:
+                    items.append(TrsmPanelItem(m=rows_below, jb=width))
+            if any(it.m > 0 for it in items):
+                launches += vbatched_trsm_panel(dev, items, batch.precision, ib, self.tiling)
+        return launches

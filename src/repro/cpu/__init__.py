@@ -1,0 +1,23 @@
+"""Simulated multicore CPU substrate (the paper's 2x Sandy Bridge + MKL).
+
+The CPU baselines in the paper are scheduling-and-efficiency phenomena:
+a vendor library runs small factorizations at a modest fraction of peak
+(call overhead, short vectors), multithreading one small matrix at a
+time barely scales, and one-core-per-matrix scheduling wins — dynamic
+assignment beating static.  This package models exactly those effects.
+"""
+
+from .spec import CpuSpec, SANDY_BRIDGE_2X8
+from .mkl import MklModel
+from .scheduler import CoreScheduler, CpuRunResult
+from .power import CpuPowerModel, SANDY_BRIDGE_POWER
+
+__all__ = [
+    "CpuSpec",
+    "SANDY_BRIDGE_2X8",
+    "MklModel",
+    "CoreScheduler",
+    "CpuRunResult",
+    "CpuPowerModel",
+    "SANDY_BRIDGE_POWER",
+]

@@ -1,0 +1,14 @@
+"""Small shared helpers for CPU-side accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["busy_fraction"]
+
+
+def busy_fraction(core_busy: np.ndarray, makespan: float) -> float:
+    """Fraction of core-seconds actually used over a run."""
+    if makespan <= 0:
+        return 0.0
+    return float(core_busy.sum() / (core_busy.size * makespan))

@@ -1,0 +1,118 @@
+"""MKL-like per-call cost model for small dense factorizations.
+
+The model captures the three effects the paper leans on:
+
+* **small-size inefficiency** — a vendor ``potrf`` on an ``n x n``
+  matrix sustains only ``e_max * n / (n + n_half)`` of a core's peak
+  (short vectors, blocking overhead), plus a fixed call overhead;
+* **cache tiers** — matrices spilling L2/L3 lose a further factor;
+* **poor multithreaded scaling on one small matrix** — the effective
+  parallelism is capped by how many panel tiles the matrix offers, and
+  every parallel call pays a fork-join cost.  This is why "all cores on
+  one matrix at a time" loses to "one core per matrix" (paper §IV-F).
+
+Constants are calibrated to published MKL 11.x dpotrf measurements on
+Sandy Bridge (e.g. ~80% of core peak by n~1000 single-threaded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import flops as _flops
+from ..types import Precision, precision_info
+from .spec import CpuSpec, SANDY_BRIDGE_2X8
+
+__all__ = ["MklModel"]
+
+
+@dataclass(frozen=True)
+class _MklConstants:
+    e_max: float = 0.82  # asymptotic fraction of core peak
+    n_half: float = 48.0  # size at which half of e_max is reached
+    call_overhead: float = 1.5e-6  # seconds per library call
+    l2_spill_factor: float = 0.90
+    l3_spill_factor: float = 0.70
+    fork_join_overhead: float = 8.0e-6  # per parallel MKL call
+    mt_tile: float = 96.0  # panel tile granting one extra core
+    mt_efficiency: float = 0.72  # parallel-region efficiency
+    # Throughput factors when many cores each run their own
+    # factorization (one-core-per-matrix schemes): shared-LLC pressure,
+    # and DRAM contention once the aggregate working set spills L3.
+    contention_cached: float = 0.90
+    contention_spilled: float = 0.72
+
+
+class MklModel:
+    """Cost model for MKL-style BLAS/LAPACK calls on a :class:`CpuSpec`."""
+
+    def __init__(self, spec: CpuSpec = SANDY_BRIDGE_2X8, constants: _MklConstants | None = None):
+        self.spec = spec
+        self.constants = constants or _MklConstants()
+
+    # ------------------------------------------------------------------
+    def sequential_rate(self, n: int, precision: Precision | str) -> float:
+        """Sustained flop/s of one core factorizing an ``n x n`` matrix."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        info = precision_info(Precision(precision))
+        c = self.constants
+        eff = c.e_max * n / (n + c.n_half)
+        nbytes = n * n * info.bytes_per_element
+        if nbytes > self.spec.l3_per_core:
+            eff *= c.l3_spill_factor
+        elif nbytes > self.spec.l2_per_core:
+            eff *= c.l2_spill_factor
+        return eff * self.spec.peak_flops_per_core(info)
+
+    def potrf_time(self, n: int, precision: Precision | str, threads: int = 1) -> float:
+        """Wall time of one ``potrf`` call with the given thread count."""
+        if threads <= 0 or threads > self.spec.total_cores:
+            raise ValueError(
+                f"threads must be in [1, {self.spec.total_cores}], got {threads}"
+            )
+        prec = Precision(precision)
+        work = _flops.potrf_flops(n, prec)
+        c = self.constants
+        if threads == 1:
+            return work / self.sequential_rate(n, prec) + c.call_overhead
+        # A small matrix offers ~n/mt_tile independent panel tiles; more
+        # threads than that just spin at the barrier.
+        p_eff = min(threads, max(1.0, n / c.mt_tile))
+        rate = self.sequential_rate(n, prec) * (1.0 + (p_eff - 1.0) * c.mt_efficiency)
+        return work / rate + c.fork_join_overhead + c.call_overhead
+
+    def contended_potrf_time(self, n: int, precision: Precision | str, active_cores: int) -> float:
+        """Single-core potrf time when ``active_cores`` peers run alongside.
+
+        One-core-per-matrix schemes keep every core busy with its own
+        factorization; the shared last-level cache and memory bus make
+        each of them slower than a lone run.
+        """
+        if active_cores <= 0 or active_cores > self.spec.total_cores:
+            raise ValueError(
+                f"active_cores must be in [1, {self.spec.total_cores}], got {active_cores}"
+            )
+        info = precision_info(Precision(precision))
+        c = self.constants
+        aggregate = active_cores * n * n * info.bytes_per_element
+        total_l3 = self.spec.l3_per_socket * self.spec.sockets
+        factor = c.contention_cached if aggregate <= total_l3 / 2 else c.contention_spilled
+        base = self.potrf_time(n, precision, threads=1)
+        return (base - c.call_overhead) / factor + c.call_overhead
+
+    def effective_threads(self, n: int, threads: int) -> float:
+        """Diagnostic: parallelism actually extracted for size ``n``."""
+        return min(threads, max(1.0, n / self.constants.mt_tile))
+
+    def gemm_time(self, m: int, n: int, k: int, precision: Precision | str, threads: int = 1) -> float:
+        """Wall time of a gemm call (used by the hybrid baseline)."""
+        prec = Precision(precision)
+        work = _flops.gemm_flops(m, n, k, prec)
+        size_proxy = max(1, min(m, n, k))
+        if threads == 1:
+            return work / self.sequential_rate(size_proxy, prec) + self.constants.call_overhead
+        c = self.constants
+        p_eff = min(threads, max(1.0, min(m, n) / c.mt_tile))
+        rate = self.sequential_rate(size_proxy, prec) * (1.0 + (p_eff - 1.0) * c.mt_efficiency)
+        return work / rate + c.fork_join_overhead + c.call_overhead

@@ -1,0 +1,62 @@
+"""CPU package power model (the PAPI/RAPL stand-in for Fig 10).
+
+A Sandy Bridge package idles near 20 W and approaches its 115 W TDP
+with all cores active; draw between those points is close to linear in
+active cores.  Energy to solution integrates package draw over the run,
+using the scheduler's per-core busy times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .spec import CpuSpec, SANDY_BRIDGE_2X8
+
+__all__ = ["CpuPowerModel", "SANDY_BRIDGE_POWER"]
+
+
+@dataclass(frozen=True)
+class CpuPowerModel:
+    """Linear active-core -> package-power map."""
+
+    spec: CpuSpec
+    idle_watts_per_socket: float
+    active_watts_per_core: float
+
+    def __post_init__(self):
+        if self.idle_watts_per_socket < 0 or self.active_watts_per_core < 0:
+            raise ValueError(f"negative power constants: {self}")
+
+    @property
+    def idle_watts(self) -> float:
+        return self.idle_watts_per_socket * self.spec.sockets
+
+    @property
+    def max_watts(self) -> float:
+        return self.idle_watts + self.active_watts_per_core * self.spec.total_cores
+
+    def power(self, active_cores: float) -> float:
+        """Instantaneous draw with a given number of busy cores."""
+        if active_cores < 0 or active_cores > self.spec.total_cores:
+            raise ValueError(
+                f"active_cores must be in [0, {self.spec.total_cores}], got {active_cores}"
+            )
+        return self.idle_watts + self.active_watts_per_core * active_cores
+
+    def energy(self, core_busy: np.ndarray, makespan: float) -> float:
+        """Joules over a run: idle draw for the span + dynamic per busy core-second."""
+        if makespan < 0:
+            raise ValueError("makespan cannot be negative")
+        busy = np.asarray(core_busy, dtype=np.float64)
+        if np.any(busy < 0):
+            raise ValueError("core busy times must be non-negative")
+        return self.idle_watts * makespan + self.active_watts_per_core * float(busy.sum())
+
+
+SANDY_BRIDGE_POWER = CpuPowerModel(
+    spec=SANDY_BRIDGE_2X8,
+    idle_watts_per_socket=20.0,
+    active_watts_per_core=11.0,
+)

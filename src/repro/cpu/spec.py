@@ -1,0 +1,67 @@
+"""CPU hardware description.
+
+:data:`SANDY_BRIDGE_2X8` is the paper's host: two 8-core Intel Xeon
+E5-2670 (Sandy Bridge) at 2.6 GHz.  With AVX, each core retires 8
+double-precision (16 single-precision) flops per cycle, giving peaks of
+332.8 Gflop/s DP and 665.6 Gflop/s SP for the pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import PrecisionInfo
+
+__all__ = ["CpuSpec", "SANDY_BRIDGE_2X8"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Immutable description of a multicore host."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    clock_hz: float
+    fp64_flops_per_cycle: int  # per core, vector FMA width x2
+    fp32_flops_per_cycle: int
+    l2_per_core: int  # bytes
+    l3_per_socket: int  # bytes
+    mem_bandwidth_per_socket: float  # bytes/s
+    tdp_per_socket: float  # watts
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def peak_flops_per_core(self, info: PrecisionInfo) -> float:
+        """Peak weighted flops/s of one core for a precision.
+
+        Complex arithmetic uses the same vector units, so the weighted
+        peak equals the real peak of the matching width.
+        """
+        per_cycle = (
+            self.fp64_flops_per_cycle if info.uses_fp64_units else self.fp32_flops_per_cycle
+        )
+        return per_cycle * self.clock_hz
+
+    def peak_flops(self, info: PrecisionInfo) -> float:
+        return self.peak_flops_per_core(info) * self.total_cores
+
+    @property
+    def l3_per_core(self) -> float:
+        return self.l3_per_socket / self.cores_per_socket
+
+
+SANDY_BRIDGE_2X8 = CpuSpec(
+    name="2x Intel Xeon E5-2670 (simulated)",
+    sockets=2,
+    cores_per_socket=8,
+    clock_hz=2.6e9,
+    fp64_flops_per_cycle=8,
+    fp32_flops_per_cycle=16,
+    l2_per_core=256 * 1024,
+    l3_per_socket=20 * 1024 * 1024,
+    mem_bandwidth_per_socket=51.2e9,
+    tdp_per_socket=115.0,
+)

@@ -1,0 +1,85 @@
+"""Calibrated cost-model constants for the simulated device.
+
+Every constant is a *mechanism parameter*, not a per-figure fudge: the
+same calibration drives all eight figure reproductions.  Values were
+chosen from published K40c microbenchmarks (achievable bandwidth,
+launch/termination overheads) and then adjusted once so the fixed-size
+fused-vs-separated speedup (paper Fig 4) lands in the reported 13x/7x
+range; everything else (Figs 5-10) is emergent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Calibration", "K40C_CALIBRATION"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Tunable efficiency and overhead constants of the device model.
+
+    Attributes
+    ----------
+    issue_efficiency:
+        Fraction of a fully-occupied SM's peak a hand-tuned dense kernel
+        sustains (instruction mix, bank conflicts, pointer arithmetic).
+    mem_efficiency:
+        Achievable fraction of theoretical DRAM bandwidth (ECC on; the
+        K40c sustains ~75% in STREAM-like kernels).
+    full_throughput_warps:
+        Resident warps per SM needed to fully hide pipeline and memory
+        latency; fewer resident warps scale efficiency down linearly.
+        (Kepler needs roughly 32 of its 64 warp slots busy.)
+    block_start_overhead:
+        Fixed cost per scheduled thread block (dispatch + prologue +
+        epilogue), in seconds.
+    etm_terminate_overhead:
+        Cost of a block that exits via an early-termination mechanism
+        right after launch (it still must be dispatched), in seconds.
+    classic_idle_warp_penalty:
+        ETM-classic keeps idle warps resident; live-warp work is slowed
+        by this fraction of the idle-warp share (issue slots and
+        barriers are shared with warps that do nothing).
+    intra_warp_divergence_penalty:
+        Sub-warp idleness (threads, not whole warps) costs both ETM
+        modes this fraction of the idle-thread share: the warp still
+        executes in lockstep.
+    serial_op_latency:
+        Latency in seconds of one dependent serial iteration (the
+        sqrt/divide chain in a potf2 column step) when operands live in
+        shared memory; models the non-throughput-bound portion of tiny
+        factorizations.  Kernels whose serial chain round-trips through
+        global memory scale this with ``Kernel.serial_latency_scale``.
+    serial_fp64_scale:
+        Extra latency of 64-bit sqrt/divide chains relative to 32-bit
+        ones (Kepler's DP special-function path is markedly slower).
+    warp_mem_bandwidth:
+        Peak DRAM bandwidth one live warp can pull (bytes/s), limited by
+        outstanding-load slots and memory latency.  A block keeps at
+        most ``live_warps * warp_mem_bandwidth``; launches whose blocks
+        hold few live warps at low occupancy therefore waste the bus —
+        the memory-side reason implicit sorting pays off.
+    max_transfer_chunk:
+        Granularity of modeled PCIe transfers in bytes (pinned-buffer
+        staging), used by the hybrid baseline.
+    """
+
+    issue_efficiency: float = 0.38
+    mem_efficiency: float = 0.52
+    full_throughput_warps: int = 32
+    block_start_overhead: float = 0.60e-6
+    etm_terminate_overhead: float = 0.50e-6
+    classic_idle_warp_penalty: float = 0.85
+    intra_warp_divergence_penalty: float = 1.0
+    serial_op_latency: float = 0.05e-6
+    serial_fp64_scale: float = 1.8
+    warp_mem_bandwidth: float = 3.5e9
+    max_transfer_chunk: int = 1 << 22
+
+    def with_overrides(self, **kwargs) -> "Calibration":
+        """Return a copy with some constants replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+K40C_CALIBRATION = Calibration()

@@ -1,0 +1,275 @@
+"""The simulated accelerator: launch, memory, transfers, timing.
+
+``Device`` glues the pieces together.  A kernel launch:
+
+1. pays the host-side launch overhead (launches pipeline: the host can
+   run ahead of the device);
+2. resolves occupancy for the kernel's :class:`LaunchConfig`;
+3. converts each :class:`BlockWork` into a duration via the calibrated
+   cost model (`_block_duration`);
+4. schedules the blocks onto SM slots (`BlockScheduler`) for the
+   kernel's standalone makespan;
+5. serializes against the device-wide SM *area* so concurrent streams
+   share the machine instead of overlapping for free;
+6. optionally executes the kernel's NumPy numerics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from ..types import precision_info
+from .calibration import Calibration, K40C_CALIBRATION
+from .clock import Timeline
+from .kernel import BlockWork, Kernel
+from .memory import DeviceArray, GlobalMemory
+from .pool import WorkspacePool
+from .scheduler import BlockScheduler, ScheduleResult
+from .spec import DeviceSpec, K40C, Occupancy
+from .stream import Stream
+
+__all__ = ["Device", "LaunchRecord"]
+
+
+class LaunchRecord:
+    """Bookkeeping for one kernel launch (inspection and tests)."""
+
+    __slots__ = ("kernel_name", "start", "end", "schedule", "occupancy", "blocks")
+
+    def __init__(
+        self,
+        kernel_name: str,
+        start: float,
+        end: float,
+        schedule: ScheduleResult,
+        occupancy: Occupancy,
+        blocks: int,
+    ):
+        self.kernel_name = kernel_name
+        self.start = start
+        self.end = end
+        self.schedule = schedule
+        self.occupancy = occupancy
+        self.blocks = blocks
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Device:
+    """A simulated GPU with calibrated performance behaviour.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description (default: the paper's Tesla K40c).
+    calibration:
+        Cost-model constants (default: K40c calibration).
+    execute_numerics:
+        When False, kernels skip their functional plane.  Timing is
+        unaffected (the cost model never reads matrix values), which
+        lets the figure sweeps run orders of magnitude faster.
+    exact_threshold:
+        Grid-size cutoff between exact and analytic block scheduling.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec = K40C,
+        calibration: Calibration = K40C_CALIBRATION,
+        execute_numerics: bool = True,
+        exact_threshold: int = 50_000,
+    ):
+        self.spec = spec
+        self.calibration = calibration
+        self.execute_numerics = execute_numerics
+        self.memory = GlobalMemory(spec.global_mem_bytes)
+        self.pool = WorkspacePool(self.memory)
+        self.scheduler = BlockScheduler(exact_threshold)
+        self.timeline = Timeline()
+        self.host_time = 0.0
+        self._sm_area_free_at = 0.0
+        self._stream_ids = itertools.count(1)
+        self.default_stream = Stream(self, 0)
+        self.launches: list[LaunchRecord] = []
+
+    # ------------------------------------------------------------------
+    # time management
+    # ------------------------------------------------------------------
+    def _host_wait(self, until: float) -> None:
+        self.host_time = max(self.host_time, until)
+
+    def synchronize(self) -> float:
+        """Drain all streams; returns the simulated wall-clock time."""
+        self._host_wait(self.default_stream.ready_time)
+        self._host_wait(self._sm_area_free_at)
+        self._host_wait(self.timeline.now)
+        return self.host_time
+
+    def elapsed(self) -> float:
+        """Current simulated time (after an implicit synchronize)."""
+        return self.synchronize()
+
+    def reset_clock(self) -> None:
+        """Zero all timing state (a new experiment on a warm device)."""
+        self.timeline.reset()
+        self.host_time = 0.0
+        self._sm_area_free_at = 0.0
+        self.default_stream.ready_time = 0.0
+        self.launches.clear()
+
+    def create_stream(self) -> Stream:
+        return Stream(self, next(self._stream_ids))
+
+    # ------------------------------------------------------------------
+    # memory and transfers
+    # ------------------------------------------------------------------
+    def alloc(self, shape, dtype) -> DeviceArray:
+        return self.memory.alloc(shape, dtype)
+
+    def upload(self, host_array: np.ndarray, stream: Stream | None = None) -> DeviceArray:
+        """Allocate and copy host -> device, charging PCIe time."""
+        dev = self.alloc(host_array.shape, host_array.dtype)
+        if self.execute_numerics:
+            dev.data[...] = host_array
+        self._transfer(host_array.nbytes, "memcpy_h2d", stream)
+        return dev
+
+    def download(self, dev: DeviceArray, stream: Stream | None = None) -> np.ndarray:
+        """Copy device -> host, charging PCIe time."""
+        self._transfer(dev.nbytes, "memcpy_d2h", stream)
+        return dev.data.copy()
+
+    def _transfer(self, nbytes: int, category: str, stream: Stream | None) -> None:
+        stream = stream or self.default_stream
+        chunks = max(1, math.ceil(nbytes / self.calibration.max_transfer_chunk))
+        duration = nbytes / self.spec.pcie_bandwidth + chunks * self.spec.pcie_latency
+        start = max(self.host_time, stream.ready_time)
+        stream.ready_time = start + duration
+        self.timeline.record(start, stream.ready_time, category, utilization=0.0)
+
+    # ------------------------------------------------------------------
+    # kernel launch
+    # ------------------------------------------------------------------
+    def launch(self, kernel: Kernel, stream: Stream | None = None) -> LaunchRecord:
+        """Launch a kernel asynchronously on ``stream`` (default stream)."""
+        stream = stream or self.default_stream
+        config = kernel.launch_config()
+        occ = self.spec.occupancy(
+            config.threads_per_block,
+            config.shared_mem_per_block,
+            config.regs_per_thread,
+        )
+        info = precision_info(kernel.precision)
+        works = kernel.block_works()
+        counts = np.fromiter((w.count for w in works), dtype=np.int64, count=len(works))
+        total_blocks = int(counts.sum())
+        durations = np.fromiter(
+            (self._block_duration(w, occ, info, kernel, config, total_blocks) for w in works),
+            dtype=np.float64,
+            count=len(works),
+        )
+        schedule = self.scheduler.makespan(durations, counts, occ.concurrent_blocks)
+
+        # Host-side issue cost; the host then runs ahead (async launch).
+        issue_done = self.host_time + self.spec.kernel_launch_overhead
+        self.host_time = issue_done
+
+        # In-order within the stream; across streams, execution may
+        # overlap but the total SM area (block-seconds / slots) is a
+        # shared resource, so heavy concurrent work serializes.
+        start = max(issue_done, stream.ready_time, )
+        area_time = schedule.total_block_time / max(1, occ.concurrent_blocks)
+        area_start = max(start, self._sm_area_free_at)
+        self._sm_area_free_at = area_start + area_time
+        end = max(start + schedule.makespan, self._sm_area_free_at)
+        stream.ready_time = end
+
+        self.timeline.record(start, end, f"kernel:{kernel.name}", schedule.utilization)
+        record = LaunchRecord(kernel.name, start, end, schedule, occ, int(counts.sum()))
+        self.launches.append(record)
+
+        if self.execute_numerics:
+            kernel.run_numerics()
+        return record
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def _block_duration(
+        self,
+        work: BlockWork,
+        occ: Occupancy,
+        info,
+        kernel: Kernel,
+        config,
+        total_blocks: int,
+    ) -> float:
+        """Duration of one thread block under the calibrated model."""
+        cal = self.calibration
+        if work.terminated:
+            return cal.etm_terminate_overhead
+
+        warp = self.spec.warp_size
+        threads_per_block = config.threads_per_block
+        active = (
+            threads_per_block if work.active_threads is None else min(work.active_threads, threads_per_block)
+        )
+        live_warps = -(-active // warp)
+
+        # Latency hiding: throughput scales with resident warps (times
+        # the kernel's per-warp ILP) until the pipeline is saturated.
+        latency_eff = min(
+            1.0, occ.resident_warps_per_sm * config.ilp / cal.full_throughput_warps
+        )
+        sm_share_rate = (
+            self.spec.peak_flops_per_sm(info)
+            * cal.issue_efficiency
+            * kernel.compute_efficiency
+            * latency_eff
+            / occ.blocks_per_sm
+        )
+        # A block can never issue faster than its live warps' lanes: a
+        # one-warp block on an otherwise-empty SM still computes at one
+        # warp's width.  This is the under-occupancy penalty that makes
+        # mixed-size launches slow and implicit sorting worthwhile.
+        warp_issue_rate = (
+            live_warps * warp * 2.0 * self.spec.clock_hz
+            * cal.issue_efficiency * kernel.compute_efficiency
+        )
+        compute_rate = min(sm_share_rate, warp_issue_rate)
+        # DRAM bandwidth is shared by however many blocks actually run
+        # concurrently (a one-block kernel gets the whole bus), and a
+        # block's own pull is capped by its live warps' outstanding
+        # loads.
+        sharers = max(1, min(occ.concurrent_blocks, total_blocks))
+        mem_rate = min(
+            self.spec.global_mem_bandwidth * cal.mem_efficiency / sharers,
+            live_warps * cal.warp_mem_bandwidth * config.ilp,
+        )
+        base = max(work.flops / compute_rate, work.bytes / mem_rate)
+
+        # Sub-warp idle lanes ride along in lockstep under EITHER ETM
+        # mode (a warp executes all 32 lanes regardless).
+        lane_capacity = live_warps * warp
+        sub_idle = (lane_capacity - active) / lane_capacity
+        base *= 1.0 + cal.intra_warp_divergence_penalty * sub_idle
+        if kernel.etm_mode == "classic":
+            # Classic additionally keeps whole idle warps resident:
+            # they share issue slots and barriers with the live ones.
+            # Layered on top of the lockstep penalty, so classic can
+            # never be cheaper than aggressive for the same work.
+            total_warps = -(-threads_per_block // warp)
+            idle_warp_frac = (total_warps - live_warps) / total_warps
+            base *= 1.0 + cal.classic_idle_warp_penalty * idle_warp_frac
+
+        # Serial chain: the arithmetic part (sqrt/divide) is slower in
+        # 64-bit; the memory-round-trip part a kernel adds on top of it
+        # (serial_latency_scale > 1) is DRAM latency — precision-free.
+        arith = cal.serial_fp64_scale if info.uses_fp64_units else 1.0
+        per_iter = cal.serial_op_latency * (arith + (kernel.serial_latency_scale - 1.0))
+        return base + work.serial_iters * per_iter + cal.block_start_overhead

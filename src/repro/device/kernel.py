@@ -1,0 +1,145 @@
+"""Kernel abstraction: launch configuration and per-block work records.
+
+A simulated kernel describes itself in two planes:
+
+* ``block_works()`` — the *timing plane*: one :class:`BlockWork` per
+  group of identical thread blocks (flops, global-memory bytes, serial
+  chain length, live threads).  The device turns these into per-block
+  durations and schedules them onto SM slots.
+* ``run_numerics()`` — the *functional plane*: the actual NumPy math the
+  kernel performs on device arrays.  Tests always execute it; figure
+  sweeps may disable it (``Device(execute_numerics=False)``) since the
+  timing plane never reads matrix values.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+__all__ = ["LaunchConfig", "BlockWork", "Kernel", "EtmMode"]
+
+
+EtmMode = str  # "classic" | "aggressive"
+
+_ETM_MODES = ("classic", "aggressive")
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Per-launch resource request (the CUDA ``<<<...>>>`` analogue).
+
+    ``ilp`` is the kernel's instruction-level parallelism: how many
+    independent in-flight operations each warp sustains (register
+    blocking / double buffering).  It multiplies the resident-warp count
+    when judging latency hiding — a register-tiled gemm saturates an SM
+    with far fewer warps than a shared-memory-bound panel kernel.
+    """
+
+    threads_per_block: int
+    shared_mem_per_block: int = 0
+    regs_per_thread: int = 32
+    ilp: float = 1.0
+
+    def __post_init__(self):
+        if self.threads_per_block <= 0:
+            raise ValueError(f"threads_per_block must be positive: {self}")
+        if self.shared_mem_per_block < 0:
+            raise ValueError(f"shared memory cannot be negative: {self}")
+        if self.ilp <= 0:
+            raise ValueError(f"ilp must be positive: {self}")
+
+
+@dataclass(frozen=True)
+class BlockWork:
+    """Work of one thread block (or ``count`` identical blocks).
+
+    Attributes
+    ----------
+    flops:
+        Precision-weighted floating-point operations the block performs.
+    bytes:
+        Global-memory traffic (reads + writes) after shared-memory
+        reuse — i.e. what actually hits DRAM.
+    serial_iters:
+        Length of the block's dependent serial chain (e.g. potf2 column
+        steps: each needs the previous column's sqrt/divide).  Costed at
+        ``Calibration.serial_op_latency`` per iteration regardless of
+        width.
+    active_threads:
+        Threads that have real work.  ``0`` marks an ETM-terminated
+        block, which costs only the termination overhead.
+    count:
+        Number of identical blocks this record stands for (aggregation
+        keeps huge gemm grids cheap to simulate).
+    """
+
+    flops: float
+    bytes: float
+    serial_iters: float = 0.0
+    active_threads: int | None = None
+    count: int = 1
+
+    def __post_init__(self):
+        if self.flops < 0 or self.bytes < 0 or self.serial_iters < 0:
+            raise ValueError(f"negative work: {self}")
+        if self.count <= 0:
+            raise ValueError(f"count must be positive: {self}")
+        if self.active_threads is not None and self.active_threads < 0:
+            raise ValueError(f"active_threads cannot be negative: {self}")
+
+    @property
+    def terminated(self) -> bool:
+        return self.active_threads == 0
+
+
+class Kernel(abc.ABC):
+    """Base class for every simulated device kernel.
+
+    Subclasses set :attr:`precision` (a :class:`~repro.types.Precision`)
+    and :attr:`etm_mode`, implement the two planes, and give themselves
+    a ``name`` used in timeline categories and profiles.
+    """
+
+    name: str = "kernel"
+    etm_mode: EtmMode = "classic"
+    #: Fraction of the device's tuned-kernel arithmetic rate this kernel
+    #: sustains when fully latency-hidden (instruction mix quality):
+    #: register-tiled gemm ~1.0, shared-memory panel kernels ~0.5,
+    #: serial global-memory sweeps ~0.25.
+    compute_efficiency: float = 1.0
+    #: Multiplier on ``Calibration.serial_op_latency`` for this kernel's
+    #: serial chains: 1.0 when the chain's operands sit in shared memory
+    #: (the fused kernel), ~6 when every dependent step round-trips
+    #: through global memory (generic unblocked potf2/trsm kernels).
+    serial_latency_scale: float = 1.0
+
+    def __init__(self):
+        if self.etm_mode not in _ETM_MODES:
+            raise ValueError(f"etm_mode must be one of {_ETM_MODES}, got {self.etm_mode!r}")
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError(
+                f"compute_efficiency must be in (0, 1], got {self.compute_efficiency}"
+            )
+
+    @property
+    @abc.abstractmethod
+    def precision(self):
+        """Arithmetic precision the kernel runs in."""
+
+    @abc.abstractmethod
+    def launch_config(self) -> LaunchConfig:
+        """Resource request for this launch."""
+
+    @abc.abstractmethod
+    def block_works(self) -> list[BlockWork]:
+        """Timing plane: grouped per-block work records."""
+
+    def run_numerics(self) -> None:
+        """Functional plane: perform the kernel's math on device arrays.
+
+        Default is a no-op for kernels that only move metadata.
+        """
+
+    def total_blocks(self) -> int:
+        return sum(w.count for w in self.block_works())

@@ -1,0 +1,66 @@
+"""GPU board power model (NVML stand-in for Fig 10).
+
+A K40c idles around 25 W and has a 235 W board power limit.  During a
+kernel, draw scales with how busy the SMs are — we use the launch's
+slot utilization recorded on the timeline.  Energy to solution is the
+integral of draw over the run, including idle gaps (the board is
+powered whether or not it computes, exactly what NVML integration over
+the experiment window measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .clock import Timeline
+
+__all__ = ["GpuPowerModel", "K40C_POWER"]
+
+
+@dataclass(frozen=True)
+class GpuPowerModel:
+    """Linear utilization -> power map for a GPU board.
+
+    ``activity_scale`` converts slot occupancy into power-relevant
+    activity: batched small-matrix kernels are memory- and
+    latency-bound, so even fully-occupied SMs draw well below the board
+    limit (a K40c runs batched dpotrf nearer 150 W than its 235 W cap).
+    """
+
+    idle_watts: float
+    max_watts: float
+    activity_scale: float = 0.60
+
+    def __post_init__(self):
+        if self.idle_watts < 0 or self.max_watts < self.idle_watts:
+            raise ValueError(f"inconsistent power model: {self}")
+        if not 0.0 < self.activity_scale <= 1.0:
+            raise ValueError(f"activity_scale must be in (0, 1]: {self}")
+
+    def power(self, utilization: float) -> float:
+        """Instantaneous draw at a given SM slot utilization in [0, 1]."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        activity = utilization * self.activity_scale
+        return self.idle_watts + (self.max_watts - self.idle_watts) * activity
+
+    def energy(self, timeline: Timeline, total_time: float | None = None) -> float:
+        """Joules consumed over a run.
+
+        Busy intervals integrate at their recorded utilization; the
+        remainder of ``total_time`` (default: the timeline's clock)
+        integrates at idle draw.
+        """
+        span = timeline.now if total_time is None else total_time
+        if span < 0:
+            raise ValueError("total_time cannot be negative")
+        busy_energy = 0.0
+        busy_time = 0.0
+        for iv in timeline.intervals:
+            busy_energy += self.power(iv.utilization) * iv.duration
+            busy_time += iv.duration
+        idle_gap = max(0.0, span - busy_time)
+        return busy_energy + self.idle_watts * idle_gap
+
+
+K40C_POWER = GpuPowerModel(idle_watts=25.0, max_watts=235.0)

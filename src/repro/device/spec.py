@@ -1,0 +1,200 @@
+"""Static device description and the occupancy calculator.
+
+The numbers in :data:`K40C` are the published Tesla K40c (Kepler GK110B)
+figures the paper's testbed used: 15 SMX units at 745 MHz, 192 FP32 and
+64 FP64 lanes per SMX, 48 KB shared memory per SMX, 12 GB of GDDR5 at a
+288 GB/s theoretical bandwidth, and the usual Kepler occupancy limits
+(16 blocks / 2048 threads / 64 warps / 65536 registers per SMX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LaunchError
+from ..types import PrecisionInfo
+
+__all__ = ["DeviceSpec", "Occupancy", "K40C", "K20X", "TITAN_BLACK"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy for one launch configuration.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Resident thread blocks each SM can host for this launch.
+    concurrent_blocks:
+        Device-wide block slots (``blocks_per_sm * num_sms``).
+    resident_warps_per_sm:
+        Warps resident per SM; drives the latency-hiding efficiency.
+    limiter:
+        Which resource bound the occupancy ("blocks", "threads",
+        "shared_mem", "registers") — useful for tuning reports.
+    """
+
+    blocks_per_sm: int
+    concurrent_blocks: int
+    resident_warps_per_sm: int
+    limiter: str
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Immutable hardware description of a simulated accelerator."""
+
+    name: str
+    num_sms: int
+    clock_hz: float
+    fp32_lanes_per_sm: int
+    fp64_lanes_per_sm: int
+    warp_size: int
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    max_warps_per_sm: int
+    shared_mem_per_sm: int
+    shared_mem_per_block: int
+    registers_per_sm: int
+    max_registers_per_thread: int
+    global_mem_bytes: int
+    global_mem_bandwidth: float  # bytes/s, theoretical peak
+    pcie_bandwidth: float  # bytes/s, effective per direction
+    pcie_latency: float  # seconds per transfer
+    kernel_launch_overhead: float  # seconds per kernel launch
+
+    def peak_flops(self, info: PrecisionInfo) -> float:
+        """Peak arithmetic rate for a precision (FMA counted as 2 flops).
+
+        Complex arithmetic runs on the same real pipelines, so the peak
+        in *weighted* flops (see :class:`~repro.types.PrecisionInfo`)
+        equals the corresponding real peak.
+        """
+        lanes = self.fp64_lanes_per_sm if info.uses_fp64_units else self.fp32_lanes_per_sm
+        return self.num_sms * lanes * 2.0 * self.clock_hz
+
+    def peak_flops_per_sm(self, info: PrecisionInfo) -> float:
+        return self.peak_flops(info) / self.num_sms
+
+    def occupancy(
+        self,
+        threads_per_block: int,
+        shared_mem_per_block: int = 0,
+        regs_per_thread: int = 32,
+    ) -> Occupancy:
+        """Blocks-per-SM for a launch configuration (CUDA occupancy rules).
+
+        Raises :class:`LaunchError` when a *single* block already
+        violates a per-block limit — the same configurations a real
+        ``cudaLaunchKernel`` would reject.
+        """
+        if threads_per_block <= 0:
+            raise LaunchError(f"threads_per_block must be positive, got {threads_per_block}")
+        if threads_per_block > self.max_threads_per_block:
+            raise LaunchError(
+                f"{threads_per_block} threads/block exceeds device limit "
+                f"{self.max_threads_per_block}"
+            )
+        if shared_mem_per_block > self.shared_mem_per_block:
+            raise LaunchError(
+                f"{shared_mem_per_block} B shared memory/block exceeds device "
+                f"limit {self.shared_mem_per_block}"
+            )
+        if regs_per_thread <= 0 or regs_per_thread > self.max_registers_per_thread:
+            raise LaunchError(
+                f"regs_per_thread must be in [1, {self.max_registers_per_thread}], "
+                f"got {regs_per_thread}"
+            )
+
+        warps_per_block = -(-threads_per_block // self.warp_size)
+        candidates = {
+            "blocks": self.max_blocks_per_sm,
+            "threads": self.max_threads_per_sm // threads_per_block,
+            "warps": self.max_warps_per_sm // warps_per_block,
+            "registers": self.registers_per_sm // (regs_per_thread * threads_per_block),
+        }
+        if shared_mem_per_block > 0:
+            candidates["shared_mem"] = self.shared_mem_per_sm // shared_mem_per_block
+        limiter, blocks = min(candidates.items(), key=lambda kv: kv[1])
+        blocks = max(blocks, 0)
+        if blocks == 0:
+            raise LaunchError(
+                f"launch config fits zero blocks per SM (limited by {limiter})"
+            )
+        return Occupancy(
+            blocks_per_sm=blocks,
+            concurrent_blocks=blocks * self.num_sms,
+            resident_warps_per_sm=blocks * warps_per_block,
+            limiter=limiter,
+        )
+
+
+# Sibling Kepler-generation boards for portability/sensitivity studies
+# (the framework itself is device-agnostic; only the spec changes).
+
+K20X = DeviceSpec(
+    name="Tesla K20X (simulated)",
+    num_sms=14,
+    clock_hz=732.0e6,
+    fp32_lanes_per_sm=192,
+    fp64_lanes_per_sm=64,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    max_warps_per_sm=64,
+    shared_mem_per_sm=48 * 1024,
+    shared_mem_per_block=48 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    global_mem_bytes=6 * 1024**3,
+    global_mem_bandwidth=250.0e9,
+    pcie_bandwidth=10.0e9,
+    pcie_latency=10.0e-6,
+    kernel_launch_overhead=5.0e-6,
+)
+
+TITAN_BLACK = DeviceSpec(
+    name="GTX Titan Black (simulated)",
+    num_sms=15,
+    clock_hz=889.0e6,
+    fp32_lanes_per_sm=192,
+    fp64_lanes_per_sm=64,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    max_warps_per_sm=64,
+    shared_mem_per_sm=48 * 1024,
+    shared_mem_per_block=48 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    global_mem_bytes=6 * 1024**3,
+    global_mem_bandwidth=336.0e9,
+    pcie_bandwidth=10.0e9,
+    pcie_latency=10.0e-6,
+    kernel_launch_overhead=5.0e-6,
+)
+
+K40C = DeviceSpec(
+    name="Tesla K40c (simulated)",
+    num_sms=15,
+    clock_hz=745.0e6,
+    fp32_lanes_per_sm=192,
+    fp64_lanes_per_sm=64,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    max_warps_per_sm=64,
+    shared_mem_per_sm=48 * 1024,
+    shared_mem_per_block=48 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    global_mem_bytes=12 * 1024**3,
+    global_mem_bandwidth=288.0e9,
+    pcie_bandwidth=10.0e9,
+    pcie_latency=10.0e-6,
+    kernel_launch_overhead=5.0e-6,
+)

@@ -1,0 +1,57 @@
+"""CUDA-stream analogue: in-order queues that overlap across streams."""
+
+from __future__ import annotations
+
+from ..errors import StreamError
+
+__all__ = ["Stream", "Event"]
+
+
+class Stream:
+    """An in-order execution queue on the simulated device.
+
+    Work items in one stream serialize; items in different streams may
+    overlap, subject to the device-wide SM-area constraint enforced by
+    :class:`~repro.device.device.Device`.
+    """
+
+    __slots__ = ("device", "stream_id", "ready_time")
+
+    def __init__(self, device, stream_id: int):
+        self.device = device
+        self.stream_id = stream_id
+        self.ready_time = 0.0
+
+    def synchronize(self) -> float:
+        """Block the simulated host until this stream drains."""
+        self.device._host_wait(self.ready_time)
+        return self.ready_time
+
+    def record_event(self) -> "Event":
+        """Capture the stream's current completion frontier."""
+        return Event(self, self.ready_time)
+
+    def wait_event(self, event: "Event") -> None:
+        """Make subsequent work in this stream wait for ``event``."""
+        if event.timestamp is None:
+            raise StreamError("cannot wait on an unrecorded event")
+        self.ready_time = max(self.ready_time, event.timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stream(id={self.stream_id}, ready={self.ready_time:.3e})"
+
+
+class Event:
+    """A recorded point in a stream's timeline (cudaEvent analogue)."""
+
+    __slots__ = ("stream", "timestamp")
+
+    def __init__(self, stream: Stream, timestamp: float | None):
+        self.stream = stream
+        self.timestamp = timestamp
+
+    def elapsed_since(self, earlier: "Event") -> float:
+        """Seconds between two recorded events (cudaEventElapsedTime)."""
+        if self.timestamp is None or earlier.timestamp is None:
+            raise StreamError("both events must be recorded")
+        return self.timestamp - earlier.timestamp

@@ -1,0 +1,154 @@
+"""Matrix-size distribution generators (paper §IV-B, Figure 3).
+
+The paper draws batch sizes from two pseudo-random generators: a uniform
+distribution over ``[1, Nmax]`` and a Gaussian centred on ``Nmax // 2``
+truncated to the same interval.  The future-work section asks how other
+distributions affect performance, so we also provide constant, bimodal
+and exponential generators, all sharing one interface.
+
+Every generator is deterministic given its ``seed`` so that experiments
+are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "uniform_sizes",
+    "gaussian_sizes",
+    "constant_sizes",
+    "bimodal_sizes",
+    "exponential_sizes",
+    "size_histogram",
+    "generate_sizes",
+    "DISTRIBUTIONS",
+]
+
+
+def _validate(batch_count: int, max_size: int) -> None:
+    if batch_count <= 0:
+        raise ValueError(f"batch_count must be positive, got {batch_count}")
+    if max_size <= 0:
+        raise ValueError(f"max_size must be positive, got {max_size}")
+
+
+def uniform_sizes(batch_count: int, max_size: int, seed: int = 0) -> np.ndarray:
+    """Sizes drawn uniformly from ``{1, ..., max_size}`` (Fig 3a)."""
+    _validate(batch_count, max_size)
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, max_size + 1, size=batch_count, dtype=np.int64)
+
+
+def gaussian_sizes(
+    batch_count: int,
+    max_size: int,
+    seed: int = 0,
+    stddev_fraction: float = 0.20,
+) -> np.ndarray:
+    """Sizes from a Gaussian centred on ``max_size // 2`` (Fig 3b).
+
+    Samples are redrawn until they land in ``[1, max_size]`` (truncated
+    normal), matching the paper's histogram where "fewer sizes appear
+    near the boundaries".  ``stddev_fraction`` scales the standard
+    deviation relative to ``max_size``.
+    """
+    _validate(batch_count, max_size)
+    if stddev_fraction <= 0:
+        raise ValueError("stddev_fraction must be positive")
+    rng = np.random.default_rng(seed)
+    mean = max_size // 2
+    std = max(1.0, stddev_fraction * max_size)
+    out = np.empty(batch_count, dtype=np.int64)
+    filled = 0
+    while filled < batch_count:
+        draw = rng.normal(mean, std, size=(batch_count - filled) * 2)
+        draw = np.rint(draw).astype(np.int64)
+        draw = draw[(draw >= 1) & (draw <= max_size)]
+        take = min(draw.size, batch_count - filled)
+        out[filled : filled + take] = draw[:take]
+        filled += take
+    return out
+
+
+def constant_sizes(batch_count: int, max_size: int, seed: int = 0) -> np.ndarray:
+    """Every matrix has size ``max_size`` (the fixed-size special case)."""
+    _validate(batch_count, max_size)
+    return np.full(batch_count, max_size, dtype=np.int64)
+
+
+def bimodal_sizes(
+    batch_count: int,
+    max_size: int,
+    seed: int = 0,
+    small_fraction: float = 0.5,
+) -> np.ndarray:
+    """Two clusters: near ``max_size // 8`` and near ``max_size`` (§V extension).
+
+    Stresses the implicit-sorting scheduler harder than either paper
+    distribution: a launch mixing the two modes has maximal block-time
+    variance.
+    """
+    _validate(batch_count, max_size)
+    if not 0.0 <= small_fraction <= 1.0:
+        raise ValueError("small_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    small_mean = max(1, max_size // 8)
+    big_mean = max_size
+    picks = rng.random(batch_count) < small_fraction
+    noise = rng.normal(0.0, max(1.0, 0.05 * max_size), size=batch_count)
+    sizes = np.where(picks, small_mean, big_mean) + np.rint(noise).astype(np.int64)
+    return np.clip(sizes, 1, max_size).astype(np.int64)
+
+
+def exponential_sizes(
+    batch_count: int, max_size: int, seed: int = 0, scale_fraction: float = 0.25
+) -> np.ndarray:
+    """Exponentially distributed sizes (many tiny, a long tail; §V extension)."""
+    _validate(batch_count, max_size)
+    rng = np.random.default_rng(seed)
+    draw = rng.exponential(scale_fraction * max_size, size=batch_count)
+    sizes = 1 + np.rint(draw).astype(np.int64)
+    return np.clip(sizes, 1, max_size)
+
+
+DISTRIBUTIONS = {
+    "uniform": uniform_sizes,
+    "gaussian": gaussian_sizes,
+    "constant": constant_sizes,
+    "bimodal": bimodal_sizes,
+    "exponential": exponential_sizes,
+}
+
+
+def generate_sizes(
+    distribution: str, batch_count: int, max_size: int, seed: int = 0
+) -> np.ndarray:
+    """Dispatch to a named generator from :data:`DISTRIBUTIONS`."""
+    try:
+        fn = DISTRIBUTIONS[distribution]
+    except KeyError:
+        known = ", ".join(sorted(DISTRIBUTIONS))
+        raise ValueError(f"unknown distribution {distribution!r}; known: {known}") from None
+    return fn(batch_count, max_size, seed=seed)
+
+
+def size_histogram(
+    sizes: Sequence[int] | np.ndarray, bin_width: int = 1, max_size: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of a size sample, as plotted in Figure 3.
+
+    Returns ``(bin_lefts, counts)`` where bin ``i`` covers sizes
+    ``[bin_lefts[i], bin_lefts[i] + bin_width)``.
+    """
+    arr = np.asarray(sizes, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("empty size sample")
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    top = int(max_size if max_size is not None else arr.max())
+    edges = np.arange(1, top + bin_width + 1, bin_width)
+    counts, _ = np.histogram(arr, bins=edges)
+    return edges[:-1], counts

@@ -1,0 +1,17 @@
+"""Energy-to-solution measurement (paper §IV-G, Figure 10)."""
+
+from .measure import (
+    EnergyReading,
+    EnergyComparison,
+    measure_cpu_energy,
+    measure_gpu_energy,
+    run_energy_experiment,
+)
+
+__all__ = [
+    "EnergyReading",
+    "EnergyComparison",
+    "measure_cpu_energy",
+    "measure_gpu_energy",
+    "run_energy_experiment",
+]

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the vbatched framework.
+
+The paper's future-work section calls out LAPACK compliance of error
+reporting; we implement it here.  Argument errors raise immediately with
+a negative ``info`` (LAPACK convention: ``info = -i`` means argument
+``i`` was illegal).  Numerical failures (a non-SPD matrix in a POTRF
+batch) are reported *per matrix* through an info array and, when the
+caller asks for exceptions, via :class:`BatchNumericalError`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+__all__ = [
+    "ReproError",
+    "ArgumentError",
+    "BatchNumericalError",
+    "DeviceError",
+    "DeviceOutOfMemory",
+    "LaunchError",
+    "StreamError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ArgumentError(ReproError, ValueError):
+    """An illegal routine argument (LAPACK ``info < 0`` analogue).
+
+    Parameters
+    ----------
+    argument_index:
+        1-based position of the offending argument, matching LAPACK's
+        ``XERBLA`` numbering; exposed as ``info = -argument_index``.
+    """
+
+    def __init__(self, argument_index: int, message: str):
+        super().__init__(message)
+        self.argument_index = int(argument_index)
+
+    @property
+    def info(self) -> int:
+        return -self.argument_index
+
+
+class BatchNumericalError(ReproError, ArithmeticError):
+    """One or more matrices in a batch failed numerically.
+
+    ``infos`` maps batch index -> positive LAPACK info code (for POTRF:
+    the order of the leading minor that is not positive definite).
+    """
+
+    def __init__(self, infos: Mapping[int, int], routine: str):
+        self.infos = dict(infos)
+        self.routine = routine
+        failing = ", ".join(
+            f"batch[{i}] info={v}" for i, v in sorted(self.infos.items())[:8]
+        )
+        more = "" if len(self.infos) <= 8 else f" (+{len(self.infos) - 8} more)"
+        super().__init__(f"{routine}: {len(self.infos)} matrices failed: {failing}{more}")
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-device failures."""
+
+
+class DeviceOutOfMemory(DeviceError, MemoryError):
+    """Global-memory allocation exceeded device capacity.
+
+    This is a *modeled* failure: the padding baseline in Figs 8-9 relies
+    on it to truncate, exactly as the K40c runs out of memory in the
+    paper.
+    """
+
+    def __init__(self, requested: int, free: int, total: int):
+        self.requested = int(requested)
+        self.free = int(free)
+        self.total = int(total)
+        super().__init__(
+            f"device OOM: requested {requested} B, free {free} B of {total} B"
+        )
+
+
+class LaunchError(DeviceError):
+    """A kernel launch configuration violates a device limit."""
+
+
+class StreamError(DeviceError):
+    """Invalid stream/event usage (e.g. waiting on an unrecorded event)."""

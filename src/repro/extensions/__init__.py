@@ -1,0 +1,26 @@
+"""Vbatched LU, QR and triangular-solve extensions (paper §V).
+
+"Future directions include the extension of this work to the LU and QR
+factorizations ... where many of the BLAS kernels proposed here can be
+reused out of the box."  These drivers demonstrate exactly that: the
+vbatched gemm kernel carries every trailing update and block-reflector
+application unchanged; only the thin panel kernels are new.
+"""
+
+from .getrf import GetrfResult, getrf_vbatched
+from .geqrf import GeqrfResult, geqrf_vbatched
+from .solve import PotrsResult, getrs_vbatched, potrs_vbatched
+from .drivers import SolveResult, gesv_vbatched, posv_vbatched
+
+__all__ = [
+    "GetrfResult",
+    "getrf_vbatched",
+    "GeqrfResult",
+    "geqrf_vbatched",
+    "PotrsResult",
+    "potrs_vbatched",
+    "getrs_vbatched",
+    "SolveResult",
+    "posv_vbatched",
+    "gesv_vbatched",
+]

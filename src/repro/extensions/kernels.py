@@ -1,0 +1,346 @@
+"""Panel kernels for the LU/QR/solve extensions.
+
+The heavy lifting (trailing updates, block-reflector applications) goes
+through :class:`~repro.kernels.gemm.VbatchedGemmKernel` untouched; the
+kernels here cover only the tall-skinny panel work and row swaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import flops as _flops
+from ..device.kernel import BlockWork, Kernel, LaunchConfig
+from ..hostblas import geqr2, getf2, larft, trsm as host_trsm
+from ..types import Precision, precision_info
+
+__all__ = [
+    "PanelGetf2Kernel",
+    "RowSwapKernel",
+    "LeftTrsmKernel",
+    "PanelGeqr2Kernel",
+    "FusedPotrsKernel",
+    "FusedGetrsKernel",
+]
+
+_WARP = 32
+
+
+class _PanelKernelBase(Kernel):
+    """Shared scaffolding: one thread block per matrix, grouped works."""
+
+    compute_efficiency = 0.50
+    etm_mode = "aggressive"
+
+    def __init__(self, batch, max_rows: int):
+        super().__init__()
+        if max_rows <= 0:
+            raise ValueError(f"max_rows must be positive, got {max_rows}")
+        self.batch = batch
+        self.max_rows = int(max_rows)
+        self._info = precision_info(batch.precision)
+
+    @property
+    def precision(self) -> Precision:
+        return self.batch.precision
+
+    def launch_config(self) -> LaunchConfig:
+        threads = min(1024, -(-self.max_rows // _WARP) * _WARP)
+        return LaunchConfig(
+            threads_per_block=threads,
+            shared_mem_per_block=min(48 * 1024, threads * 16 * self._info.bytes_per_element),
+            regs_per_thread=48,
+            ilp=2.0,
+        )
+
+    def _grouped(self, per_matrix) -> list[BlockWork]:
+        groups: dict[tuple, int] = {}
+        for desc in per_matrix:
+            groups[desc] = groups.get(desc, 0) + 1
+        works = []
+        for (flops, bytes_, serial, active), count in groups.items():
+            if active == 0:
+                works.append(BlockWork(0.0, 0.0, active_threads=0, count=count))
+            else:
+                works.append(
+                    BlockWork(flops, bytes_, serial_iters=serial,
+                              active_threads=active, count=count)
+                )
+        return works
+
+
+class PanelGetf2Kernel(_PanelKernelBase):
+    """Pivoted LU of each matrix's ``m_i x jb_i`` panel (one block each).
+
+    The pivot search adds a reduction to every column's serial chain,
+    so the chain is ~3 dependent steps per column instead of potf2's 2.
+    """
+
+    def __init__(self, batch, offset: int, jbs: np.ndarray, ipivs: np.ndarray, max_rows: int):
+        super().__init__(batch, max_rows)
+        if offset < 0:
+            raise ValueError(f"offset cannot be negative, got {offset}")
+        self.offset = offset
+        self.jbs = np.asarray(jbs, dtype=np.int64)
+        self.ipivs = ipivs  # host-mirrored (k, max_n) pivot table
+        self.name = f"vbatched_getf2:{self._info.name}"
+
+    def block_works(self) -> list[BlockWork]:
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        per = []
+        for i, jb in enumerate(self.jbs):
+            jb = int(jb)
+            m = max(0, int(self.batch.sizes_host[i]) - self.offset)
+            if jb == 0 or m == 0:
+                per.append((0.0, 0.0, 0.0, 0))
+                continue
+            per.append((
+                _flops.getrf_flops(m, jb) * w,
+                2.0 * m * jb * elem,
+                3.0 * jb,
+                m,
+            ))
+        return self._grouped(per)
+
+    def run_numerics(self) -> None:
+        infos = self.batch.infos_dev.data
+        for i, jb in enumerate(self.jbs):
+            jb = int(jb)
+            n = int(self.batch.sizes_host[i])
+            m = n - self.offset
+            if jb == 0 or m <= 0:
+                continue
+            a = self.batch.matrix_view(i)
+            panel = a[self.offset :, self.offset : self.offset + jb]
+            piv = np.zeros(jb, dtype=np.int64)
+            info = getf2(panel, piv)
+            if info != 0 and infos[i] == 0:
+                infos[i] = self.offset + info
+            self.ipivs[i, self.offset : self.offset + jb] = self.offset + piv
+
+
+class RowSwapKernel(_PanelKernelBase):
+    """Apply each matrix's panel pivots to the columns outside the panel."""
+
+    compute_efficiency = 1.0
+    etm_mode = "classic"
+
+    def __init__(self, batch, offset: int, jbs: np.ndarray, ipivs: np.ndarray, max_rows: int):
+        super().__init__(batch, max_rows)
+        self.offset = offset
+        self.jbs = np.asarray(jbs, dtype=np.int64)
+        self.ipivs = ipivs
+        self.name = f"vbatched_laswp:{self._info.name}"
+
+    def block_works(self) -> list[BlockWork]:
+        elem = self._info.bytes_per_element
+        per = []
+        for i, jb in enumerate(self.jbs):
+            jb = int(jb)
+            n = int(self.batch.sizes_host[i])
+            if jb == 0:
+                per.append((0.0, 0.0, 0.0, 0))
+                continue
+            # Each swap touches two full rows outside the panel.
+            per.append((0.0, 2.0 * jb * max(0, n - jb) * elem, float(jb), min(n, 256)))
+        return self._grouped(per)
+
+    def run_numerics(self) -> None:
+        for i, jb in enumerate(self.jbs):
+            jb = int(jb)
+            n = int(self.batch.sizes_host[i])
+            if jb == 0 or n - self.offset <= 0:
+                continue
+            a = self.batch.matrix_view(i)
+            for k in range(jb):
+                # ipivs holds global 1-based pivot rows already.
+                p = int(self.ipivs[i, self.offset + k]) - 1
+                row = self.offset + k
+                if p != row and p < n:
+                    a[[row, p], : self.offset] = a[[p, row], : self.offset]
+                    a[[row, p], self.offset + jb :] = a[[p, row], self.offset + jb :]
+
+
+class LeftTrsmKernel(_PanelKernelBase):
+    """``B := op(T)^{-1} B`` with unit/non-unit triangular ``T`` per matrix.
+
+    Used for LU's ``U12 := L11^{-1} A12`` step.  Cost follows the
+    trtri+gemm decomposition at ``ib = 32`` granularity, collapsed into
+    one modeled launch (the trailing gemm dominates the step anyway).
+    """
+
+    compute_efficiency = 0.75
+    etm_mode = "classic"
+
+    def __init__(self, batch, offset: int, jbs: np.ndarray, max_rows: int,
+                 uplo: str = "l", diag: str = "u"):
+        super().__init__(batch, max_rows)
+        self.offset = offset
+        self.jbs = np.asarray(jbs, dtype=np.int64)
+        self.uplo = uplo
+        self.diag = diag
+        self.name = f"vbatched_trsm_left:{self._info.name}"
+
+    def block_works(self) -> list[BlockWork]:
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        per = []
+        for i, jb in enumerate(self.jbs):
+            jb = int(jb)
+            n = int(self.batch.sizes_host[i])
+            ncols = max(0, n - self.offset - jb)
+            if jb == 0 or ncols == 0:
+                per.append((0.0, 0.0, 0.0, 0))
+                continue
+            per.append((
+                _flops.trsm_flops(jb, ncols, side="left") * w,
+                (jb * jb + 2.0 * jb * ncols) * elem,
+                float(-(-jb // 32)) * 2.0,
+                min(jb * 4, 1024),
+            ))
+        return self._grouped(per)
+
+    def run_numerics(self) -> None:
+        for i, jb in enumerate(self.jbs):
+            jb = int(jb)
+            n = int(self.batch.sizes_host[i])
+            j1 = self.offset + jb
+            if jb == 0 or n - j1 <= 0:
+                continue
+            a = self.batch.matrix_view(i)
+            host_trsm("l", self.uplo, "n", self.diag, 1.0,
+                      a[self.offset : j1, self.offset : j1], a[self.offset : j1, j1:])
+
+
+class PanelGeqr2Kernel(_PanelKernelBase):
+    """Householder QR of each matrix's ``m_i x jb_i`` panel + its ``T``.
+
+    Every column needs a norm reduction, a scale and a rank-1 update:
+    ~3 dependent serial steps per column.  The ``T`` accumulation is
+    folded in (its flops are ``jb^2 m``-ish, charged here).
+    """
+
+    def __init__(self, batch, offset: int, jbs: np.ndarray, taus: np.ndarray,
+                 t_store: dict, max_rows: int):
+        super().__init__(batch, max_rows)
+        self.offset = offset
+        self.jbs = np.asarray(jbs, dtype=np.int64)
+        self.taus = taus
+        self.t_store = t_store
+        self.name = f"vbatched_geqr2:{self._info.name}"
+
+    def block_works(self) -> list[BlockWork]:
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        per = []
+        for i, jb in enumerate(self.jbs):
+            jb = int(jb)
+            m = max(0, int(self.batch.sizes_host[i]) - self.offset)
+            if jb == 0 or m == 0:
+                per.append((0.0, 0.0, 0.0, 0))
+                continue
+            flops = _flops.geqrf_flops(m, jb) + jb * jb * m  # panel + larft
+            per.append((flops * w, 2.0 * m * jb * elem, 3.0 * jb, m))
+        return self._grouped(per)
+
+    def run_numerics(self) -> None:
+        for i, jb in enumerate(self.jbs):
+            jb = int(jb)
+            n = int(self.batch.sizes_host[i])
+            m = n - self.offset
+            if jb == 0 or m <= 0:
+                continue
+            a = self.batch.matrix_view(i)
+            panel = a[self.offset :, self.offset : self.offset + jb]
+            geqr2(panel, self.taus[i, self.offset : self.offset + jb])
+            self.t_store[i] = larft(panel, self.taus[i, self.offset : self.offset + jb])
+
+
+class FusedGetrsKernel(_PanelKernelBase):
+    """Fused pivoted forward+backward substitution per matrix (getrs).
+
+    One block per matrix: apply the row interchanges to the RHS, solve
+    with unit-lower ``L`` then upper ``U`` — the LU counterpart of the
+    fused potrs kernel.
+    """
+
+    def __init__(self, batch, rhs_views: list, ipivs: np.ndarray, max_rows: int):
+        super().__init__(batch, max_rows)
+        if len(rhs_views) != batch.batch_count:
+            raise ValueError("one RHS view per matrix required")
+        self.rhs_views = rhs_views
+        self.ipivs = ipivs
+        self.name = f"fused_getrs:{self._info.name}"
+
+    def block_works(self) -> list[BlockWork]:
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        per = []
+        for i in range(self.batch.batch_count):
+            n = int(self.batch.sizes_host[i])
+            rhs = self.rhs_views[i]
+            nrhs = 0 if rhs is None else (rhs.shape[1] if rhs.ndim == 2 else 1)
+            if n == 0 or nrhs == 0:
+                per.append((0.0, 0.0, 0.0, 0))
+                continue
+            flops = 2.0 * _flops.trsm_flops(n, nrhs, side="left") * w
+            # Pivot application adds one swap pass over the RHS.
+            per.append((flops, (n * n + 3.0 * n * nrhs) * elem, 2.0 * n, n))
+        return self._grouped(per)
+
+    def run_numerics(self) -> None:
+        from ..hostblas import apply_pivots
+
+        for i in range(self.batch.batch_count):
+            rhs = self.rhs_views[i]
+            n = int(self.batch.sizes_host[i])
+            if rhs is None or n == 0:
+                continue
+            a = self.batch.matrix_view(i)
+            b2d = rhs if rhs.ndim == 2 else rhs[:, None]
+            apply_pivots(b2d, self.ipivs[i, :n])
+            host_trsm("l", "l", "n", "u", 1.0, a, b2d)
+            host_trsm("l", "u", "n", "n", 1.0, a, b2d)
+
+
+class FusedPotrsKernel(_PanelKernelBase):
+    """Fused forward+backward substitution per matrix (potrs).
+
+    One block per matrix holds the right-hand side in shared memory and
+    runs both triangular solves back to back — the solve counterpart of
+    the fused factorization kernel.
+    """
+
+    def __init__(self, batch, rhs_views: list, max_rows: int):
+        super().__init__(batch, max_rows)
+        if len(rhs_views) != batch.batch_count:
+            raise ValueError("one RHS view per matrix required")
+        self.rhs_views = rhs_views
+        self.name = f"fused_potrs:{self._info.name}"
+
+    def block_works(self) -> list[BlockWork]:
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        per = []
+        for i in range(self.batch.batch_count):
+            n = int(self.batch.sizes_host[i])
+            rhs = self.rhs_views[i]
+            nrhs = 0 if rhs is None else (rhs.shape[1] if rhs.ndim == 2 else 1)
+            if n == 0 or nrhs == 0:
+                per.append((0.0, 0.0, 0.0, 0))
+                continue
+            flops = 2.0 * _flops.trsm_flops(n, nrhs, side="left") * w
+            per.append((flops, (n * n + 2.0 * n * nrhs) * elem, 2.0 * n, n))
+        return self._grouped(per)
+
+    def run_numerics(self) -> None:
+        for i in range(self.batch.batch_count):
+            rhs = self.rhs_views[i]
+            n = int(self.batch.sizes_host[i])
+            if rhs is None or n == 0:
+                continue
+            a = self.batch.matrix_view(i)
+            b2d = rhs if rhs.ndim == 2 else rhs[:, None]
+            host_trsm("l", "l", "n", "n", 1.0, a, b2d)
+            host_trsm("l", "l", "c", "n", 1.0, a, b2d)

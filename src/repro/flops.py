@@ -1,0 +1,128 @@
+"""Floating-point operation counts for the BLAS/LAPACK routines we model.
+
+The paper computes batch Gflop/s as the *sum of per-matrix factorization
+flops* divided by elapsed time ("a twice Gflop/s means twice faster"),
+so these formulas are load-bearing for every figure.  Real-arithmetic
+counts follow the LAPACK Users' Guide operation-count appendix; complex
+precisions multiply by the precision's flop weight.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .types import Precision, precision_info
+
+__all__ = [
+    "potrf_flops",
+    "potf2_flops",
+    "trsm_flops",
+    "trtri_flops",
+    "gemm_flops",
+    "syrk_flops",
+    "getrf_flops",
+    "geqrf_flops",
+    "batch_flops",
+    "gflops",
+]
+
+
+def _weight(precision: Precision | str | None) -> int:
+    if precision is None:
+        return 1
+    return precision_info(Precision(precision)).flop_weight
+
+
+def potrf_flops(n: int, precision: Precision | str | None = None) -> float:
+    """Cholesky factorization of an ``n x n`` SPD matrix.
+
+    ``n**3/3 + n**2/2 + n/6`` real flops (multiplies + adds + n roots,
+    roots counted as one flop each as in LAPACK timing conventions).
+    """
+    n = float(n)
+    return (n**3 / 3.0 + n**2 / 2.0 + n / 6.0) * _weight(precision)
+
+
+def potf2_flops(n: int, precision: Precision | str | None = None) -> float:
+    """Unblocked Cholesky has the same asymptotic count as potrf."""
+    return potrf_flops(n, precision)
+
+
+def trsm_flops(
+    m: int, n: int, side: str = "right", precision: Precision | str | None = None
+) -> float:
+    """Triangular solve with ``m x n`` right-hand-side panel.
+
+    ``side='left'`` solves ``op(A) X = B`` with ``A`` of order ``m``
+    (``n*m**2`` flops); ``side='right'`` solves ``X op(A) = B`` with
+    ``A`` of order ``n`` (``m*n**2`` flops).
+    """
+    m, n = float(m), float(n)
+    if side == "left":
+        count = n * m * m
+    elif side == "right":
+        count = m * n * n
+    else:
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    return count * _weight(precision)
+
+
+def trtri_flops(n: int, precision: Precision | str | None = None) -> float:
+    """Inversion of an ``n x n`` triangular matrix: ``n**3/3`` flops."""
+    n = float(n)
+    return (n**3 / 3.0 + 2.0 * n / 3.0) * _weight(precision)
+
+
+def gemm_flops(
+    m: int, n: int, k: int, precision: Precision | str | None = None
+) -> float:
+    """General matrix multiply ``C += A @ B``: ``2*m*n*k`` flops."""
+    return 2.0 * float(m) * float(n) * float(k) * _weight(precision)
+
+
+def syrk_flops(n: int, k: int, precision: Precision | str | None = None) -> float:
+    """Symmetric rank-k update of an ``n x n`` matrix: ``n*(n+1)*k`` flops."""
+    n, k = float(n), float(k)
+    return n * (n + 1.0) * k * _weight(precision)
+
+
+def getrf_flops(m: int, n: int, precision: Precision | str | None = None) -> float:
+    """LU factorization of an ``m x n`` matrix (LAPACK count)."""
+    m, n = float(m), float(n)
+    if m >= n:
+        count = m * n * n - n**3 / 3.0 - n**2 / 2.0 + 5.0 * n / 6.0
+    else:
+        count = n * m * m - m**3 / 3.0 - m**2 / 2.0 + 5.0 * m / 6.0
+    return count * _weight(precision)
+
+
+def geqrf_flops(m: int, n: int, precision: Precision | str | None = None) -> float:
+    """QR factorization of an ``m x n`` matrix (LAPACK count)."""
+    m, n = float(m), float(n)
+    if m >= n:
+        count = 2.0 * m * n * n - 2.0 * n**3 / 3.0 + m * n + n * n + 14.0 * n / 3.0
+    else:
+        count = 2.0 * n * m * m - 2.0 * m**3 / 3.0 + 3.0 * m * n - m * m + 14.0 * m / 3.0
+    return count * _weight(precision)
+
+
+def batch_flops(
+    sizes: Iterable[int],
+    routine: str = "potrf",
+    precision: Precision | str | None = None,
+) -> float:
+    """Total flops for a batch of square problems of the given sizes."""
+    fn = {
+        "potrf": potrf_flops,
+        "trtri": trtri_flops,
+        "getrf": lambda n, p=None: getrf_flops(n, n, p),
+        "geqrf": lambda n, p=None: geqrf_flops(n, n, p),
+    }[routine]
+    return float(sum(fn(int(n), precision) for n in sizes))
+
+
+def gflops(total_flops: float, seconds: float) -> float:
+    """Convert a flop count and an elapsed time into Gflop/s."""
+    if seconds <= 0.0:
+        raise ValueError(f"elapsed time must be positive, got {seconds}")
+    return total_flops / seconds / 1.0e9

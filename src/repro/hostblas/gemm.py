@@ -1,0 +1,79 @@
+"""General matrix-matrix multiply (``gemm``) with BLAS semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ArgumentError
+
+__all__ = ["gemm", "apply_op"]
+
+_OPS = ("n", "t", "c")
+
+
+def apply_op(a: np.ndarray, trans: str) -> np.ndarray:
+    """Return ``op(A)`` for a BLAS trans flag (``n``/``t``/``c``).
+
+    Always returns a *view* for ``n``/``t`` and a conjugated copy only
+    when ``c`` requires it, per the views-not-copies guideline.
+    """
+    t = trans.lower()
+    if t == "n":
+        return a
+    if t == "t":
+        return a.T
+    if t == "c":
+        return a.conj().T
+    raise ArgumentError(1, f"trans must be one of {_OPS}, got {trans!r}")
+
+
+def gemm(
+    transa: str,
+    transb: str,
+    alpha: complex,
+    a: np.ndarray,
+    b: np.ndarray,
+    beta: complex,
+    c: np.ndarray,
+) -> np.ndarray:
+    """Compute ``C := alpha * op(A) @ op(B) + beta * C`` in place.
+
+    Mirrors BLAS ``xGEMM``: ``C`` is updated in place and also returned
+    for convenience.  Dimension mismatches raise :class:`ArgumentError`
+    with the 1-based argument index, per the LAPACK error convention.
+    """
+    if transa.lower() not in _OPS:
+        raise ArgumentError(1, f"transa must be one of {_OPS}, got {transa!r}")
+    if transb.lower() not in _OPS:
+        raise ArgumentError(2, f"transb must be one of {_OPS}, got {transb!r}")
+    if a.ndim != 2:
+        raise ArgumentError(4, f"A must be 2-D, got shape {a.shape}")
+    if b.ndim != 2:
+        raise ArgumentError(5, f"B must be 2-D, got shape {b.shape}")
+    if c.ndim != 2:
+        raise ArgumentError(7, f"C must be 2-D, got shape {c.shape}")
+
+    opa = apply_op(a, transa)
+    opb = apply_op(b, transb)
+    m, ka = opa.shape
+    kb, n = opb.shape
+    if ka != kb:
+        raise ArgumentError(5, f"inner dimensions disagree: {ka} vs {kb}")
+    if c.shape != (m, n):
+        raise ArgumentError(7, f"C has shape {c.shape}, expected {(m, n)}")
+
+    # Degenerate case: a zero inner dimension scales C only.
+    if ka == 0:
+        c *= beta
+        return c
+
+    if beta == 0:
+        # BLAS semantics: beta == 0 overwrites C, even if C holds NaNs.
+        c[...] = opa @ opb
+        if alpha != 1:
+            c *= alpha
+    else:
+        if beta != 1:
+            c *= beta
+        c += alpha * (opa @ opb)
+    return c

@@ -1,0 +1,80 @@
+"""LU factorization with partial pivoting (``getf2``/``getrf``).
+
+Host reference for the vbatched LU extension (paper §V future work).
+Follows LAPACK semantics: ``A = P L U`` stored in place, ``ipiv`` holds
+1-based pivot rows, ``info > 0`` flags an exactly-singular pivot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ArgumentError
+from .trsm import trsm
+
+__all__ = ["getf2", "getrf", "apply_pivots"]
+
+
+def getf2(a: np.ndarray, ipiv: np.ndarray) -> int:
+    """Unblocked right-looking LU with partial pivoting, in place."""
+    m, n = a.shape
+    if ipiv.shape[0] < min(m, n):
+        raise ArgumentError(2, f"ipiv too short: {ipiv.shape[0]} < {min(m, n)}")
+    info = 0
+    for j in range(min(m, n)):
+        p = j + int(np.argmax(np.abs(a[j:, j])))
+        ipiv[j] = p + 1  # LAPACK 1-based
+        if a[p, j] == 0:
+            if info == 0:
+                info = j + 1
+            continue
+        if p != j:
+            a[[j, p], :] = a[[p, j], :]
+        if j + 1 < m:
+            a[j + 1 :, j] /= a[j, j]
+            if j + 1 < n:
+                a[j + 1 :, j + 1 :] -= np.outer(a[j + 1 :, j], a[j, j + 1 :])
+    return info
+
+
+def getrf(a: np.ndarray, ipiv: np.ndarray, nb: int = 32) -> int:
+    """Blocked right-looking LU with partial pivoting, in place."""
+    if a.ndim != 2:
+        raise ArgumentError(1, f"A must be 2-D, got shape {a.shape}")
+    if nb <= 0:
+        raise ArgumentError(3, f"nb must be positive, got {nb}")
+    m, n = a.shape
+    info = 0
+    for j0 in range(0, min(m, n), nb):
+        j1 = min(j0 + nb, min(m, n))
+        jb = j1 - j0
+        panel = a[j0:, j0:j1]
+        panel_piv = np.zeros(jb, dtype=np.int64)
+        panel_info = getf2(panel, panel_piv)
+        if panel_info != 0 and info == 0:
+            info = j0 + panel_info
+        # Translate panel pivots to global rows and apply the swaps to
+        # the columns outside the panel.
+        for k in range(jb):
+            ipiv[j0 + k] = j0 + panel_piv[k]
+            p = j0 + int(panel_piv[k]) - 1
+            row = j0 + k
+            if p != row:
+                a[[row, p], :j0] = a[[p, row], :j0]
+                a[[row, p], j1:] = a[[p, row], j1:]
+        if j1 < n:
+            # U12 := L11^{-1} A12, then trailing update.
+            trsm("l", "l", "n", "u", 1.0, a[j0:j1, j0:j1], a[j0:j1, j1:])
+            if j1 < m:
+                a[j1:, j1:] -= a[j1:, j0:j1] @ a[j0:j1, j1:]
+    return info
+
+
+def apply_pivots(b: np.ndarray, ipiv: np.ndarray, forward: bool = True) -> np.ndarray:
+    """Apply LAPACK-style row interchanges to ``B`` (laswp)."""
+    order = range(len(ipiv)) if forward else range(len(ipiv) - 1, -1, -1)
+    for j in order:
+        p = int(ipiv[j]) - 1
+        if p != j:
+            b[[j, p]] = b[[p, j]]
+    return b

@@ -1,0 +1,91 @@
+"""Test-matrix generation and factorization-quality metrics."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..types import Precision, precision_info
+
+__all__ = [
+    "make_spd",
+    "make_spd_batch",
+    "cholesky_residual",
+    "lower_triangular_error",
+]
+
+
+def make_spd(
+    n: int,
+    precision: Precision | str = Precision.D,
+    seed: int = 0,
+    dominance: float = 1.0,
+) -> np.ndarray:
+    """Generate a well-conditioned ``n x n`` SPD (HPD) matrix.
+
+    ``A = R R^H + dominance * n * I`` with random ``R`` — symmetric by
+    construction, positive definite by the diagonal shift.  Larger
+    ``dominance`` improves conditioning; ``dominance=0`` still yields
+    an SPD matrix with probability one but possibly ill-conditioned.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    info = precision_info(Precision(precision))
+    rng = np.random.default_rng(seed)
+    r = rng.standard_normal((n, n))
+    if info.precision.is_complex:
+        r = r + 1j * rng.standard_normal((n, n))
+    a = (r @ r.conj().T) + dominance * max(n, 1) * np.eye(n)
+    return np.ascontiguousarray(a.astype(info.dtype))
+
+
+def make_spd_batch(
+    sizes: Sequence[int],
+    precision: Precision | str = Precision.D,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """One SPD matrix per entry of ``sizes`` (independent seeds)."""
+    return [
+        make_spd(int(n), precision, seed=seed + 1000 * i) for i, n in enumerate(sizes)
+    ]
+
+
+def cholesky_residual(a_original: np.ndarray, factored: np.ndarray, uplo: str = "l") -> float:
+    """Relative residual ``||A - L L^H|| / (n ||A||)`` (Frobenius).
+
+    ``factored`` is the in-place POTRF output; only its ``uplo``
+    triangle is read.  A backward-stable factorization keeps this at a
+    modest multiple of machine epsilon.
+    """
+    n = a_original.shape[0]
+    if n == 0:
+        return 0.0
+    if uplo.lower() == "l":
+        l = np.tril(factored)
+        recon = l @ l.conj().T
+    else:
+        u = np.triu(factored)
+        recon = u.conj().T @ u
+    norm_a = np.linalg.norm(a_original)
+    if norm_a == 0:
+        return float(np.linalg.norm(recon))
+    return float(np.linalg.norm(_herm(a_original, uplo) - recon) / (n * norm_a))
+
+
+def _herm(a: np.ndarray, uplo: str) -> np.ndarray:
+    """Materialize the full Hermitian matrix from its stored triangle."""
+    if uplo.lower() == "l":
+        l = np.tril(a, -1)
+        return l + l.conj().T + np.diag(np.real(np.diagonal(a)))
+    u = np.triu(a, 1)
+    return u + u.conj().T + np.diag(np.real(np.diagonal(a)))
+
+
+def lower_triangular_error(computed: np.ndarray, reference: np.ndarray) -> float:
+    """Max elementwise error between the lower triangles of two factors."""
+    if computed.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {computed.shape} vs {reference.shape}")
+    diff = np.abs(np.tril(computed) - np.tril(reference))
+    scale = max(1.0, float(np.abs(np.tril(reference)).max(initial=0.0)))
+    return float(diff.max(initial=0.0) / scale)

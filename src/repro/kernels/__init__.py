@@ -1,0 +1,40 @@
+"""Simulated device kernels for the vbatched framework.
+
+Each kernel mirrors one CUDA kernel of the paper's implementation: the
+fused left-looking POTRF step kernel (§III-D), the separated vbatched
+BLAS kernels — panel ``potf2``, ``trtri``, ``gemm``, ``syrk``, and the
+``trsm`` built from them (§III-E) — the auxiliary metadata kernels the
+factorization driver uses (§III-F), and cuBLAS-style fixed-size and
+single-matrix kernels for the baselines.
+"""
+
+from .aux import IMaxReduceKernel, StepSizesKernel, compute_max_size
+from .fused_potrf import (
+    FusedPotrfStepKernel,
+    fused_shared_mem_bytes,
+    fused_step_numerics,
+)
+from .potf2 import PanelPotf2StepKernel
+from .trtri import VbatchedTrtriDiagKernel
+from .gemm import VbatchedGemmKernel, GemmTiling
+from .syrk import VbatchedSyrkKernel, StreamedSyrkLauncher
+from .trsm import vbatched_trsm_panel
+from .cublas import SingleGemmKernel, SinglePotf2Kernel
+
+__all__ = [
+    "IMaxReduceKernel",
+    "StepSizesKernel",
+    "compute_max_size",
+    "FusedPotrfStepKernel",
+    "fused_shared_mem_bytes",
+    "fused_step_numerics",
+    "PanelPotf2StepKernel",
+    "VbatchedTrtriDiagKernel",
+    "VbatchedGemmKernel",
+    "GemmTiling",
+    "VbatchedSyrkKernel",
+    "StreamedSyrkLauncher",
+    "vbatched_trsm_panel",
+    "SingleGemmKernel",
+    "SinglePotf2Kernel",
+]

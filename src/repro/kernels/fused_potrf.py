@@ -1,0 +1,190 @@
+"""The fused left-looking Cholesky step kernel (paper §III-D).
+
+One launch advances *every* assigned matrix by one ``nb``-wide panel:
+each thread block owns one matrix and fuses the three Algorithm-1 steps
+on a shared-memory panel —
+
+1. the customized rank-k ``syrk`` update ``C -= A @ B^H`` where ``B`` is
+   a slice of ``A`` (Figure 2), double-buffered from global memory;
+2. the ``potf2`` factorization of the ``nb x nb`` diagonal tile;
+3. the ``trsm`` solve of the rows below the tile.
+
+Thread ``t`` of a block owns row ``t`` of the panel, so a matrix with
+``m`` remaining rows keeps ``m`` threads busy; the rest are idle and are
+what the two ETMs act on.  Blocks whose matrix is already finished
+terminate immediately (ETM-classic); ETM-aggressive additionally
+retires idle warps inside live blocks (§III-D1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import flops as _flops
+from ..errors import LaunchError
+from ..hostblas import potf2 as host_potf2, trsm as host_trsm
+from ..types import Precision, precision_info
+from ..device.kernel import BlockWork, Kernel, LaunchConfig
+
+__all__ = ["FusedPotrfStepKernel", "fused_step_numerics", "fused_shared_mem_bytes"]
+
+_WARP = 32
+
+
+def fused_shared_mem_bytes(max_m: int, nb: int, bytes_per_element: int) -> int:
+    """Shared memory the fused kernel needs: the ``m x nb`` panel."""
+    return max(1, max_m) * nb * bytes_per_element
+
+
+def fused_step_numerics(a: np.ndarray, j0: int, nb: int) -> int:
+    """Functional plane of one fused step on one matrix (lower Cholesky).
+
+    Performs panel-update + tile-factorize + panel-solve for the panel
+    starting at column ``j0``.  Returns the LAPACK info (0, or the
+    1-based global index of the failing pivot).
+    """
+    n = a.shape[0]
+    j1 = min(j0 + nb, n)
+    if j0 > 0:
+        b = a[j0:j1, :j0]
+        upd = b @ b.conj().T
+        rows, cols = np.tril_indices(j1 - j0)
+        a[j0:j1, j0:j1][rows, cols] -= upd[rows, cols]
+        if j1 < n:
+            a[j1:, j0:j1] -= a[j1:, :j0] @ b.conj().T
+    info = host_potf2(a[j0:j1, j0:j1], "l")
+    if info != 0:
+        return j0 + info
+    if j1 < n:
+        host_trsm("r", "l", "c", "n", 1.0, a[j0:j1, j0:j1], a[j1:, j0:j1])
+    return 0
+
+
+class FusedPotrfStepKernel(Kernel):
+    """One fused factorization step over a (subset of a) batch.
+
+    Parameters
+    ----------
+    batch:
+        The :class:`~repro.core.batch.VBatch` being factorized.
+    step:
+        Zero-based panel index; the panel starts at column ``step*nb``.
+    nb:
+        Panel width (the fused kernel's compile-time tuning parameter).
+    indices:
+        Matrix indices covered by this launch (the implicit-sorting
+        driver passes a sorted active subset; the plain driver passes
+        everything).
+    max_m:
+        Largest *remaining* row count among covered matrices; sets the
+        block dimension, exactly as the paper's interface requires the
+        max across the batch.
+    etm:
+        "classic" or "aggressive".
+    """
+
+    #: Shared-memory-bound FMA loop: well below a register-tiled gemm.
+    compute_efficiency = 0.70
+
+    def __init__(self, batch, step: int, nb: int, indices: np.ndarray, max_m: int, etm: str = "classic"):
+        self.etm_mode = etm
+        super().__init__()
+        if nb <= 0:
+            raise ValueError(f"nb must be positive, got {nb}")
+        if step < 0:
+            raise ValueError(f"step cannot be negative, got {step}")
+        if max_m <= 0:
+            raise ValueError(f"max_m must be positive, got {max_m}")
+        self.batch = batch
+        self.step = step
+        self.nb = nb
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.max_m = int(max_m)
+        self._info = precision_info(batch.precision)
+        self.name = f"fused_potrf:{self._info.name}:nb{nb}"
+
+        threads = min(1024, -(-self.max_m // _WARP) * _WARP)
+        smem = fused_shared_mem_bytes(min(self.max_m, threads), nb, self._info.bytes_per_element)
+        # Panel taller than the max block dimension cannot be held by
+        # one block; the driver must have switched to the separated
+        # approach before this point.
+        if self.max_m > 1024:
+            raise LaunchError(
+                f"fused kernel cannot cover {self.max_m} remaining rows "
+                "(max block dimension is 1024); use the separated approach"
+            )
+        self._config = LaunchConfig(
+            threads_per_block=threads,
+            shared_mem_per_block=smem,
+            regs_per_thread=48,
+            ilp=2.0,  # double-buffered panel update
+        )
+
+    @property
+    def precision(self) -> Precision:
+        return self.batch.precision
+
+    def launch_config(self) -> LaunchConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    def _remaining(self, i: int) -> int:
+        return max(0, int(self.batch.sizes_host[i]) - self.step * self.nb)
+
+    def block_works(self) -> list[BlockWork]:
+        """One block per covered matrix, grouped by remaining rows."""
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        k = self.step * self.nb
+        # Group identical remaining sizes, preserving issue order (the
+        # driver controls ordering: the implicit-sorting driver passes
+        # size-sorted indices, the plain driver passes batch order —
+        # the load-balance difference between the two must survive).
+        groups: dict[int, int] = {}
+        for i in self.indices:
+            m = self._remaining(int(i))
+            groups[m] = groups.get(m, 0) + 1
+
+        works: list[BlockWork] = []
+        for m, count in groups.items():
+            if m == 0:
+                works.append(BlockWork(0.0, 0.0, active_threads=0, count=count))
+                continue
+            jb = min(self.nb, m)
+            flops = 0.0
+            if k > 0:
+                # Customized syrk: C[m x jb] -= A[m x k] B[jb x k]^H.
+                flops += _flops.gemm_flops(m, jb, k)
+            flops += _flops.potf2_flops(jb)
+            if m > jb:
+                flops += _flops.trsm_flops(m - jb, jb, side="right")
+            # Global traffic: read the m x k history panel once (B is a
+            # slice of A — the customized kernel does not reload it),
+            # read + write the m x jb panel.
+            bytes_ = (m * k + 2.0 * m * jb) * elem
+            # Serial chains: jb dependent column steps in potf2 and jb
+            # substitution steps in the fused trsm.
+            serial = 2.0 * jb
+            works.append(
+                BlockWork(
+                    flops=flops * w,
+                    bytes=bytes_,
+                    serial_iters=serial,
+                    active_threads=m,
+                    count=count,
+                )
+            )
+        return works
+
+    def run_numerics(self) -> None:
+        infos = self.batch.infos_dev.data
+        j0 = self.step * self.nb
+        for i in self.indices:
+            i = int(i)
+            n = int(self.batch.sizes_host[i])
+            if n - j0 <= 0 or infos[i] != 0:
+                continue  # ETM: nothing left to do (or already failed)
+            a = self.batch.matrix_view(i)
+            info = fused_step_numerics(a, j0, self.nb)
+            if info != 0:
+                infos[i] = info

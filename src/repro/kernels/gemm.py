@@ -1,0 +1,152 @@
+"""Vbatched tiled GEMM kernel (paper §III-E2, and [3]).
+
+Grid model follows MAGMA's vbatched gemm: a 3-D grid sized for the
+*maximum* M and N across the batch, with ``batchCount`` in the z
+dimension.  Blocks whose tile falls outside their own matrix terminate
+via ETM-classic (the kernel body synchronizes all threads, so the
+aggressive mechanism is not applicable — §III-E2).
+
+The kernel is generic over per-matrix operand descriptors so the same
+class serves the trsm panel updates and the syrk-style updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import flops as _flops
+from ..hostblas import gemm as host_gemm
+from ..types import Precision, precision_info
+from ..device.kernel import BlockWork, Kernel, LaunchConfig
+
+__all__ = ["GemmTiling", "GemmTask", "VbatchedGemmKernel"]
+
+
+@dataclass(frozen=True)
+class GemmTiling:
+    """Tile shape of the gemm kernel (an autotuning axis)."""
+
+    blk_m: int = 64
+    blk_n: int = 64
+    blk_k: int = 16
+    threads: int = 256
+    regs_per_thread: int = 64
+
+    def __post_init__(self):
+        if min(self.blk_m, self.blk_n, self.blk_k, self.threads) <= 0:
+            raise ValueError(f"tiling dimensions must be positive: {self}")
+
+    def shared_mem(self, bytes_per_element: int) -> int:
+        """Double-buffered A and B tile staging."""
+        return 2 * (self.blk_m + self.blk_n) * self.blk_k * bytes_per_element
+
+    @classmethod
+    def for_precision(cls, bytes_per_element: int) -> "GemmTiling":
+        """Default tile shape per element size.
+
+        The 64x64x16 shape fits shared memory for 4- and 8-byte
+        elements; 16-byte (double-complex) elements need the 32x32
+        variant — the same downsizing MAGMA's z-kernels apply.
+        """
+        if bytes_per_element <= 8:
+            return cls()
+        return cls(blk_m=32, blk_n=32, blk_k=16, threads=128, regs_per_thread=64)
+
+
+@dataclass(frozen=True)
+class GemmTask:
+    """One matrix's gemm: ``C[m x n] += alpha * op(A)[m x k] @ op(B)[k x n]``.
+
+    ``a``/``b``/``c`` are NumPy views into device arrays (or ``None``
+    in timing-only mode); ``m``/``n``/``k`` alone drive the cost.
+    """
+
+    m: int
+    n: int
+    k: int
+    a: np.ndarray | None = None
+    b: np.ndarray | None = None
+    c: np.ndarray | None = None
+    transa: str = "n"
+    transb: str = "n"
+    alpha: complex = 1.0
+    beta: complex = 1.0
+
+    def __post_init__(self):
+        if self.m < 0 or self.n < 0 or self.k < 0:
+            raise ValueError(f"negative gemm dimensions: {self}")
+
+
+class VbatchedGemmKernel(Kernel):
+    """One launch covering every task's tiles plus the ETM'd excess."""
+
+    etm_mode = "classic"
+    compute_efficiency = 0.75  # register-tiled, double-buffered inner loop
+
+    def __init__(self, tasks: list[GemmTask], precision: Precision, tiling: GemmTiling | None = None, label: str = "gemm"):
+        super().__init__()
+        if not tasks:
+            raise ValueError("gemm launch needs at least one task")
+        self.tasks = tasks
+        self._prec = Precision(precision)
+        self._info = precision_info(self._prec)
+        self.tiling = tiling or GemmTiling.for_precision(self._info.bytes_per_element)
+        self.max_m = max(t.m for t in tasks)
+        self.max_n = max(t.n for t in tasks)
+        self.name = f"vbatched_{label}:{self._info.name}"
+
+    @property
+    def precision(self) -> Precision:
+        return self._prec
+
+    def launch_config(self) -> LaunchConfig:
+        t = self.tiling
+        return LaunchConfig(
+            threads_per_block=t.threads,
+            shared_mem_per_block=t.shared_mem(self._info.bytes_per_element),
+            regs_per_thread=t.regs_per_thread,
+            ilp=4.0,
+        )
+
+    def _grid_tiles(self) -> int:
+        """Per-matrix grid size: sized for the max dims (paper §III-A)."""
+        t = self.tiling
+        return max(1, -(-self.max_m // t.blk_m)) * max(1, -(-self.max_n // t.blk_n))
+
+    def block_works(self) -> list[BlockWork]:
+        t = self.tiling
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        grid = self._grid_tiles()
+        works: list[BlockWork] = []
+        dead = 0
+        for task in self.tasks:
+            live = max(0, -(-task.m // t.blk_m)) * max(0, -(-task.n // t.blk_n))
+            live = min(live, grid) if task.m > 0 and task.n > 0 else 0
+            dead += grid - live
+            if live == 0:
+                continue
+            flops = _flops.gemm_flops(task.m, task.n, task.k, None) * w / live
+            # Per tile: stream A and B panels for the k loop, read+write
+            # C — at the tile dims actually touched (edge tiles load
+            # only their live rows/columns).
+            em, en = min(t.blk_m, task.m), min(t.blk_n, task.n)
+            bytes_ = ((em + en) * task.k + 2.0 * em * en) * elem
+            # Small-tile inefficiency: a matrix smaller than the tile
+            # blocking leaves most of the block's threads without
+            # output elements (the generic kernel cannot retile).
+            active = max(1, round(t.threads * (em * en) / (t.blk_m * t.blk_n)))
+            works.append(
+                BlockWork(flops=flops, bytes=bytes_, active_threads=active, count=live)
+            )
+        if dead:
+            works.append(BlockWork(0.0, 0.0, active_threads=0, count=dead))
+        return works
+
+    def run_numerics(self) -> None:
+        for task in self.tasks:
+            if task.m == 0 or task.n == 0 or task.c is None:
+                continue
+            host_gemm(task.transa, task.transb, task.alpha, task.a, task.b, task.beta, task.c)

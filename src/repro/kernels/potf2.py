@@ -1,0 +1,111 @@
+"""Vbatched panel factorization for the separated approach (§III-E1).
+
+"We reuse the fused kernel described in Section III-D in order to
+factorize a square panel of size NB, where NB > nb."  This kernel is
+the fused step kernel *restricted to the diagonal tile*: the history
+for the customized syrk update is only the columns inside the tile
+(the trailing matrix was already updated by the previous step's syrk),
+and threads cover tile rows only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import flops as _flops
+from ..types import Precision, precision_info
+from ..device.kernel import BlockWork, Kernel, LaunchConfig
+from .fused_potrf import fused_shared_mem_bytes, fused_step_numerics
+
+__all__ = ["PanelPotf2StepKernel"]
+
+_WARP = 32
+
+
+class PanelPotf2StepKernel(Kernel):
+    """One ``nb``-step of the fused kernel on each matrix's ``jb x jb`` tile.
+
+    Parameters mirror :class:`FusedPotrfStepKernel`, with ``offset`` the
+    tile's global column origin and ``jbs`` the per-matrix tile orders
+    (``min(NB, n_i - offset)``, zero for finished matrices).
+    """
+
+    compute_efficiency = 0.70  # same inner loop as the fused kernel
+
+    def __init__(self, batch, offset: int, inner_step: int, nb: int,
+                 jbs: np.ndarray, max_jb: int, etm: str = "aggressive"):
+        self.etm_mode = etm
+        super().__init__()
+        if nb <= 0 or inner_step < 0 or offset < 0:
+            raise ValueError(
+                f"invalid panel step: offset={offset} inner_step={inner_step} nb={nb}"
+            )
+        if max_jb <= 0:
+            raise ValueError(f"max_jb must be positive, got {max_jb}")
+        self.batch = batch
+        self.offset = offset
+        self.inner_step = inner_step
+        self.nb = nb
+        self.jbs = np.asarray(jbs, dtype=np.int64)
+        self.max_jb = int(max_jb)
+        self._info = precision_info(batch.precision)
+        self.name = f"vbatched_potf2:{self._info.name}"
+        threads = min(1024, -(-self.max_jb // _WARP) * _WARP)
+        self._config = LaunchConfig(
+            threads_per_block=threads,
+            shared_mem_per_block=fused_shared_mem_bytes(min(self.max_jb, threads), nb, self._info.bytes_per_element),
+            regs_per_thread=48,
+            ilp=2.0,
+        )
+
+    @property
+    def precision(self) -> Precision:
+        return self.batch.precision
+
+    def launch_config(self) -> LaunchConfig:
+        return self._config
+
+    def block_works(self) -> list[BlockWork]:
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        k = self.inner_step * self.nb
+        groups: dict[int, int] = {}
+        for jb in self.jbs:
+            m = max(0, int(jb) - k)
+            groups[m] = groups.get(m, 0) + 1
+        works: list[BlockWork] = []
+        for m, count in groups.items():
+            if m == 0:
+                works.append(BlockWork(0.0, 0.0, active_threads=0, count=count))
+                continue
+            jb_step = min(self.nb, m)
+            flops = _flops.potf2_flops(jb_step)
+            if k > 0:
+                flops += _flops.gemm_flops(m, jb_step, k)
+            if m > jb_step:
+                flops += _flops.trsm_flops(m - jb_step, jb_step, side="right")
+            bytes_ = (m * k + 2.0 * m * jb_step) * elem
+            works.append(
+                BlockWork(
+                    flops=flops * w,
+                    bytes=bytes_,
+                    serial_iters=2.0 * jb_step,
+                    active_threads=m,
+                    count=count,
+                )
+            )
+        return works
+
+    def run_numerics(self) -> None:
+        infos = self.batch.infos_dev.data
+        for i, jb in enumerate(self.jbs):
+            jb = int(jb)
+            local = self.inner_step * self.nb
+            if jb - local <= 0 or infos[i] != 0:
+                continue
+            n = int(self.batch.sizes_host[i])
+            tile = self.batch.matrix_view(i)[self.offset : self.offset + jb,
+                                             self.offset : self.offset + jb]
+            info = fused_step_numerics(tile, local, self.nb)
+            if info != 0:
+                infos[i] = self.offset + info

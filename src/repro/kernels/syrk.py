@@ -1,0 +1,149 @@
+"""Vbatched symmetric rank-k update (paper §III-E3).
+
+Two alternatives, exactly as the paper describes:
+
+* :class:`VbatchedSyrkKernel` — inherits the gemm tiling plus "an
+  additional decision layer that identifies thread blocks required to
+  update either the upper or the lower triangular part ... terminating
+  all other thread blocks" (ETM-classic on the dead triangle).
+* :class:`StreamedSyrkLauncher` — the cuBLAS-style alternative: one
+  kernel per matrix, concurrency through CUDA streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import flops as _flops
+from ..hostblas import syrk as host_syrk
+from ..types import Precision, precision_info
+from ..device.kernel import BlockWork, Kernel, LaunchConfig
+from .gemm import GemmTiling
+
+__all__ = ["SyrkTask", "VbatchedSyrkKernel", "StreamedSyrkLauncher"]
+
+
+@dataclass(frozen=True)
+class SyrkTask:
+    """One matrix's update: ``C[n x n] := alpha op(A) op(A)^H + beta C``.
+
+    ``trans='n'`` takes ``A`` as ``n x k``; ``trans='t'``/``'c'`` as
+    ``k x n``.  Only the ``uplo`` triangle of ``C`` is touched.  The
+    factorization drivers use the default lower/'n' rank-k subtraction.
+    """
+
+    n: int
+    k: int
+    a: np.ndarray | None = None
+    c: np.ndarray | None = None
+    alpha: complex = -1.0
+    beta: complex = 1.0
+    uplo: str = "l"
+    trans: str = "n"
+
+    def __post_init__(self):
+        if self.n < 0 or self.k < 0:
+            raise ValueError(f"negative syrk dimensions: {self}")
+        if self.uplo not in ("l", "u") or self.trans not in ("n", "t", "c"):
+            raise ValueError(f"bad syrk flags: {self}")
+
+
+class VbatchedSyrkKernel(Kernel):
+    """Gemm-derived syrk with the triangular decision layer."""
+
+    etm_mode = "classic"
+    compute_efficiency = 0.75  # inherits the gemm inner loop
+
+    def __init__(self, tasks: list[SyrkTask], precision: Precision, tiling: GemmTiling | None = None):
+        super().__init__()
+        if not tasks:
+            raise ValueError("syrk launch needs at least one task")
+        self.tasks = tasks
+        self._prec = Precision(precision)
+        self._info = precision_info(self._prec)
+        self.tiling = tiling or GemmTiling.for_precision(self._info.bytes_per_element)
+        if self.tiling.blk_m != self.tiling.blk_n:
+            raise ValueError("syrk decision layer requires square tiles")
+        self.max_n = max(t.n for t in tasks)
+        self.name = f"vbatched_syrk:{self._info.name}"
+
+    @property
+    def precision(self) -> Precision:
+        return self._prec
+
+    def launch_config(self) -> LaunchConfig:
+        t = self.tiling
+        return LaunchConfig(
+            threads_per_block=t.threads,
+            shared_mem_per_block=t.shared_mem(self._info.bytes_per_element),
+            regs_per_thread=t.regs_per_thread,
+            ilp=4.0,
+        )
+
+    def block_works(self) -> list[BlockWork]:
+        t = self.tiling
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        tiles_max = max(1, -(-self.max_n // t.blk_m))
+        grid = tiles_max * tiles_max  # full square grid, sized by max n
+        works: list[BlockWork] = []
+        dead = 0
+        for task in self.tasks:
+            tiles = -(-task.n // t.blk_m) if task.n > 0 else 0
+            live = tiles * (tiles + 1) // 2  # lower-triangle tiles only
+            dead += grid - live
+            e = min(t.blk_m, task.n)
+            if live == 0 or task.k == 0:
+                if live:
+                    # k == 0: blocks scale C by beta only; almost free.
+                    works.append(
+                        BlockWork(0.0, 2.0 * e * e * elem,
+                                  active_threads=t.threads, count=live)
+                    )
+                continue
+            flops = _flops.syrk_flops(task.n, task.k, None) * w / live
+            bytes_ = (2.0 * e * task.k + 2.0 * e * e) * elem
+            active = max(1, round(t.threads * (e * e) / (t.blk_m * t.blk_n)))
+            works.append(
+                BlockWork(flops=flops, bytes=bytes_, active_threads=active, count=live)
+            )
+        if dead:
+            works.append(BlockWork(0.0, 0.0, active_threads=0, count=dead))
+        return works
+
+    def run_numerics(self) -> None:
+        for task in self.tasks:
+            if task.n == 0 or task.c is None:
+                continue
+            host_syrk(task.uplo, task.trans, task.alpha, task.a, task.beta, task.c)
+
+
+class StreamedSyrkLauncher:
+    """cuBLAS-style alternative: one syrk kernel per matrix, on streams.
+
+    The host issues one launch per matrix (serialized launch overhead);
+    execution overlaps across ``num_streams`` round-robin streams,
+    subject to the device's SM-area constraint.
+    """
+
+    def __init__(self, device, num_streams: int = 32, tiling: GemmTiling | None = None):
+        if num_streams <= 0:
+            raise ValueError(f"num_streams must be positive, got {num_streams}")
+        self.device = device
+        self.streams = [device.create_stream() for _ in range(num_streams)]
+        self.tiling = tiling  # None -> per-precision default in each kernel
+
+    def launch_all(self, tasks: list[SyrkTask], precision: Precision) -> None:
+        for i, task in enumerate(tasks):
+            if task.n == 0:
+                continue
+            kernel = VbatchedSyrkKernel([task], precision, self.tiling)
+            kernel.name = f"streamed_syrk:{kernel._info.name}"
+            self.device.launch(kernel, stream=self.streams[i % len(self.streams)])
+
+    def synchronize(self) -> float:
+        for s in self.streams:
+            s.synchronize()
+        return self.device.synchronize()

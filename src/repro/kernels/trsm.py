@@ -1,0 +1,120 @@
+"""Vbatched triangular solve for the separated approach (paper §III-E2).
+
+Follows the design of Haidar et al. [13] that the paper adopts: invert
+the ``ib x ib`` (typically 32x32) diagonal blocks of each panel with a
+vbatched ``trtri``, then sweep the panel's column blocks, each sweep
+step being a pair of vbatched ``gemm`` launches — one applying the
+inverted diagonal block, one updating the columns to its right.  Every
+launch is vbatched across all matrices; matrices whose panel is
+narrower than the current column block contribute ETM'd (dead) blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import Precision
+from .gemm import GemmTask, GemmTiling, VbatchedGemmKernel
+from .trtri import TrtriTask, VbatchedTrtriDiagKernel
+
+__all__ = ["TrsmPanelItem", "vbatched_trsm_panel"]
+
+
+@dataclass
+class TrsmPanelItem:
+    """One matrix's panel solve: ``B[m x jb] := B @ L11^{-H}``.
+
+    ``l11``/``b``/``inv_ws`` are device-array views (``None`` in
+    timing-only mode); ``inv_ws`` is a ``jb x jb`` workspace receiving
+    the inverted diagonal blocks.
+    """
+
+    m: int
+    jb: int
+    l11: np.ndarray | None = None
+    b: np.ndarray | None = None
+    inv_ws: np.ndarray | None = None
+
+    def __post_init__(self):
+        if self.m < 0 or self.jb < 0:
+            raise ValueError(f"negative trsm dimensions: {self}")
+
+
+def vbatched_trsm_panel(
+    device,
+    items: list[TrsmPanelItem],
+    precision: Precision,
+    ib: int = 32,
+    tiling: GemmTiling | None = None,
+) -> int:
+    """Enqueue the trtri + gemm-sweep launches for a panel solve.
+
+    Returns the number of kernel launches issued (the separated
+    approach's launch count is what the fusion comparison in Fig 4 is
+    about).
+    """
+    if not items:
+        raise ValueError("trsm panel needs at least one item")
+    if ib <= 0:
+        raise ValueError(f"ib must be positive, got {ib}")
+    live = [it for it in items if it.jb > 0]
+    if not live:
+        return 0
+
+    launches = 0
+    trtri_tasks = [TrtriTask(it.jb, it.l11, it.inv_ws) for it in live]
+    device.launch(VbatchedTrtriDiagKernel(trtri_tasks, precision, ib))
+    launches += 1
+
+    max_jb = max(it.jb for it in live)
+    n_col_blocks = -(-max_jb // ib)
+    for cb in range(n_col_blocks):
+        c0 = cb * ib
+        # Update step: columns of this block see the already-solved
+        # columns to their left (skipped for the first block).
+        if c0 > 0:
+            tasks = []
+            for it in live:
+                c1 = min(c0 + ib, it.jb)
+                width = max(0, c1 - c0)
+                rows = it.m if width > 0 else 0
+                tasks.append(
+                    GemmTask(
+                        m=rows,
+                        n=width,
+                        k=c0 if width > 0 else 0,
+                        a=None if it.b is None else it.b[:, :c0],
+                        b=None if it.l11 is None else it.l11[c0:c1, :c0],
+                        c=None if it.b is None else it.b[:, c0:c1],
+                        transb="c",
+                        alpha=-1.0,
+                        beta=1.0,
+                    )
+                )
+            device.launch(VbatchedGemmKernel(tasks, precision, tiling, label="trsm_update"))
+            launches += 1
+
+        # Solve step: multiply by the inverted diagonal block.
+        tasks = []
+        for it in live:
+            c1 = min(c0 + ib, it.jb)
+            width = max(0, c1 - c0)
+            rows = it.m if width > 0 else 0
+            tasks.append(
+                GemmTask(
+                    m=rows,
+                    n=width,
+                    k=width,
+                    a=None if it.b is None else it.b[:, c0:c1],
+                    b=None if it.inv_ws is None else it.inv_ws[c0:c1, c0:c1],
+                    c=None if it.b is None else it.b[:, c0:c1],
+                    transb="c",
+                    alpha=1.0,
+                    beta=0.0,
+                )
+            )
+        device.launch(VbatchedGemmKernel(tasks, precision, tiling, label="trsm_solve"))
+        launches += 1
+    return launches

@@ -1,0 +1,106 @@
+"""Vbatched inversion of triangular diagonal blocks (paper §III-E2).
+
+The vbatched ``trsm`` begins by inverting each matrix's ``ib x ib``
+diagonal blocks (typically 32x32) with a ``trtri`` kernel; one thread
+block inverts one diagonal block.  ETM-classic only: the inversion body
+synchronizes all threads in the block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import flops as _flops
+from ..hostblas import trtri as host_trtri
+from ..types import Precision, precision_info
+from ..device.kernel import BlockWork, Kernel, LaunchConfig
+
+__all__ = ["VbatchedTrtriDiagKernel", "TrtriTask"]
+
+
+class TrtriTask:
+    """Diagonal-block inversion for one matrix's ``jb x jb`` triangle.
+
+    ``tri`` is the NumPy view of the triangle (or ``None`` in
+    timing-only mode); ``inv_out`` receives the inverted diagonal
+    blocks (a workspace the follow-up gemms consume).
+    """
+
+    __slots__ = ("jb", "tri", "inv_out")
+
+    def __init__(self, jb: int, tri: np.ndarray | None = None, inv_out: np.ndarray | None = None):
+        if jb < 0:
+            raise ValueError(f"jb cannot be negative, got {jb}")
+        self.jb = jb
+        self.tri = tri
+        self.inv_out = inv_out
+
+
+class VbatchedTrtriDiagKernel(Kernel):
+    """Invert every task's diagonal ``ib``-blocks in one launch."""
+
+    etm_mode = "classic"
+    compute_efficiency = 0.40  # substitution-heavy, shared-memory bound
+
+    def __init__(self, tasks: list[TrtriTask], precision: Precision, ib: int = 32):
+        super().__init__()
+        if not tasks:
+            raise ValueError("trtri launch needs at least one task")
+        if ib <= 0:
+            raise ValueError(f"ib must be positive, got {ib}")
+        self.tasks = tasks
+        self.ib = ib
+        self._prec = Precision(precision)
+        self._info = precision_info(self._prec)
+        self.max_jb = max(t.jb for t in tasks)
+        self.name = f"vbatched_trtri:{self._info.name}"
+
+    @property
+    def precision(self) -> Precision:
+        return self._prec
+
+    def launch_config(self) -> LaunchConfig:
+        return LaunchConfig(
+            threads_per_block=min(256, self.ib * self.ib),
+            shared_mem_per_block=self.ib * self.ib * self._info.bytes_per_element,
+        )
+
+    def block_works(self) -> list[BlockWork]:
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        grid_per_matrix = max(1, -(-self.max_jb // self.ib))
+        works: list[BlockWork] = []
+        dead = 0
+        threads = min(256, self.ib * self.ib)
+        for task in self.tasks:
+            live = -(-task.jb // self.ib) if task.jb > 0 else 0
+            dead += grid_per_matrix - live
+            if live == 0:
+                continue
+            ib_eff = min(self.ib, task.jb)
+            works.append(
+                BlockWork(
+                    flops=_flops.trtri_flops(ib_eff) * w,
+                    bytes=2.0 * ib_eff * ib_eff * elem,
+                    serial_iters=float(ib_eff),
+                    active_threads=threads,
+                    count=live,
+                )
+            )
+        if dead:
+            works.append(BlockWork(0.0, 0.0, active_threads=0, count=dead))
+        return works
+
+    def run_numerics(self) -> None:
+        for task in self.tasks:
+            if task.jb == 0 or task.tri is None:
+                continue
+            inv = task.inv_out
+            for j0 in range(0, task.jb, self.ib):
+                j1 = min(j0 + self.ib, task.jb)
+                # Must be an explicit copy: the factor itself stays
+                # intact, only the workspace receives the inverse
+                # (ascontiguousarray would alias contiguous slices).
+                block = task.tri[j0:j1, j0:j1].copy()
+                host_trtri("l", "n", block, nb=self.ib)
+                inv[j0:j1, j0:j1] = np.tril(block)

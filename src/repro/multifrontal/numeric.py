@@ -1,0 +1,154 @@
+"""Numeric multifrontal factorization: one vbatched call per level.
+
+Walks the elimination forest bottom-up.  Each level assembles its
+frontal matrices (original entries + extend-add of the children's Schur
+complements), ships them to the device as ONE variable-size batch, and
+eliminates every front's separator block with
+:func:`repro.core.partial.partial_potrf_vbatched`.  The Schur
+complements come back for the parents' assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.batch import VBatch
+from ..core.partial import partial_potrf_vbatched
+from ..errors import BatchNumericalError
+from .symbolic import FrontInfo, SymbolicFactorization
+
+__all__ = ["FrontFactor", "MultifrontalFactor", "factorize"]
+
+
+@dataclass
+class FrontFactor:
+    """The factored pieces of one front."""
+
+    rows: list  # global vertex ids, separator first
+    k: int  # eliminated columns
+    l11: np.ndarray  # (k, k) lower Cholesky factor of the pivot block
+    l21: np.ndarray  # (order-k, k)
+
+
+@dataclass
+class MultifrontalFactor:
+    """A completed multifrontal Cholesky factorization."""
+
+    symbolic: SymbolicFactorization
+    fronts: dict  # id(FrontInfo) -> FrontFactor
+    elapsed: float  # simulated device seconds across all levels
+    total_flops: float
+    level_stats: list = field(default_factory=list)
+
+    @property
+    def gflops(self) -> float:
+        return self.total_flops / self.elapsed / 1e9 if self.elapsed > 0 else 0.0
+
+
+def _lookup(a, u, v):
+    """Symmetric matrix accessor for dense or scipy.sparse input."""
+    return a[u, v]
+
+
+def _assemble_front(a, front: FrontInfo, updates: dict, elim_position: dict) -> np.ndarray:
+    """Original entries + extend-add of children updates."""
+    rows = front.rows
+    local = {v: i for i, v in enumerate(rows)}
+    f = np.zeros((len(rows), len(rows)))
+
+    # Original entries: A[u, v] is assembled at the node eliminating
+    # the earlier of u, v — here iff v is in this separator and u has
+    # not been eliminated before v.
+    pos = elim_position
+    for v in front.sep:
+        lv = local[v]
+        f[lv, lv] += float(_lookup(a, v, v))
+        for u in front._adj[v]:
+            if pos[u] > pos[v]:
+                lu = local[u]
+                val = float(_lookup(a, u, v))
+                f[lu, lv] += val
+                f[lv, lu] += val
+
+    # Extend-add: children's Schur complements land on this front's
+    # rows (their boundaries are subsets of ours by the separator
+    # property).  A child with an empty boundary produced no update.
+    for child in front.children:
+        if id(child) not in updates:
+            continue
+        upd, child_boundary = updates.pop(id(child))
+        idx = np.array([local[v] for v in child_boundary], dtype=np.intp)
+        f[np.ix_(idx, idx)] += upd
+    return f
+
+
+def factorize(device, a, symbolic: SymbolicFactorization) -> MultifrontalFactor:
+    """Factorize the SPD matrix ``a`` (indexed by the graph's vertices).
+
+    ``a`` may be a dense array or any object supporting symmetric
+    ``a[u, v]`` indexing (e.g. ``scipy.sparse`` in LIL/CSR form) whose
+    sparsity pattern is covered by ``symbolic.graph``.  Raises
+    :class:`BatchNumericalError` if any pivot block is not positive
+    definite.
+    """
+    # Cache adjacency on the fronts (dict lookups beat graph views in
+    # the assembly loop).
+    adj = symbolic.graph.adj
+    for front in symbolic.fronts:
+        front._adj = {v: list(adj[v]) for v in front.sep}
+
+    updates: dict = {}
+    factors: dict = {}
+    elapsed = 0.0
+    total_flops = 0.0
+    level_stats = []
+
+    for level in symbolic.levels:
+        host_fronts = [
+            _assemble_front(a, front, updates, symbolic.elim_position)
+            for front in level
+        ]
+        batch = VBatch.from_host(device, host_fronts)
+        k_cols = np.array([f.k for f in level], dtype=np.int64)
+        result = partial_potrf_vbatched(device, batch, k_cols)
+        if result.failed_count:
+            failing = {i: int(v) for i, v in enumerate(result.infos) if v}
+            batch.free()
+            raise BatchNumericalError(failing, "multifrontal partial potrf")
+        elapsed += result.elapsed
+        total_flops += result.total_flops
+        level_stats.append(
+            {
+                "fronts": len(level),
+                "orders": (int(min(f.order for f in level)), int(max(f.order for f in level))),
+                "gflops": result.gflops if result.elapsed > 0 else 0.0,
+            }
+        )
+        outs = batch.download_matrices()
+        for front, mat in zip(level, outs):
+            k = front.k
+            factors[id(front)] = FrontFactor(
+                rows=front.rows,
+                k=k,
+                l11=np.tril(mat[:k, :k]),
+                l21=mat[k:, :k].copy(),
+            )
+            if front.boundary:
+                # The syrk kernel updates the lower triangle only
+                # (BLAS contract); symmetrize before the extend-add.
+                tri = np.tril(mat[k:, k:])
+                updates[id(front)] = (tri + np.tril(tri, -1).T, front.boundary)
+        batch.free()
+
+    # Clean up the cached adjacency.
+    for front in symbolic.fronts:
+        del front._adj
+    return MultifrontalFactor(
+        symbolic=symbolic,
+        fronts=factors,
+        elapsed=elapsed,
+        total_flops=total_flops,
+        level_stats=level_stats,
+    )

@@ -1,0 +1,63 @@
+"""Triangular solves through the factored front tree."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hostblas import trsm
+from .numeric import MultifrontalFactor
+
+__all__ = ["solve"]
+
+
+def solve(factor: MultifrontalFactor, b: dict | np.ndarray) -> np.ndarray | dict:
+    """Solve ``A x = b`` using the multifrontal factors.
+
+    ``b`` maps vertex -> value: a NumPy array when the graph's vertices
+    are integers ``0..n-1``, or a dict for arbitrary vertex labels.
+    Returns the solution in the same container type.
+    """
+    sym = factor.symbolic
+    as_array = isinstance(b, np.ndarray)
+    if as_array:
+        if b.shape[0] != sym.n:
+            raise ValueError(f"b has {b.shape[0]} entries, the system has {sym.n}")
+        work = {v: float(b[v]) for v in sym.elim_position}
+    else:
+        missing = set(sym.elim_position) - set(b)
+        if missing:
+            raise ValueError(f"b is missing {len(missing)} vertices")
+        work = {v: float(b[v]) for v in sym.elim_position}
+
+    # Forward: L z = b, fronts in elimination (bottom-up level) order.
+    for level in sym.levels:
+        for front in level:
+            ff = factor.fronts[id(front)]
+            z = np.array([work[v] for v in front.sep])[:, None]
+            trsm("l", "l", "n", "n", 1.0, ff.l11, z)
+            for v, zi in zip(front.sep, z[:, 0]):
+                work[v] = zi
+            if front.boundary:
+                upd = ff.l21 @ z[:, 0]
+                for v, u in zip(front.boundary, upd):
+                    work[v] -= u
+
+    # Backward: L^T x = z, reverse order.
+    for level in reversed(sym.levels):
+        for front in level:
+            ff = factor.fronts[id(front)]
+            rhs = np.array([work[v] for v in front.sep])
+            if front.boundary:
+                xb = np.array([work[v] for v in front.boundary])
+                rhs = rhs - ff.l21.T @ xb
+            x = rhs[:, None]
+            trsm("l", "l", "t", "n", 1.0, ff.l11, x)
+            for v, xi in zip(front.sep, x[:, 0]):
+                work[v] = xi
+
+    if as_array:
+        out = np.zeros(sym.n)
+        for v, val in work.items():
+            out[v] = val
+        return out
+    return work

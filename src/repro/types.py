@@ -1,0 +1,103 @@
+"""Precision handling shared by every layer of the library.
+
+The paper's framework supports four LAPACK precisions (``s``, ``d``,
+``c``, ``z``).  A :class:`Precision` bundles the NumPy dtype, the
+per-element storage size, and the *flop weight* — the factor by which a
+complex multiply-add outweighs a real one when converting operation
+counts into flops (the convention used by LAPACK timing codes and by the
+paper's Gflop/s axes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Precision", "PrecisionInfo", "precision_info"]
+
+
+class Precision(str, enum.Enum):
+    """LAPACK-style precision letter.
+
+    ``s``/``d`` are IEEE single/double; ``c``/``z`` their complex
+    counterparts.  The value doubles as the routine-name prefix used in
+    log messages (``spotrf``, ``dpotrf``, ...).
+    """
+
+    S = "s"
+    D = "d"
+    C = "c"
+    Z = "z"
+
+    @property
+    def is_complex(self) -> bool:
+        return self in (Precision.C, Precision.Z)
+
+    @property
+    def is_double(self) -> bool:
+        """True for the 64-bit-real-component precisions (``d``, ``z``)."""
+        return self in (Precision.D, Precision.Z)
+
+    @classmethod
+    def from_dtype(cls, dtype: np.dtype | type) -> "Precision":
+        """Map a NumPy dtype to its precision letter.
+
+        Raises :class:`TypeError` for unsupported dtypes (integers,
+        float16, ...), mirroring LAPACK's strict typing.
+        """
+        dt = np.dtype(dtype)
+        try:
+            return _DTYPE_TO_PRECISION[dt]
+        except KeyError:
+            raise TypeError(f"unsupported dtype for batched BLAS: {dt}") from None
+
+
+@dataclass(frozen=True)
+class PrecisionInfo:
+    """Static facts about one precision.
+
+    Attributes
+    ----------
+    precision:
+        The precision letter this record describes.
+    dtype:
+        NumPy dtype used for matrix storage.
+    bytes_per_element:
+        Storage footprint of one element; drives shared-memory and
+        global-memory accounting in the device model.
+    flop_weight:
+        Multiplier applied to real-arithmetic operation counts; 1 for
+        real precisions, 4 for complex (a complex fused multiply-add is
+        four real flops under the LAPACK convention).
+    uses_fp64_units:
+        Whether the GPU executes this precision on its FP64 pipelines
+        (``d``/``z``) rather than the FP32 ones; this selects which peak
+        throughput applies on the simulated device.
+    """
+
+    precision: Precision
+    dtype: np.dtype
+    bytes_per_element: int
+    flop_weight: int
+    uses_fp64_units: bool
+
+    @property
+    def name(self) -> str:
+        return self.precision.value
+
+
+_INFOS = {
+    Precision.S: PrecisionInfo(Precision.S, np.dtype(np.float32), 4, 1, False),
+    Precision.D: PrecisionInfo(Precision.D, np.dtype(np.float64), 8, 1, True),
+    Precision.C: PrecisionInfo(Precision.C, np.dtype(np.complex64), 8, 4, False),
+    Precision.Z: PrecisionInfo(Precision.Z, np.dtype(np.complex128), 16, 4, True),
+}
+
+_DTYPE_TO_PRECISION = {info.dtype: prec for prec, info in _INFOS.items()}
+
+
+def precision_info(precision: Precision | str) -> PrecisionInfo:
+    """Look up the :class:`PrecisionInfo` for a precision letter."""
+    return _INFOS[Precision(precision)]

@@ -1,0 +1,103 @@
+"""Tests for the autotuning framework."""
+
+import pytest
+
+from repro.autotune import (
+    FUSED_NB_TEMPLATES,
+    GEMM_TILINGS,
+    Tuner,
+    TuningCache,
+    size_band,
+)
+from repro.core.fused import default_fused_nb
+from repro.types import Precision
+
+
+class TestSpace:
+    def test_band_quantization(self):
+        assert size_band(1) == 16
+        assert size_band(16) == 16
+        assert size_band(17) == 32
+        assert size_band(500) == 512
+        assert size_band(5000) == 1024
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            size_band(0)
+
+    def test_spaces_nonempty(self):
+        assert len(FUSED_NB_TEMPLATES) >= 4
+        assert len(GEMM_TILINGS) >= 3
+
+
+class TestCache:
+    def test_memory_roundtrip(self):
+        c = TuningCache()
+        c.put("r", "d", 64, {"choice": {"nb": 8}, "gflops": 1.0, "swept": 3})
+        assert c.get("r", "d", 64)["choice"]["nb"] == 8
+        assert c.get("r", "d", 128) is None
+        assert len(c) == 1
+
+    def test_json_persistence(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        c1 = TuningCache(path)
+        c1.put("r", "s", 32, {"choice": {"nb": 16}, "gflops": 2.0, "swept": 5})
+        c2 = TuningCache(path)
+        assert c2.get("r", "s", 32)["gflops"] == 2.0
+        c2.clear()
+        assert not path.exists()
+
+
+class TestTuner:
+    def test_fused_nb_feasible_and_cached(self):
+        tuner = Tuner(batch_count=150)
+        r1 = tuner.tune_fused_nb(128, "d")
+        assert r1.choice["nb"] in FUSED_NB_TEMPLATES
+        assert r1.gflops > 0
+        assert r1.swept >= 3
+        r2 = tuner.tune_fused_nb(120, "d")  # same band -> cache hit
+        assert r2.choice == r1.choice
+
+    def test_fused_nb_matches_builtin_table_reasonably(self):
+        """The shipped default table must be near the swept optimum."""
+        tuner = Tuner(batch_count=300)
+        for prec in ("s", "d"):
+            for n in (64, 256, 512):
+                best = tuner.tune_fused_nb(n, prec)
+                built_in = default_fused_nb(size_band(n), prec)
+                base = tuner._fixed_run(
+                    size_band(n), Precision(prec),
+                    lambda dev: __import__("repro.core.fused", fromlist=["FusedDriver"]).FusedDriver(
+                        dev, etm="classic", sorting=False, nb=built_in
+                    ),
+                )
+                assert base > 0.8 * best.gflops, (prec, n, built_in, best.choice)
+
+    def test_crossover_between_bounds(self):
+        tuner = Tuner()
+        r = tuner.tune_crossover("d", grid=(128, 256, 384, 512, 768), batch_count=200)
+        assert 128 <= r.choice["crossover_size"] <= 768
+
+    def test_crossover_cached(self):
+        tuner = Tuner()
+        r1 = tuner.tune_crossover("d", grid=(128, 256), batch_count=100)
+        r2 = tuner.tune_crossover("d", grid=(512, 1024), batch_count=100)
+        assert r1.choice == r2.choice  # second call hits the cache
+
+    def test_gemm_tiling_prefers_big_tiles_for_big_matrices(self):
+        tuner = Tuner(batch_count=200)
+        big = tuner.tune_gemm_tiling(512, 512, 128, "d")
+        assert big.choice["blk_m"] >= 32
+
+    def test_gemm_tiling_z_feasible(self):
+        tuner = Tuner(batch_count=100)
+        r = tuner.tune_gemm_tiling(128, 128, 32, "z")
+        from repro.kernels.gemm import GemmTiling
+
+        t = GemmTiling(blk_m=r.choice["blk_m"], blk_n=r.choice["blk_n"],
+                       blk_k=r.choice["blk_k"], threads=r.choice["threads"])
+        assert t.shared_mem(16) <= 48 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tuner(batch_count=0)

@@ -1,0 +1,146 @@
+"""Tests for the baseline runners (paper §IV-F comparison points)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINES,
+    BaselineResult,
+    run_baseline,
+    run_cpu_multithreaded,
+    run_cpu_percore,
+    run_hybrid,
+    run_padding,
+    run_vbatched,
+)
+from repro.core.batch import VBatch
+from repro.device import Device
+from repro.distributions import uniform_sizes
+from repro.errors import DeviceOutOfMemory
+from repro.flops import batch_flops
+from repro.hostblas import cholesky_residual, make_spd_batch
+
+SIZES = uniform_sizes(300, 256, seed=0)
+
+
+class TestResultRecord:
+    def test_gflops(self):
+        r = BaselineResult("x", elapsed=2.0, total_flops=4e9)
+        assert r.gflops == pytest.approx(2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineResult("x", elapsed=-1.0, total_flops=1.0)
+
+
+class TestCpuBaselines:
+    def test_multithreaded_serializes_matrices(self):
+        r = run_cpu_multithreaded(SIZES, "d")
+        assert r.elapsed > 0
+        assert r.total_flops == pytest.approx(batch_flops(SIZES, "potrf", "d"))
+        assert r.core_busy is not None and r.core_busy.size == 16
+
+    def test_percore_dynamic_beats_static(self):
+        dyn = run_cpu_percore(SIZES, "d", scheduling="dynamic")
+        stat = run_cpu_percore(SIZES, "d", scheduling="static")
+        assert dyn.elapsed < stat.elapsed
+        assert dyn.extra["imbalance"] < stat.extra["imbalance"]
+
+    def test_percore_beats_multithreaded_on_small_sizes(self):
+        """Paper: one core per matrix wins for batched small problems."""
+        mt = run_cpu_multithreaded(SIZES, "d")
+        dyn = run_cpu_percore(SIZES, "d")
+        assert dyn.gflops > mt.gflops
+
+    def test_single_precision_faster(self):
+        d = run_cpu_percore(SIZES, "d")
+        s = run_cpu_percore(SIZES, "s")
+        assert s.elapsed < d.elapsed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_cpu_percore(np.array([]), "d")
+        with pytest.raises(ValueError):
+            run_cpu_percore(np.array([0]), "d")
+        with pytest.raises(ValueError):
+            run_cpu_multithreaded(np.array([-3]), "d")
+
+
+class TestHybridBaseline:
+    def test_numerics_correct(self):
+        dev = Device()
+        mats = make_spd_batch([40, 130, 17], "d", seed=1)
+        b = VBatch.from_host(dev, mats)
+        dev.reset_clock()
+        r = run_hybrid(dev, b)
+        assert r.elapsed > 0
+        outs = b.download_matrices()
+        worst = max(cholesky_residual(a, l) for a, l in zip(mats, outs))
+        assert worst < 1e-13
+
+    def test_hybrid_loses_to_vbatched(self):
+        dev1 = Device(execute_numerics=False)
+        b1 = VBatch.allocate(dev1, SIZES, "d")
+        dev1.reset_clock()
+        hyb = run_hybrid(dev1, b1)
+        dev2 = Device(execute_numerics=False)
+        b2 = VBatch.allocate(dev2, SIZES, "d")
+        dev2.reset_clock()
+        vb = run_vbatched(dev2, b2, int(SIZES.max()))
+        assert vb.gflops > 3 * hyb.gflops
+
+    def test_transfer_time_on_timeline(self):
+        dev = Device(execute_numerics=False)
+        b = VBatch.allocate(dev, [64], "d")
+        dev.reset_clock()
+        run_hybrid(dev, b)
+        cats = dev.timeline.categories()
+        assert any(k.startswith("hybrid:panel") for k in cats)
+
+    def test_validation(self):
+        dev = Device(execute_numerics=False)
+        b = VBatch.allocate(dev, [8], "d")
+        with pytest.raises(ValueError):
+            run_hybrid(dev, b, panel_nb=0)
+
+
+class TestPaddingBaseline:
+    def test_counts_useful_flops_only(self):
+        dev = Device(execute_numerics=False)
+        sizes = np.array([10, 20])
+        r = run_padding(dev, sizes, 64, "d")
+        assert r.total_flops == pytest.approx(batch_flops(sizes, "potrf", "d"))
+        assert r.extra["padded_flops"] > r.total_flops
+
+    def test_oom_propagates(self):
+        dev = Device(execute_numerics=False)
+        with pytest.raises(DeviceOutOfMemory):
+            run_padding(dev, np.full(800, 500), 2000, "d")
+
+    def test_slower_than_vbatched(self):
+        sizes = uniform_sizes(200, 300, seed=2)
+        pad = run_baseline("fixed-batched+padding", sizes, "d")
+        vb = run_baseline("magma-vbatched", sizes, "d")
+        assert vb.gflops > 1.5 * pad.gflops
+
+
+class TestRegistry:
+    def test_all_names_run(self):
+        sizes = uniform_sizes(60, 128, seed=3)
+        for name in BASELINES:
+            r = run_baseline(name, sizes, "d")
+            assert r.gflops > 0, name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            run_baseline("gpu-magic", SIZES, "d")
+
+    def test_paper_ordering_holds(self):
+        """Fig 8's ranking at a representative point."""
+        sizes = uniform_sizes(400, 512, seed=4)
+        g = {name: run_baseline(name, sizes, "d").gflops for name in BASELINES}
+        assert g["magma-vbatched"] > g["cpu-1core-dynamic"]
+        assert g["cpu-1core-dynamic"] > g["cpu-1core-static"]
+        assert g["cpu-1core-static"] > g["cpu-mkl-mt"]
+        assert g["cpu-mkl-mt"] > g["magma-hybrid"]
+        assert g["magma-vbatched"] > g["fixed-batched+padding"]

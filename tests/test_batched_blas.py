@@ -1,0 +1,236 @@
+"""Tests for the public vbatched BLAS interface (paper §III-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.batched_blas import (
+    MatrixBatch,
+    gemm_vbatched,
+    syrk_vbatched,
+    trsm_vbatched,
+    trtri_vbatched,
+)
+from repro.device import Device
+from repro.errors import ArgumentError
+
+
+def rng_mats(shapes, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    out = []
+    for m, n in shapes:
+        a = rng.standard_normal((m, n))
+        if np.dtype(dtype).kind == "c":
+            a = a + 1j * rng.standard_normal((m, n))
+        out.append(a.astype(dtype))
+    return out
+
+
+class TestMatrixBatch:
+    def test_from_host_roundtrip(self):
+        dev = Device()
+        mats = rng_mats([(3, 5), (7, 2)])
+        mb = MatrixBatch.from_host(dev, mats)
+        assert mb.batch_count == 2
+        for src, back in zip(mats, mb.download()):
+            np.testing.assert_array_equal(src, back)
+
+    def test_metadata_on_device(self):
+        dev = Device()
+        mb = MatrixBatch.from_host(dev, rng_mats([(3, 5)]))
+        np.testing.assert_array_equal(mb.rows_dev.data, [3])
+        np.testing.assert_array_equal(mb.cols_dev.data, [5])
+
+    def test_allocate_zero_dims(self):
+        dev = Device(execute_numerics=False)
+        mb = MatrixBatch.allocate(dev, [0, 4], [3, 0], "d")
+        assert mb.batch_count == 2
+
+    def test_validation(self):
+        dev = Device()
+        with pytest.raises(ArgumentError):
+            MatrixBatch.from_host(dev, [])
+        with pytest.raises(ArgumentError):
+            MatrixBatch.from_host(dev, [np.ones((2, 2)), np.ones((2, 2), np.float32)])
+        with pytest.raises(ArgumentError):
+            MatrixBatch.from_host(dev, [np.ones(3)])
+        with pytest.raises(ArgumentError):
+            MatrixBatch.allocate(dev, [2], [2, 3], "d")
+
+    def test_free(self):
+        dev = Device()
+        mb = MatrixBatch.from_host(dev, rng_mats([(20, 20)]))
+        used = dev.memory.used
+        mb.free()
+        assert dev.memory.used < used
+
+
+class TestGemmVbatched:
+    @pytest.mark.parametrize("ta", ["n", "t"])
+    @pytest.mark.parametrize("tb", ["n", "t"])
+    def test_matches_numpy(self, ta, tb):
+        dev = Device()
+        dims = [(4, 3, 5), (16, 16, 16), (1, 9, 2)]
+        a_shapes = [(m, k) if ta == "n" else (k, m) for m, n, k in dims]
+        b_shapes = [(k, n) if tb == "n" else (n, k) for m, n, k in dims]
+        c_shapes = [(m, n) for m, n, k in dims]
+        amats, bmats, cmats = (rng_mats(s, i) for i, s in enumerate([a_shapes, b_shapes, c_shapes]))
+        expected = []
+        for x, y, z in zip(amats, bmats, cmats):
+            ox = x if ta == "n" else x.T
+            oy = y if tb == "n" else y.T
+            expected.append(1.5 * ox @ oy + 0.5 * z)
+        A, B, C = (MatrixBatch.from_host(dev, m) for m in (amats, bmats, cmats))
+        res = gemm_vbatched(dev, ta, tb, 1.5, A, B, 0.5, C)
+        assert res.gflops > 0
+        for e, got in zip(expected, C.download()):
+            np.testing.assert_allclose(got, e, rtol=1e-12)
+
+    def test_complex_conjugate(self):
+        dev = Device()
+        amats = rng_mats([(3, 4)], seed=5, dtype=np.complex128)
+        bmats = rng_mats([(3, 6)], seed=6, dtype=np.complex128)
+        cmats = [np.zeros((4, 6), np.complex128)]
+        A, B, C = (MatrixBatch.from_host(dev, m) for m in (amats, bmats, cmats))
+        gemm_vbatched(dev, "c", "n", 1.0, A, B, 0.0, C)
+        np.testing.assert_allclose(C.download()[0], amats[0].conj().T @ bmats[0], rtol=1e-12)
+
+    def test_dimension_mismatch_names_matrix(self):
+        dev = Device()
+        A = MatrixBatch.from_host(dev, rng_mats([(2, 3)]))
+        B = MatrixBatch.from_host(dev, rng_mats([(4, 2)]))
+        C = MatrixBatch.from_host(dev, rng_mats([(2, 2)]))
+        with pytest.raises(ArgumentError, match="matrix 0"):
+            gemm_vbatched(dev, "n", "n", 1.0, A, B, 0.0, C)
+
+    def test_batch_count_mismatch(self):
+        dev = Device()
+        A = MatrixBatch.from_host(dev, rng_mats([(2, 2), (2, 2)]))
+        B = MatrixBatch.from_host(dev, rng_mats([(2, 2)]))
+        with pytest.raises(ArgumentError, match="batch counts"):
+            gemm_vbatched(dev, "n", "n", 1.0, A, B, 0.0, B)
+
+    def test_bad_flags(self):
+        dev = Device()
+        A = MatrixBatch.from_host(dev, rng_mats([(2, 2)]))
+        with pytest.raises(ArgumentError):
+            gemm_vbatched(dev, "x", "n", 1.0, A, A, 0.0, A)
+
+    @given(
+        count=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_batches(self, count, seed):
+        rng = np.random.default_rng(seed)
+        dims = [(int(rng.integers(1, 20)), int(rng.integers(1, 20)), int(rng.integers(1, 20)))
+                for _ in range(count)]
+        dev = Device()
+        amats = rng_mats([(m, k) for m, n, k in dims], seed)
+        bmats = rng_mats([(k, n) for m, n, k in dims], seed + 1)
+        cmats = [np.zeros((m, n)) for m, n, k in dims]
+        A, B, C = (MatrixBatch.from_host(dev, m) for m in (amats, bmats, cmats))
+        gemm_vbatched(dev, "n", "n", 1.0, A, B, 0.0, C)
+        for x, y, got in zip(amats, bmats, C.download()):
+            np.testing.assert_allclose(got, x @ y, atol=1e-10)
+
+
+class TestSyrkVbatched:
+    @pytest.mark.parametrize("uplo", ["l", "u"])
+    @pytest.mark.parametrize("trans", ["n", "t"])
+    def test_triangles(self, uplo, trans):
+        dev = Device()
+        n, k = 7, 4
+        amats = rng_mats([(n, k) if trans == "n" else (k, n)], seed=9)
+        cmats = rng_mats([(n, n)], seed=10)
+        c0 = cmats[0].copy()
+        A = MatrixBatch.from_host(dev, amats)
+        C = MatrixBatch.from_host(dev, cmats)
+        syrk_vbatched(dev, uplo, trans, 2.0, A, 1.0, C)
+        got = C.download()[0]
+        op = amats[0] if trans == "n" else amats[0].T
+        full = 2.0 * op @ op.T + c0
+        mask = np.tril(np.ones((n, n), bool)) if uplo == "l" else np.triu(np.ones((n, n), bool))
+        np.testing.assert_allclose(got[mask], full[mask], rtol=1e-12)
+        np.testing.assert_array_equal(got[~mask], c0[~mask])
+
+    def test_validation(self):
+        dev = Device()
+        A = MatrixBatch.from_host(dev, rng_mats([(4, 2)]))
+        C = MatrixBatch.from_host(dev, rng_mats([(5, 5)]))
+        with pytest.raises(ArgumentError, match="op\\(A\\)"):
+            syrk_vbatched(dev, "l", "n", 1.0, A, 1.0, C)
+        Cr = MatrixBatch.from_host(dev, rng_mats([(4, 5)]))
+        with pytest.raises(ArgumentError, match="square"):
+            syrk_vbatched(dev, "l", "n", 1.0, A, 1.0, Cr)
+
+
+class TestTrsmVbatched:
+    @pytest.mark.parametrize("side", ["l", "r"])
+    @pytest.mark.parametrize("uplo", ["l", "u"])
+    @pytest.mark.parametrize("trans", ["n", "t"])
+    def test_all_cases(self, side, uplo, trans):
+        dev = Device()
+        rng = np.random.default_rng(3)
+        na = 6
+        shape = (na, 4) if side == "l" else (4, na)
+        tri = rng.standard_normal((na, na)) + na * np.eye(na)
+        tri = np.tril(tri) if uplo == "l" else np.triu(tri)
+        bmat = rng.standard_normal(shape)
+        b0 = bmat.copy()
+        A = MatrixBatch.from_host(dev, [tri])
+        B = MatrixBatch.from_host(dev, [bmat])
+        res = trsm_vbatched(dev, side, uplo, trans, "n", 1.0, A, B)
+        assert res.elapsed > 0
+        x = B.download()[0]
+        op = tri if trans == "n" else tri.T
+        recon = op @ x if side == "l" else x @ op
+        np.testing.assert_allclose(recon, b0, rtol=1e-9, atol=1e-10)
+
+    def test_mixed_sizes_batch(self):
+        dev = Device()
+        rng = np.random.default_rng(4)
+        tris, bs, b0s = [], [], []
+        for n, nrhs in [(3, 2), (17, 5), (1, 1)]:
+            t = np.tril(rng.standard_normal((n, n))) + n * np.eye(n)
+            b = rng.standard_normal((n, nrhs))
+            tris.append(t); bs.append(b); b0s.append(b.copy())
+        A = MatrixBatch.from_host(dev, tris)
+        B = MatrixBatch.from_host(dev, bs)
+        trsm_vbatched(dev, "l", "l", "n", "n", 1.0, A, B)
+        for t, x, b0 in zip(tris, B.download(), b0s):
+            np.testing.assert_allclose(t @ x, b0, rtol=1e-9)
+
+    def test_validation(self):
+        dev = Device()
+        A = MatrixBatch.from_host(dev, rng_mats([(3, 3)]))
+        B = MatrixBatch.from_host(dev, rng_mats([(4, 2)]))
+        with pytest.raises(ArgumentError, match="A order"):
+            trsm_vbatched(dev, "l", "l", "n", "n", 1.0, A, B)
+        with pytest.raises(ArgumentError):
+            trsm_vbatched(dev, "x", "l", "n", "n", 1.0, A, A)
+
+
+class TestTrtriVbatched:
+    def test_inverts_batch(self):
+        dev = Device()
+        rng = np.random.default_rng(6)
+        tris = []
+        for n in (4, 12, 33):
+            tris.append(np.tril(rng.standard_normal((n, n))) + n * np.eye(n))
+        originals = [t.copy() for t in tris]
+        A = MatrixBatch.from_host(dev, tris)
+        res = trtri_vbatched(dev, "l", "n", A)
+        assert res.gflops > 0
+        for orig, inv in zip(originals, A.download()):
+            n = orig.shape[0]
+            np.testing.assert_allclose(np.tril(inv) @ orig, np.eye(n), atol=1e-9)
+
+    def test_validation(self):
+        dev = Device()
+        A = MatrixBatch.from_host(dev, rng_mats([(3, 4)]))
+        with pytest.raises(ArgumentError, match="square"):
+            trtri_vbatched(dev, "l", "n", A)
+        sq = MatrixBatch.from_host(dev, rng_mats([(3, 3)]))
+        with pytest.raises(ArgumentError):
+            trtri_vbatched(dev, "q", "n", sq)

@@ -1,0 +1,144 @@
+"""Tests for the figure harness containers and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench import FigureResult, Series, format_figure, format_table
+from repro.bench.figures import (
+    aux_interface_overhead,
+    fig3_distributions,
+    fig4_fusion_fixed,
+    fig5_fused_variants,
+    fig7_crossover,
+    fig10_energy,
+)
+
+
+class TestSeries:
+    def test_ratio_to(self):
+        a = Series("a", [2.0, 4.0, float("nan")])
+        b = Series("b", [1.0, 0.0, 2.0])
+        r = a.ratio_to(b)
+        assert r[0] == pytest.approx(2.0)
+        assert np.isnan(r[1]) and np.isnan(r[2])
+
+    def test_array(self):
+        np.testing.assert_array_equal(Series("a", [1, 2]).array, [1.0, 2.0])
+
+
+class TestFigureResult:
+    def test_add_and_get(self):
+        f = FigureResult("F", "t", "x", [1, 2])
+        f.add("s", [3.0, 4.0])
+        assert f.get("s").values == [3.0, 4.0]
+
+    def test_length_mismatch(self):
+        f = FigureResult("F", "t", "x", [1, 2])
+        with pytest.raises(ValueError):
+            f.add("s", [1.0])
+
+    def test_unknown_series(self):
+        f = FigureResult("F", "t", "x", [1])
+        with pytest.raises(KeyError):
+            f.get("missing")
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_format_figure_includes_notes(self):
+        f = FigureResult("Fig X", "demo", "n", [1])
+        f.add("v", [3.14])
+        f.notes["claim"] = 2.0
+        text = format_figure(f)
+        assert "Fig X" in text and "claim" in text
+
+    def test_nan_rendered(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "n/a" in out
+
+
+class TestFigureFunctionsQuick:
+    """Reduced-scale runs: each figure function produces sane series."""
+
+    def test_fig3(self):
+        f = fig3_distributions(batch_count=500, max_size=64, bin_width=8)
+        assert f.get("uniform").array.sum() == 500
+        assert f.get("gaussian").array.sum() == 500
+
+    def test_fig4(self):
+        f = fig4_fusion_fixed("d", sizes=(16, 64), batch_count=100)
+        assert all(v > 0 for v in f.get("fused").values)
+        assert f.notes["max_speedup"] > 1.0
+
+    def test_fig5(self):
+        f = fig5_fused_variants("d", nmax_values=(64, 128), batch_count=300)
+        assert len(f.series) == 4
+        for s in f.series:
+            assert all(v > 0 for v in s.values)
+
+    def test_fig7(self):
+        f = fig7_crossover("d", nmax_values=(128, 1024), batch_count=100)
+        switch = f.get("switch").array
+        assert np.all(switch > 0)
+        assert f.notes["configured_crossover"] > 0
+
+    def test_fig10(self):
+        f = fig10_energy(buckets=((32, 64, 200),))
+        assert f.get("cpu_over_gpu").values[0] > 0
+
+    def test_aux_overhead(self):
+        f = aux_interface_overhead("d", nmax=64, batch_count=200)
+        fraction = f.get("value").values[2]
+        assert 0 <= fraction < 0.2
+
+
+class TestAsciiChart:
+    def test_renders_bars_scaled_to_max(self):
+        from repro.bench import format_ascii_chart
+
+        f = FigureResult("Fig X", "demo", "n", [1, 2])
+        f.add("a", [10.0, 5.0])
+        f.add("b", [float("nan"), 2.5])
+        text = format_ascii_chart(f, width=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("== Fig X")
+        bar_10 = next(l for l in lines if l.strip().startswith("1 |"))
+        bar_5 = next(l for l in lines if l.strip().startswith("2 |") and "#" in l)
+        assert bar_10.count("#") == 20       # the max gets the full width
+        assert bar_5.count("#") == 10        # half the max, half the bar
+        assert any("n/a" in l for l in lines)
+
+    def test_zero_figure(self):
+        from repro.bench import format_ascii_chart
+
+        f = FigureResult("F", "t", "x", [1])
+        f.add("s", [0.0])
+        assert "| " in format_ascii_chart(f)
+
+    def test_width_validated(self):
+        from repro.bench import format_ascii_chart
+
+        f = FigureResult("F", "t", "x", [1])
+        f.add("s", [1.0])
+        with pytest.raises(ValueError):
+            format_ascii_chart(f, width=0)
+
+
+class TestCsvExport:
+    def test_roundtrip(self, tmp_path):
+        import csv
+
+        f = FigureResult("F", "t", "n", [1, 2])
+        f.add("a", [1.5, float("nan")])
+        f.add("b", [3.0, 4.0])
+        path = f.to_csv(tmp_path / "fig.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["n", "a", "b"]
+        assert rows[1] == ["1", "1.5", "3.0"]
+        assert rows[2][0] == "2" and rows[2][2] == "4.0"

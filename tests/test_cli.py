@@ -1,0 +1,62 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestFiguresCommand:
+    def test_single_figure(self, capsys):
+        assert main(["figures", "--fig", "aux", "-p", "d"]) == 0
+        out = capsys.readouterr().out
+        assert "interface overhead" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "--fig", "42"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_fig3_runs(self, capsys):
+        assert main(["figures", "--fig", "3"]) == 0
+        assert "histograms" in capsys.readouterr().out
+
+
+class TestTuneCommand:
+    def test_fused_nb(self, capsys):
+        assert main(["tune", "fused_nb", "-p", "d", "-n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "fused_nb" in out and "nb" in out
+
+    def test_gemm_with_cache(self, capsys, tmp_path):
+        cache = tmp_path / "t.json"
+        assert main(["tune", "gemm", "-p", "s", "-n", "128", "--cache", str(cache)]) == 0
+        assert cache.exists()
+        data = json.loads(cache.read_text())
+        assert any(k.startswith("gemm_tiling") for k in data)
+
+
+class TestProfileCommand:
+    def test_profile_with_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main([
+            "profile", "-b", "200", "-n", "96", "--trace", str(trace)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Gflop/s" in out and "share_%" in out
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_profile_distribution_choice(self, capsys):
+        assert main(["profile", "-b", "100", "-n", "64", "-d", "gaussian"]) == 0
+
+
+class TestEnergyCommand:
+    def test_energy_bucket(self, capsys):
+        assert main(["energy", "--low", "64", "--high", "128", "-b", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "energy ratio" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

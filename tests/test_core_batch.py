@@ -1,0 +1,174 @@
+"""Tests for the VBatch container and the implicit-sorting scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import VBatch
+from repro.core.sorting import SizeWindow, partition_windows, sorted_order
+from repro.device import Device
+from repro.errors import ArgumentError, DeviceOutOfMemory
+from repro.hostblas import make_spd_batch
+from repro.types import Precision
+
+
+class TestVBatch:
+    def test_from_host_roundtrip(self):
+        dev = Device()
+        mats = make_spd_batch([3, 7, 1], "d", seed=0)
+        b = VBatch.from_host(dev, mats)
+        assert b.batch_count == 3
+        assert b.precision is Precision.D
+        assert b.max_size_host == 7
+        for src, back in zip(mats, b.download_matrices()):
+            np.testing.assert_array_equal(src, back)
+
+    def test_allocate_timing_only(self):
+        dev = Device(execute_numerics=False)
+        b = VBatch.allocate(dev, [4, 9], "s")
+        assert b.batch_count == 2
+        assert b.precision is Precision.S
+        assert b.total_bytes == (16 + 81) * 4
+
+    def test_device_metadata_resident(self):
+        dev = Device()
+        b = VBatch.from_host(dev, make_spd_batch([5, 6], "d"))
+        np.testing.assert_array_equal(b.sizes_dev.data, [5, 6])
+        np.testing.assert_array_equal(b.ldas_dev.data, [5, 6])
+        np.testing.assert_array_equal(b.infos_dev.data, [0, 0])
+
+    def test_upload_charges_memory_and_time(self):
+        dev = Device()
+        VBatch.from_host(dev, make_spd_batch([50], "d"))
+        assert dev.memory.used >= 50 * 50 * 8
+        assert dev.synchronize() > 0
+
+    def test_lda_padding(self):
+        dev = Device()
+        b = VBatch.allocate(dev, [4, 8], "d", ldas=[10, 8])
+        assert b.matrices[0].shape == (10, 4)
+        assert b.matrix_view(0).shape == (4, 4)
+
+    def test_lda_smaller_than_n_rejected(self):
+        dev = Device()
+        with pytest.raises(ArgumentError):
+            VBatch.allocate(dev, [8], "d", ldas=[4])
+
+    def test_empty_batch_rejected(self):
+        dev = Device()
+        with pytest.raises(ArgumentError):
+            VBatch.from_host(dev, [])
+        with pytest.raises(ArgumentError):
+            VBatch.allocate(dev, [], "d")
+
+    def test_mixed_dtypes_rejected(self):
+        dev = Device()
+        mats = [np.eye(3, dtype=np.float64), np.eye(3, dtype=np.float32)]
+        with pytest.raises(ArgumentError, match="mixed dtypes"):
+            VBatch.from_host(dev, mats)
+
+    def test_nonsquare_rejected(self):
+        dev = Device()
+        with pytest.raises(ArgumentError, match="square"):
+            VBatch.from_host(dev, [np.ones((2, 3))])
+
+    def test_free_releases_device_memory(self):
+        dev = Device()
+        b = VBatch.from_host(dev, make_spd_batch([30, 40], "d"))
+        used = dev.memory.used
+        assert used > 0
+        b.free()
+        assert dev.memory.used < used / 10  # only unrelated residue
+
+    def test_oom_on_huge_batch(self):
+        dev = Device()
+        with pytest.raises(DeviceOutOfMemory):
+            VBatch.allocate(dev, [2000] * 800, "d")  # 25.6 GB > 12 GB
+
+
+class TestSortedOrder:
+    def test_descending(self):
+        sizes = np.array([5, 9, 1, 9, 3])
+        order = sorted_order(sizes)
+        assert list(sizes[order]) == [9, 9, 5, 3, 1]
+
+    def test_stable_for_ties(self):
+        sizes = np.array([4, 4, 4])
+        np.testing.assert_array_equal(sorted_order(sizes), [0, 1, 2])
+
+
+class TestPartitionWindows:
+    def test_basic_partition(self):
+        sizes = np.array([100, 50, 10, 80])
+        order = sorted_order(sizes)
+        wins = partition_windows(sizes, order, offset=0, window_width=32)
+        # remaining: 100, 80, 50, 10 -> windows (96,128],(64,96],(32,64],(0,32]
+        assert [w.max_m for w in wins] == [100, 80, 50, 10]
+        assert [len(w.indices) for w in wins] == [1, 1, 1, 1]
+
+    def test_grouping_within_window(self):
+        """Windows align to multiples of the width: (32,64] then (0,32]."""
+        sizes = np.array([33, 40, 60, 64, 2])
+        order = sorted_order(sizes)
+        wins = partition_windows(sizes, order, 0, 32)
+        assert [set(sizes[w.indices]) for w in wins] == [{33, 40, 60, 64}, {2}]
+        assert [w.max_m for w in wins] == [64, 2]
+
+    def test_offset_excludes_finished(self):
+        sizes = np.array([10, 100])
+        order = sorted_order(sizes)
+        wins = partition_windows(sizes, order, offset=50, window_width=32)
+        assert len(wins) == 1
+        assert wins[0].max_m == 50
+        assert list(wins[0].indices) == [1]
+
+    def test_all_finished(self):
+        sizes = np.array([4, 5])
+        assert partition_windows(sizes, sorted_order(sizes), 10, 8) == []
+
+    def test_min_count_merges(self):
+        sizes = np.arange(1, 101)  # 1..100
+        order = sorted_order(sizes)
+        plain = partition_windows(sizes, order, 0, 10)
+        merged = partition_windows(sizes, order, 0, 10, min_count=50)
+        assert len(plain) == 10
+        assert len(merged) <= 2
+        assert sum(len(w.indices) for w in merged) == 100
+
+    def test_windows_cover_live_exactly_once(self):
+        sizes = np.array([7, 7, 13, 90, 64, 31, 2, 55])
+        order = sorted_order(sizes)
+        wins = partition_windows(sizes, order, 0, 16)
+        seen = np.concatenate([w.indices for w in wins])
+        assert sorted(seen) == list(range(len(sizes)))
+
+    def test_validation(self):
+        sizes = np.array([4])
+        with pytest.raises(ValueError):
+            partition_windows(sizes, sorted_order(sizes), 0, 0)
+        with pytest.raises(ValueError):
+            partition_windows(sizes, sorted_order(sizes), -1, 8)
+        with pytest.raises(ValueError):
+            SizeWindow(np.array([], dtype=np.int64), 4)
+        with pytest.raises(ValueError):
+            SizeWindow(np.array([1]), 0)
+
+    @given(
+        sizes=st.lists(st.integers(1, 300), min_size=1, max_size=80),
+        offset=st.integers(0, 300),
+        width=st.integers(1, 64),
+        min_count=st.integers(0, 40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_partition_invariants(self, sizes, offset, width, min_count):
+        sizes = np.array(sizes)
+        order = sorted_order(sizes)
+        wins = partition_windows(sizes, order, offset, width, min_count)
+        live = np.flatnonzero(sizes > offset)
+        covered = np.concatenate([w.indices for w in wins]) if wins else np.array([], int)
+        # Every live matrix exactly once; no finished matrix included.
+        assert sorted(covered) == sorted(live)
+        for w in wins:
+            remaining = sizes[w.indices] - offset
+            assert np.all(remaining >= 1)
+            assert w.max_m == remaining.max()

@@ -1,0 +1,209 @@
+"""Tests for the CPU substrate (spec, MKL model, scheduler, power)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import (
+    SANDY_BRIDGE_2X8,
+    SANDY_BRIDGE_POWER,
+    CoreScheduler,
+    CpuPowerModel,
+    MklModel,
+)
+from repro.flops import potrf_flops
+from repro.types import precision_info
+
+
+class TestCpuSpec:
+    def test_peak_flops_published(self):
+        # 16 cores x 8 DP flops/cycle x 2.6 GHz = 332.8 Gflop/s
+        assert SANDY_BRIDGE_2X8.peak_flops(precision_info("d")) == pytest.approx(332.8e9)
+        assert SANDY_BRIDGE_2X8.peak_flops(precision_info("s")) == pytest.approx(665.6e9)
+
+    def test_total_cores(self):
+        assert SANDY_BRIDGE_2X8.total_cores == 16
+
+    def test_complex_peak_equals_real(self):
+        assert SANDY_BRIDGE_2X8.peak_flops(precision_info("z")) == SANDY_BRIDGE_2X8.peak_flops(
+            precision_info("d")
+        )
+
+
+class TestMklModel:
+    def setup_method(self):
+        self.mkl = MklModel()
+
+    def test_sequential_rate_below_peak(self):
+        peak = SANDY_BRIDGE_2X8.peak_flops_per_core(precision_info("d"))
+        for n in (8, 64, 512, 4096):
+            assert 0 < self.mkl.sequential_rate(n, "d") < peak
+
+    def test_rate_grows_with_size_until_cache_spill(self):
+        r32 = self.mkl.sequential_rate(32, "d")
+        r128 = self.mkl.sequential_rate(128, "d")
+        assert r128 > r32
+
+    def test_large_matrices_reach_decent_fraction_of_peak(self):
+        peak = SANDY_BRIDGE_2X8.peak_flops_per_core(precision_info("d"))
+        assert self.mkl.sequential_rate(1000, "d") > 0.5 * peak
+
+    def test_cache_spill_penalty(self):
+        """A matrix too big for L3/core runs slower per flop."""
+        # L3/core = 2.5 MB -> n = 572 doubles; compare densities around it.
+        small = self.mkl.sequential_rate(500, "d")
+        big = self.mkl.sequential_rate(620, "d")
+        assert big < small * 1.02  # spill cancels the size-growth benefit
+
+    def test_single_precision_faster(self):
+        ts = self.mkl.potrf_time(256, "s")
+        td = self.mkl.potrf_time(256, "d")
+        assert ts < td
+
+    def test_call_overhead_dominates_tiny(self):
+        t = self.mkl.potrf_time(2, "d")
+        assert t >= self.mkl.constants.call_overhead
+
+    def test_multithreading_hurts_small_matrices(self):
+        """Paper §IV-F: all-cores-on-one-small-matrix is not wise."""
+        t1 = self.mkl.potrf_time(64, "d", threads=1)
+        t16 = self.mkl.potrf_time(64, "d", threads=16)
+        assert t16 > t1 / 2  # nowhere near 16x; overheads bite
+
+    def test_multithreading_helps_large_matrices(self):
+        t1 = self.mkl.potrf_time(2048, "d", threads=1)
+        t16 = self.mkl.potrf_time(2048, "d", threads=16)
+        assert t16 < t1 / 4
+
+    def test_effective_threads_capped_by_size(self):
+        assert self.mkl.effective_threads(96, 16) == pytest.approx(1.0)
+        assert self.mkl.effective_threads(960, 16) == pytest.approx(10.0)
+        assert self.mkl.effective_threads(9600, 16) == 16
+
+    def test_potrf_time_validation(self):
+        with pytest.raises(ValueError):
+            self.mkl.potrf_time(16, "d", threads=0)
+        with pytest.raises(ValueError):
+            self.mkl.potrf_time(16, "d", threads=17)
+        with pytest.raises(ValueError):
+            self.mkl.sequential_rate(0, "d")
+
+    def test_gemm_time_positive_and_scales(self):
+        t_small = self.mkl.gemm_time(64, 64, 64, "d")
+        t_big = self.mkl.gemm_time(512, 512, 512, "d")
+        assert 0 < t_small < t_big
+
+    @given(n=st.integers(1, 3000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_time_exceeds_peak_bound(self, n):
+        """No modeled call beats the hardware peak."""
+        t = self.mkl.potrf_time(n, "d", threads=1)
+        peak = SANDY_BRIDGE_2X8.peak_flops_per_core(precision_info("d"))
+        assert t >= potrf_flops(n) / peak
+
+
+class TestCoreScheduler:
+    def setup_method(self):
+        self.sched = CoreScheduler()
+
+    def test_equal_tasks_perfectly_balanced(self):
+        t = np.full(160, 1.0)
+        res = self.sched.run(t, "static")
+        assert res.makespan == pytest.approx(10.0)
+        assert res.imbalance == pytest.approx(1.0)
+
+    def test_dynamic_beats_static_on_skewed_sizes(self):
+        """Paper: static scheduling oscillates; dynamic balances."""
+        rng = np.random.default_rng(0)
+        t = rng.exponential(1.0, size=400)
+        res_s = self.sched.run(t, "static")
+        res_d = self.sched.run(t, "dynamic")
+        assert res_d.makespan < res_s.makespan
+
+    def test_dynamic_near_lower_bound(self):
+        rng = np.random.default_rng(1)
+        t = rng.uniform(0.5, 1.5, size=320)
+        res = self.sched.run(t, "dynamic")
+        lower = t.sum() / 16
+        assert res.makespan < 1.1 * lower + t.max()
+
+    def test_dispatch_overhead_charged(self):
+        t = np.full(16, 1.0)
+        res = self.sched.run(t, "dynamic")
+        assert res.makespan == pytest.approx(1.0 + self.sched.dispatch_overhead)
+
+    def test_single_core(self):
+        t = np.array([1.0, 2.0, 3.0])
+        res = self.sched.run(t, "static", cores=1)
+        assert res.makespan == pytest.approx(6.0)
+
+    def test_empty_batch(self):
+        res = self.sched.run(np.array([]), "dynamic")
+        assert res.makespan == 0.0
+        assert res.utilization == 0.0
+
+    def test_utilization_in_unit_range(self):
+        rng = np.random.default_rng(2)
+        res = self.sched.run(rng.uniform(0.1, 2.0, 100), "dynamic")
+        assert 0.0 < res.utilization <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.sched.run(np.array([1.0]), "lpt")
+        with pytest.raises(ValueError):
+            self.sched.run(np.array([-1.0]), "static")
+        with pytest.raises(ValueError):
+            self.sched.run(np.array([1.0]), "static", cores=0)
+        with pytest.raises(ValueError):
+            self.sched.run(np.ones((2, 2)), "static")
+        with pytest.raises(ValueError):
+            CoreScheduler(dispatch_overhead=-1e-6)
+
+    @given(
+        tasks=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=100),
+        cores=st.integers(1, 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_schedules_respect_bounds(self, tasks, cores):
+        t = np.array(tasks)
+        for mode in ("static", "dynamic"):
+            res = self.sched.run(t, mode, cores=cores)
+            slack = self.sched.dispatch_overhead * len(tasks)
+            assert res.makespan >= t.max() - 1e-12
+            assert res.makespan >= t.sum() / cores - 1e-12
+            assert res.makespan <= t.sum() + slack + 1e-9
+
+
+class TestCpuPower:
+    def test_idle_and_max(self):
+        assert SANDY_BRIDGE_POWER.idle_watts == pytest.approx(40.0)
+        assert SANDY_BRIDGE_POWER.max_watts == pytest.approx(40.0 + 16 * 11.0)
+
+    def test_power_linear_in_cores(self):
+        p0 = SANDY_BRIDGE_POWER.power(0)
+        p8 = SANDY_BRIDGE_POWER.power(8)
+        p16 = SANDY_BRIDGE_POWER.power(16)
+        assert p8 - p0 == pytest.approx(p16 - p8)
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            SANDY_BRIDGE_POWER.power(17)
+        with pytest.raises(ValueError):
+            SANDY_BRIDGE_POWER.power(-1)
+
+    def test_energy_accounting(self):
+        busy = np.full(16, 2.0)  # every core busy for the whole 2s run
+        e = SANDY_BRIDGE_POWER.energy(busy, makespan=2.0)
+        assert e == pytest.approx(SANDY_BRIDGE_POWER.max_watts * 2.0)
+
+    def test_idle_run_energy(self):
+        e = SANDY_BRIDGE_POWER.energy(np.zeros(16), makespan=3.0)
+        assert e == pytest.approx(40.0 * 3.0)
+
+    def test_energy_validation(self):
+        with pytest.raises(ValueError):
+            SANDY_BRIDGE_POWER.energy(np.zeros(4), makespan=-1.0)
+        with pytest.raises(ValueError):
+            SANDY_BRIDGE_POWER.energy(np.array([-1.0]), makespan=1.0)
+        with pytest.raises(ValueError):
+            CpuPowerModel(SANDY_BRIDGE_2X8, -1.0, 5.0)

@@ -1,0 +1,108 @@
+"""Tests for the device description and occupancy rules."""
+
+import pytest
+
+from repro.device import K40C, DeviceSpec
+from repro.errors import LaunchError
+from repro.types import precision_info
+
+
+class TestK40CSpec:
+    def test_peak_flops_match_published_numbers(self):
+        # 15 SMX * 192 FP32 lanes * 2 flop * 745 MHz = 4.29 Tflop/s
+        assert K40C.peak_flops(precision_info("s")) == pytest.approx(4.29e12, rel=0.01)
+        # 15 SMX * 64 FP64 lanes * 2 flop * 745 MHz = 1.43 Tflop/s
+        assert K40C.peak_flops(precision_info("d")) == pytest.approx(1.43e12, rel=0.01)
+
+    def test_complex_peaks_equal_real_peaks(self):
+        assert K40C.peak_flops(precision_info("c")) == K40C.peak_flops(precision_info("s"))
+        assert K40C.peak_flops(precision_info("z")) == K40C.peak_flops(precision_info("d"))
+
+    def test_per_sm_peak(self):
+        assert K40C.peak_flops_per_sm(precision_info("d")) == pytest.approx(
+            K40C.peak_flops(precision_info("d")) / 15
+        )
+
+    def test_memory_capacity_is_12_gb(self):
+        assert K40C.global_mem_bytes == 12 * 1024**3
+
+    def test_shared_memory_hosts_78x78_double(self):
+        """Paper §I: 48KB hosts one <=78x78 double matrix."""
+        assert 78 * 78 * 8 <= K40C.shared_mem_per_sm < 79 * 79 * 8
+
+
+class TestOccupancy:
+    def test_thread_limited(self):
+        occ = K40C.occupancy(threads_per_block=512)
+        assert occ.blocks_per_sm == 4  # 2048 threads / 512
+        assert occ.limiter in ("threads", "warps")
+        assert occ.concurrent_blocks == 4 * 15
+
+    def test_block_count_limited(self):
+        occ = K40C.occupancy(threads_per_block=32)
+        assert occ.blocks_per_sm == 16  # Kepler cap
+        assert occ.limiter == "blocks"
+
+    def test_shared_mem_limited(self):
+        occ = K40C.occupancy(threads_per_block=64, shared_mem_per_block=24 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "shared_mem"
+
+    def test_register_limited(self):
+        occ = K40C.occupancy(threads_per_block=256, regs_per_thread=255)
+        assert occ.blocks_per_sm == 65536 // (255 * 256)
+        assert occ.limiter == "registers"
+
+    def test_resident_warps(self):
+        occ = K40C.occupancy(threads_per_block=96)  # 3 warps
+        assert occ.resident_warps_per_sm == occ.blocks_per_sm * 3
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(LaunchError, match="threads/block"):
+            K40C.occupancy(threads_per_block=2048)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(LaunchError):
+            K40C.occupancy(threads_per_block=0)
+
+    def test_oversized_shared_mem_rejected(self):
+        with pytest.raises(LaunchError, match="shared memory"):
+            K40C.occupancy(threads_per_block=64, shared_mem_per_block=49 * 1024)
+
+    def test_bad_regs_rejected(self):
+        with pytest.raises(LaunchError):
+            K40C.occupancy(threads_per_block=64, regs_per_thread=0)
+        with pytest.raises(LaunchError):
+            K40C.occupancy(threads_per_block=64, regs_per_thread=500)
+
+    def test_zero_blocks_config_rejected(self):
+        # 1024 threads x 255 regs = 261k regs > 65536 per SM.
+        with pytest.raises(LaunchError, match="zero blocks"):
+            K40C.occupancy(threads_per_block=1024, regs_per_thread=255)
+
+    def test_occupancy_monotone_in_shared_mem(self):
+        prev = None
+        for smem in (0, 4096, 12288, 24576, 49152 - 4096):
+            occ = K40C.occupancy(threads_per_block=64, shared_mem_per_block=smem)
+            if prev is not None:
+                assert occ.blocks_per_sm <= prev
+            prev = occ.blocks_per_sm
+
+
+class TestCustomSpec:
+    def test_spec_is_frozen(self):
+        with pytest.raises(AttributeError):
+            K40C.num_sms = 3
+
+    def test_small_device(self):
+        tiny = DeviceSpec(
+            name="tiny", num_sms=2, clock_hz=1e9, fp32_lanes_per_sm=32,
+            fp64_lanes_per_sm=16, warp_size=32, max_threads_per_block=256,
+            max_threads_per_sm=512, max_blocks_per_sm=4, max_warps_per_sm=16,
+            shared_mem_per_sm=16 * 1024, shared_mem_per_block=16 * 1024,
+            registers_per_sm=32768, max_registers_per_thread=128,
+            global_mem_bytes=1 << 30, global_mem_bandwidth=100e9,
+            pcie_bandwidth=8e9, pcie_latency=1e-5, kernel_launch_overhead=5e-6,
+        )
+        assert tiny.peak_flops(precision_info("s")) == pytest.approx(2 * 32 * 2 * 1e9)
+        assert tiny.occupancy(128).blocks_per_sm == 4

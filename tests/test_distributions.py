@@ -1,0 +1,136 @@
+"""Tests for size-distribution generators (repro.distributions, Fig 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import distributions as dist
+
+
+ALL_NAMES = sorted(dist.DISTRIBUTIONS)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_in_range_and_shape(self, name):
+        sizes = dist.generate_sizes(name, 500, 128, seed=3)
+        assert sizes.shape == (500,)
+        assert sizes.dtype == np.int64
+        assert sizes.min() >= 1
+        assert sizes.max() <= 128
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_deterministic_given_seed(self, name):
+        a = dist.generate_sizes(name, 200, 64, seed=7)
+        b = dist.generate_sizes(name, 200, 64, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", ["uniform", "gaussian", "bimodal", "exponential"])
+    def test_seed_changes_sample(self, name):
+        a = dist.generate_sizes(name, 400, 256, seed=1)
+        b = dist.generate_sizes(name, 400, 256, seed=2)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @pytest.mark.parametrize("bad_batch,bad_max", [(0, 10), (-1, 10), (5, 0), (5, -3)])
+    def test_invalid_arguments(self, name, bad_batch, bad_max):
+        with pytest.raises(ValueError):
+            dist.DISTRIBUTIONS[name](bad_batch, bad_max)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            dist.generate_sizes("zipf", 10, 10)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @given(batch=st.integers(1, 300), nmax=st.integers(1, 600))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounds(self, name, batch, nmax):
+        sizes = dist.generate_sizes(name, batch, nmax, seed=0)
+        assert sizes.size == batch
+        assert np.all((sizes >= 1) & (sizes <= nmax))
+
+
+class TestUniform:
+    def test_paper_fig3a_coverage(self):
+        """Batch 2000, Nmax 512: 'most sizes appear at least once'."""
+        sizes = dist.uniform_sizes(2000, 512, seed=0)
+        distinct = np.unique(sizes).size
+        assert distinct > 0.9 * 512
+
+    def test_roughly_flat(self):
+        sizes = dist.uniform_sizes(100_000, 512, seed=1)
+        lo = np.count_nonzero(sizes <= 256)
+        assert abs(lo / sizes.size - 0.5) < 0.02
+
+
+class TestGaussian:
+    def test_centered_on_half_max(self):
+        sizes = dist.gaussian_sizes(50_000, 512, seed=2)
+        assert abs(sizes.mean() - 256) < 5
+
+    def test_boundaries_rare(self):
+        """Paper: 'fewer sizes appear near the boundaries'."""
+        sizes = dist.gaussian_sizes(20_000, 512, seed=3)
+        near_edges = np.count_nonzero((sizes < 32) | (sizes > 480))
+        middle = np.count_nonzero(np.abs(sizes - 256) < 32)
+        assert near_edges < middle / 10
+
+    def test_stddev_fraction_validated(self):
+        with pytest.raises(ValueError, match="stddev_fraction"):
+            dist.gaussian_sizes(10, 100, stddev_fraction=0.0)
+
+    def test_narrow_spread_with_small_fraction(self):
+        wide = dist.gaussian_sizes(20_000, 512, seed=4, stddev_fraction=0.3)
+        narrow = dist.gaussian_sizes(20_000, 512, seed=4, stddev_fraction=0.05)
+        assert narrow.std() < wide.std()
+
+
+class TestConstantBimodalExponential:
+    def test_constant(self):
+        sizes = dist.constant_sizes(50, 99)
+        assert np.all(sizes == 99)
+
+    def test_bimodal_modes(self):
+        sizes = dist.bimodal_sizes(20_000, 512, seed=5)
+        small = np.count_nonzero(sizes < 200)
+        big = np.count_nonzero(sizes > 400)
+        assert small > 7000 and big > 7000
+        # Almost nothing lives between the modes.
+        assert np.count_nonzero((sizes > 200) & (sizes < 400)) < 500
+
+    def test_bimodal_fraction_validated(self):
+        with pytest.raises(ValueError, match="small_fraction"):
+            dist.bimodal_sizes(10, 100, small_fraction=1.5)
+
+    def test_bimodal_fraction_extremes(self):
+        all_big = dist.bimodal_sizes(1000, 512, seed=6, small_fraction=0.0)
+        assert all_big.mean() > 400
+        all_small = dist.bimodal_sizes(1000, 512, seed=6, small_fraction=1.0)
+        assert all_small.mean() < 128
+
+    def test_exponential_skew(self):
+        sizes = dist.exponential_sizes(20_000, 512, seed=7)
+        assert np.median(sizes) < sizes.mean()  # right-skewed
+        assert np.count_nonzero(sizes <= 64) > np.count_nonzero(sizes > 256)
+
+
+class TestHistogram:
+    def test_counts_sum_to_batch(self):
+        sizes = dist.uniform_sizes(2000, 512, seed=0)
+        lefts, counts = dist.size_histogram(sizes, bin_width=8, max_size=512)
+        assert counts.sum() == 2000
+        assert lefts[0] == 1
+        assert len(lefts) == len(counts) == 64
+
+    def test_single_width_bins(self):
+        sizes = np.array([1, 1, 2, 5])
+        lefts, counts = dist.size_histogram(sizes)
+        assert counts[0] == 2 and counts[1] == 1 and counts[4] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            dist.size_histogram(np.array([], dtype=np.int64))
+
+    def test_bad_bin_width(self):
+        with pytest.raises(ValueError, match="bin_width"):
+            dist.size_histogram(np.array([3]), bin_width=0)

@@ -1,0 +1,77 @@
+"""Tests for the energy-to-solution machinery (paper §IV-G)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import uniform_sizes
+from repro.energy import (
+    EnergyComparison,
+    EnergyReading,
+    measure_cpu_energy,
+    measure_gpu_energy,
+    run_energy_experiment,
+)
+
+
+class TestReadings:
+    def test_average_watts(self):
+        r = EnergyReading("x", elapsed=2.0, joules=100.0)
+        assert r.average_watts == pytest.approx(50.0)
+
+    def test_zero_time(self):
+        assert EnergyReading("x", 0.0, 0.0).average_watts == 0.0
+
+    def test_comparison_ratios(self):
+        c = EnergyComparison(
+            "w",
+            cpu=EnergyReading("c", 2.0, 200.0),
+            gpu=EnergyReading("g", 1.0, 50.0),
+        )
+        assert c.energy_ratio == pytest.approx(4.0)
+        assert c.time_ratio == pytest.approx(2.0)
+
+
+class TestMeasurement:
+    SIZES = uniform_sizes(300, 384, seed=0)
+
+    def test_cpu_reading_sane(self):
+        r = measure_cpu_energy(self.SIZES, "d")
+        assert r.elapsed > 0
+        assert r.joules > 0
+        # Bounded by node idle and node max draw.
+        assert 40.0 < r.average_watts < 480.0
+
+    def test_gpu_reading_sane(self):
+        r = measure_gpu_energy(self.SIZES, "d")
+        assert r.elapsed > 0
+        assert 40.0 < r.average_watts < 500.0
+
+    def test_gpu_beats_cpu_in_time_and_energy(self):
+        """Paper: always more efficient in both time and energy."""
+        cpu = measure_cpu_energy(self.SIZES, "d")
+        gpu = measure_gpu_energy(self.SIZES, "d")
+        assert gpu.elapsed < cpu.elapsed
+        assert gpu.joules < cpu.joules
+
+    def test_experiment_bucket(self):
+        c = run_energy_experiment(64, 128, 500, "d", seed=1)
+        assert c.workload == "[64:128]x500"
+        assert c.energy_ratio > 1.0
+
+    def test_ratio_grows_with_size(self):
+        small = run_energy_experiment(32, 64, 2000, "d")
+        large = run_energy_experiment(512, 1024, 300, "d")
+        assert large.energy_ratio > small.energy_ratio
+
+    def test_up_to_three_x(self):
+        """The paper's headline: up to ~3x more energy efficient."""
+        c = run_energy_experiment(768, 1024, 300, "d")
+        assert 2.0 < c.energy_ratio < 3.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_energy_experiment(0, 10, 5)
+        with pytest.raises(ValueError):
+            run_energy_experiment(20, 10, 5)
+        with pytest.raises(ValueError):
+            run_energy_experiment(1, 10, 0)

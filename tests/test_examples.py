@@ -1,0 +1,48 @@
+"""Smoke tests: every shipped example must run clean end to end.
+
+Each example's ``main`` carries its own assertions (residuals, target
+recovery, stability), so running it is a genuine integration test of
+the public API on a realistic workload.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "fem_hydrodynamics",
+        "rx_anomaly_detection",
+        "chemical_kinetics_lu",
+        "multifrontal_solver",
+        "sensor_least_squares",
+        "autotune_and_deploy",
+    ],
+)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), "examples must report their results"
+
+
+def test_figure_tour_reduced(capsys):
+    module = _load("figure_tour")
+    module.main(full=False)
+    out = capsys.readouterr().out
+    assert "Fig 8" in out and "Fig 10" in out

@@ -1,0 +1,51 @@
+"""Additional figure-harness checks: seeds, precisions, note integrity."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    fig5_fused_variants,
+    fig7_crossover,
+    fig8_overall,
+)
+
+
+class TestSeedsAndDeterminism:
+    def test_same_seed_reproduces_exactly(self):
+        a = fig5_fused_variants("d", nmax_values=(64,), batch_count=200, seed=3)
+        b = fig5_fused_variants("d", nmax_values=(64,), batch_count=200, seed=3)
+        for sa, sb in zip(a.series, b.series):
+            assert sa.values == sb.values
+
+    def test_different_seed_changes_sample_not_shape(self):
+        a = fig5_fused_variants("d", nmax_values=(128,), batch_count=300, seed=1)
+        b = fig5_fused_variants("d", nmax_values=(128,), batch_count=300, seed=2)
+        va = a.get("etm-aggressive+sorting").values[0]
+        vb = b.get("etm-aggressive+sorting").values[0]
+        assert va != vb
+        assert abs(va - vb) / va < 0.25  # same regime, different draw
+
+
+class TestFigureNotes:
+    def test_fig7_notes_consistent_with_series(self):
+        fig = fig7_crossover("d", nmax_values=(256, 1024), batch_count=150)
+        assert fig.notes["configured_crossover"] <= fig.notes["fused_feasible_max"]
+
+    def test_fig8_speedup_notes_match_series(self):
+        fig = fig8_overall("d", nmax_values=(512,), batch_count=200)
+        vb = fig.get("magma-vbatched").values[0]
+        best = max(
+            fig.get("cpu-1core-dynamic").values[0],
+            fig.get("cpu-1core-static").values[0],
+            fig.get("cpu-mkl-mt").values[0],
+        )
+        assert fig.notes["speedup_vs_best_competitor_min"] == pytest.approx(vb / best)
+        assert fig.notes["speedup_vs_best_competitor_max"] == pytest.approx(vb / best)
+
+
+class TestComplexPrecisionFigures:
+    @pytest.mark.parametrize("prec", ["c", "z"])
+    def test_fused_variants_run_in_complex(self, prec):
+        fig = fig5_fused_variants(prec, nmax_values=(64, 128), batch_count=200)
+        for s in fig.series:
+            assert all(v > 0 for v in s.values)

@@ -1,0 +1,101 @@
+"""Tests for flop-count formulas (repro.flops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import flops
+
+
+class TestPotrfFlops:
+    def test_leading_term_is_n_cubed_over_three(self):
+        n = 10_000
+        assert flops.potrf_flops(n) == pytest.approx(n**3 / 3, rel=1e-3)
+
+    def test_small_exact(self):
+        # n=1: one sqrt -> the formula gives 1/3 + 1/2 + 1/6 = 1 flop.
+        assert flops.potrf_flops(1) == pytest.approx(1.0)
+
+    def test_complex_is_four_times_real(self):
+        assert flops.potrf_flops(64, "z") == pytest.approx(4 * flops.potrf_flops(64, "d"))
+        assert flops.potrf_flops(64, "c") == pytest.approx(4 * flops.potrf_flops(64, "s"))
+
+    def test_single_equals_double_count(self):
+        assert flops.potrf_flops(100, "s") == flops.potrf_flops(100, "d")
+
+    @given(st.integers(min_value=0, max_value=4096))
+    def test_monotone_in_n(self, n):
+        assert flops.potrf_flops(n + 1) > flops.potrf_flops(n)
+
+
+class TestBlasFlops:
+    def test_gemm(self):
+        assert flops.gemm_flops(3, 5, 7) == 2 * 3 * 5 * 7
+
+    def test_syrk_leading_term(self):
+        n, k = 1000, 200
+        assert flops.syrk_flops(n, k) == pytest.approx(n * n * k, rel=2e-3)
+
+    def test_trsm_sides(self):
+        assert flops.trsm_flops(8, 4, side="right") == 8 * 16
+        assert flops.trsm_flops(8, 4, side="left") == 4 * 64
+
+    def test_trsm_rejects_bad_side(self):
+        with pytest.raises(ValueError, match="side"):
+            flops.trsm_flops(4, 4, side="top")
+
+    def test_trtri_leading_term(self):
+        n = 3000
+        assert flops.trtri_flops(n) == pytest.approx(n**3 / 3, rel=1e-3)
+
+    def test_getrf_square_leading_term(self):
+        n = 2000
+        assert flops.getrf_flops(n, n) == pytest.approx(2 * n**3 / 3, rel=1e-2)
+
+    def test_getrf_transpose_symmetry(self):
+        assert flops.getrf_flops(100, 60) == pytest.approx(flops.getrf_flops(60, 100))
+
+    def test_geqrf_square_leading_term(self):
+        n = 2000
+        assert flops.geqrf_flops(n, n) == pytest.approx(4 * n**3 / 3, rel=1e-2)
+
+
+class TestBatchFlops:
+    def test_sum_over_sizes(self):
+        sizes = [3, 5, 9]
+        expected = sum(flops.potrf_flops(n) for n in sizes)
+        assert flops.batch_flops(sizes) == pytest.approx(expected)
+
+    def test_accepts_numpy_sizes(self):
+        sizes = np.array([4, 4, 4])
+        assert flops.batch_flops(sizes) == pytest.approx(3 * flops.potrf_flops(4))
+
+    def test_other_routines(self):
+        assert flops.batch_flops([8], routine="getrf") == pytest.approx(
+            flops.getrf_flops(8, 8)
+        )
+        assert flops.batch_flops([8], routine="geqrf") == pytest.approx(
+            flops.geqrf_flops(8, 8)
+        )
+
+    def test_unknown_routine_raises(self):
+        with pytest.raises(KeyError):
+            flops.batch_flops([8], routine="sytrf")
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=256), min_size=1, max_size=40)
+    )
+    def test_batch_equals_manual_sum(self, sizes):
+        manual = sum(flops.potrf_flops(n) for n in sizes)
+        assert flops.batch_flops(sizes) == pytest.approx(manual)
+
+
+class TestGflops:
+    def test_conversion(self):
+        assert flops.gflops(2.0e9, 1.0) == pytest.approx(2.0)
+        assert flops.gflops(1.0e9, 0.5) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_time_rejected(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            flops.gflops(1e9, bad)

@@ -1,0 +1,396 @@
+"""Tests for the from-scratch host BLAS (repro.hostblas) against SciPy."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ArgumentError
+from repro.hostblas import (
+    cholesky_residual,
+    gemm,
+    lower_triangular_error,
+    make_spd,
+    make_spd_batch,
+    potf2,
+    potrf,
+    syrk,
+    trsm,
+    trtri,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def random_matrix(m, n, dtype=np.float64, seed=None):
+    rng = np.random.default_rng(seed if seed is not None else RNG.integers(1 << 31))
+    a = rng.standard_normal((m, n))
+    if np.dtype(dtype).kind == "c":
+        a = a + 1j * rng.standard_normal((m, n))
+    return a.astype(dtype)
+
+
+def tol_for(dtype):
+    return 1e-4 if np.dtype(dtype).itemsize <= 8 and np.dtype(dtype).kind == "c" or np.dtype(dtype) == np.float32 else 1e-10
+
+
+DTYPES = [np.float32, np.float64, np.complex64, np.complex128]
+
+
+class TestGemm:
+    @pytest.mark.parametrize("transa", ["n", "t", "c"])
+    @pytest.mark.parametrize("transb", ["n", "t", "c"])
+    def test_matches_numpy(self, transa, transb):
+        m, n, k = 7, 5, 6
+        a = random_matrix(*(k, m)[:: -1 if transa == "n" else 1], np.complex128, seed=1)
+        b = random_matrix(*(n, k)[:: -1 if transb == "n" else 1], np.complex128, seed=2)
+        c = random_matrix(m, n, np.complex128, seed=3)
+        c0 = c.copy()
+
+        def op(x, t):
+            return x if t == "n" else x.T if t == "t" else x.conj().T
+
+        expected = 1.5 * op(a, transa) @ op(b, transb) + 0.5 * c0
+        gemm(transa, transb, 1.5, a, b, 0.5, c)
+        np.testing.assert_allclose(c, expected, rtol=1e-12)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_all_dtypes_beta_zero(self, dtype):
+        a = random_matrix(4, 3, dtype, seed=4)
+        b = random_matrix(3, 6, dtype, seed=5)
+        c = np.full((4, 6), np.nan, dtype=dtype)
+        gemm("n", "n", 1.0, a, b, 0.0, c)  # beta=0 must overwrite NaNs
+        np.testing.assert_allclose(c, a @ b, rtol=1e-4)
+
+    def test_beta_one_accumulates(self):
+        a = random_matrix(4, 4, seed=6)
+        b = random_matrix(4, 4, seed=7)
+        c = np.eye(4)
+        gemm("n", "n", 2.0, a, b, 1.0, c)
+        np.testing.assert_allclose(c, 2 * a @ b + np.eye(4), rtol=1e-12)
+
+    def test_zero_inner_dim_scales_c(self):
+        a = np.empty((3, 0))
+        b = np.empty((0, 2))
+        c = np.ones((3, 2))
+        gemm("n", "n", 1.0, a, b, 0.5, c)
+        np.testing.assert_allclose(c, 0.5)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ArgumentError) as ei:
+            gemm("n", "n", 1.0, np.ones((2, 3)), np.ones((4, 2)), 0.0, np.ones((2, 2)))
+        assert ei.value.info < 0
+
+    def test_bad_trans_flag(self):
+        with pytest.raises(ArgumentError):
+            gemm("x", "n", 1.0, np.ones((2, 2)), np.ones((2, 2)), 0.0, np.ones((2, 2)))
+
+    def test_bad_c_shape(self):
+        with pytest.raises(ArgumentError):
+            gemm("n", "n", 1.0, np.ones((2, 3)), np.ones((3, 4)), 0.0, np.ones((2, 5)))
+
+    @given(
+        m=st.integers(1, 12), n=st.integers(1, 12), k=st.integers(1, 12),
+        alpha=st.floats(-2, 2), beta=st.floats(-2, 2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_numpy(self, m, n, k, alpha, beta):
+        rng = np.random.default_rng(m * 1000 + n * 100 + k)
+        a, b = rng.standard_normal((m, k)), rng.standard_normal((k, n))
+        c = rng.standard_normal((m, n))
+        expected = alpha * a @ b + beta * c
+        gemm("n", "n", alpha, a, b, beta, c)
+        np.testing.assert_allclose(c, expected, atol=1e-10)
+
+
+class TestSyrk:
+    @pytest.mark.parametrize("uplo", ["l", "u"])
+    @pytest.mark.parametrize("trans", ["n", "t"])
+    def test_triangle_correct(self, uplo, trans):
+        n, k = 6, 4
+        a = random_matrix(n, k, seed=8) if trans == "n" else random_matrix(k, n, seed=8)
+        c = random_matrix(n, n, seed=9)
+        c0 = c.copy()
+        full = (a @ a.T) if trans == "n" else (a.T @ a)
+        syrk(uplo, trans, 2.0, a, 1.0, c)
+        mask = np.tril(np.ones((n, n), bool)) if uplo == "l" else np.triu(np.ones((n, n), bool))
+        np.testing.assert_allclose(c[mask], (2 * full + c0)[mask], rtol=1e-12)
+        # Opposite triangle untouched:
+        np.testing.assert_array_equal(c[~mask], c0[~mask])
+
+    def test_hermitian_case(self):
+        n, k = 5, 3
+        a = random_matrix(n, k, np.complex128, seed=10)
+        c = np.zeros((n, n), np.complex128)
+        syrk("l", "n", 1.0, a, 0.0, c)
+        full = a @ a.conj().T
+        np.testing.assert_allclose(np.tril(c), np.tril(full), rtol=1e-12)
+
+    def test_bad_uplo(self):
+        with pytest.raises(ArgumentError):
+            syrk("x", "n", 1.0, np.ones((2, 2)), 0.0, np.ones((2, 2)))
+
+    def test_nonsquare_c(self):
+        with pytest.raises(ArgumentError):
+            syrk("l", "n", 1.0, np.ones((2, 2)), 0.0, np.ones((2, 3)))
+
+    def test_row_mismatch(self):
+        with pytest.raises(ArgumentError):
+            syrk("l", "n", 1.0, np.ones((3, 2)), 0.0, np.ones((2, 2)))
+
+
+class TestTrsm:
+    @pytest.mark.parametrize("side", ["l", "r"])
+    @pytest.mark.parametrize("uplo", ["l", "u"])
+    @pytest.mark.parametrize("trans", ["n", "t", "c"])
+    @pytest.mark.parametrize("diag", ["n", "u"])
+    def test_all_option_combinations(self, side, uplo, trans, diag):
+        rng = np.random.default_rng(11)
+        na = 7
+        m, n = (na, 4) if side == "l" else (4, na)
+        a = rng.standard_normal((na, na)) + 1j * rng.standard_normal((na, na))
+        a += na * np.eye(na)  # well conditioned
+        tri = np.tril(a) if uplo == "l" else np.triu(a)
+        if diag == "u":
+            np.fill_diagonal(tri, 1.0)
+        b = rng.standard_normal((m, n)) + 1j * rng.standard_normal((m, n))
+        x = b.copy()
+        trsm(side, uplo, trans, diag, 1.0, a, x, nb=3)
+
+        opa = {"n": tri, "t": tri.T, "c": tri.conj().T}[trans]
+        recon = opa @ x if side == "l" else x @ opa
+        np.testing.assert_allclose(recon, b, rtol=1e-10, atol=1e-10)
+
+    def test_alpha_scaling(self):
+        a = np.eye(3)
+        b = np.ones((3, 2))
+        trsm("l", "l", "n", "n", 2.5, a, b)
+        np.testing.assert_allclose(b, 2.5)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(12)
+        a = np.tril(rng.standard_normal((9, 9))) + 9 * np.eye(9)
+        b = rng.standard_normal((9, 5))
+        x = b.copy()
+        trsm("l", "l", "n", "n", 1.0, a, x, nb=4)
+        np.testing.assert_allclose(x, sla.solve_triangular(a, b, lower=True), rtol=1e-10)
+
+    def test_only_selected_triangle_read(self):
+        """Garbage in the opposite triangle must not affect the result."""
+        rng = np.random.default_rng(13)
+        a = np.tril(rng.standard_normal((6, 6))) + 6 * np.eye(6)
+        poisoned = a + np.triu(np.full((6, 6), np.nan), 1)
+        b = rng.standard_normal((6, 3))
+        x = b.copy()
+        trsm("l", "l", "n", "n", 1.0, poisoned, x)
+        assert np.isfinite(x).all()
+
+    @pytest.mark.parametrize(
+        "argdex,kwargs",
+        [
+            (1, dict(side="x")),
+            (2, dict(uplo="x")),
+            (3, dict(trans="x")),
+            (4, dict(diag="x")),
+        ],
+    )
+    def test_flag_validation(self, argdex, kwargs):
+        base = dict(side="l", uplo="l", trans="n", diag="n")
+        base.update(kwargs)
+        with pytest.raises(ArgumentError) as ei:
+            trsm(base["side"], base["uplo"], base["trans"], base["diag"], 1.0,
+                 np.eye(2), np.ones((2, 2)))
+        assert ei.value.argument_index == argdex
+
+    def test_size_mismatch(self):
+        with pytest.raises(ArgumentError):
+            trsm("l", "l", "n", "n", 1.0, np.eye(3), np.ones((4, 2)))
+
+    def test_empty_b(self):
+        x = np.empty((3, 0))
+        trsm("l", "l", "n", "n", 1.0, np.eye(3), x)
+        assert x.shape == (3, 0)
+
+    @given(n=st.integers(1, 16), nrhs=st.integers(1, 8), nb=st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_blocked_equals_scipy(self, n, nrhs, nb):
+        rng = np.random.default_rng(n * 100 + nrhs)
+        a = np.tril(rng.standard_normal((n, n))) + n * np.eye(n)
+        b = rng.standard_normal((n, nrhs))
+        x = b.copy()
+        trsm("l", "l", "n", "n", 1.0, a, x, nb=nb)
+        np.testing.assert_allclose(x, sla.solve_triangular(a, b, lower=True),
+                                   rtol=1e-9, atol=1e-9)
+
+
+class TestTrtri:
+    @pytest.mark.parametrize("uplo", ["l", "u"])
+    @pytest.mark.parametrize("diag", ["n", "u"])
+    @pytest.mark.parametrize("n", [1, 2, 5, 17, 40])
+    def test_inverse_correct(self, uplo, diag, n):
+        rng = np.random.default_rng(n)
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        tri = np.tril(a) if uplo == "l" else np.triu(a)
+        work = tri.copy()
+        if diag == "u":
+            explicit = tri.copy()
+            np.fill_diagonal(explicit, 1.0)
+        else:
+            explicit = tri
+        trtri(uplo, diag, work, nb=8)
+        inv = np.tril(work) if uplo == "l" else np.triu(work)
+        if diag == "u":
+            np.fill_diagonal(inv, 1.0)
+        np.testing.assert_allclose(inv @ explicit, np.eye(n), atol=1e-8)
+
+    def test_complex(self):
+        rng = np.random.default_rng(21)
+        n = 9
+        a = np.tril(rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n)))
+        a += n * np.eye(n)
+        work = a.copy()
+        trtri("l", "n", work, nb=4)
+        np.testing.assert_allclose(np.tril(work) @ a, np.eye(n), atol=1e-10)
+
+    def test_singular_raises(self):
+        a = np.tril(np.ones((3, 3)))
+        a[1, 1] = 0.0
+        with pytest.raises(ZeroDivisionError, match="info=2"):
+            trtri("l", "n", a)
+
+    def test_empty(self):
+        a = np.empty((0, 0))
+        assert trtri("l", "n", a).shape == (0, 0)
+
+    def test_bad_flags(self):
+        with pytest.raises(ArgumentError):
+            trtri("x", "n", np.eye(2))
+        with pytest.raises(ArgumentError):
+            trtri("l", "x", np.eye(2))
+        with pytest.raises(ArgumentError):
+            trtri("l", "n", np.ones((2, 3)))
+
+
+class TestPotf2AndPotrf:
+    @pytest.mark.parametrize("fn", [potf2, potrf])
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 33, 65])
+    def test_matches_scipy_lower(self, fn, n):
+        a = make_spd(n, "d", seed=n)
+        work = a.copy()
+        assert fn(work) == 0
+        expected = sla.cholesky(a, lower=True)
+        assert lower_triangular_error(work, expected) < 1e-12
+
+    @pytest.mark.parametrize("fn", [potf2, potrf])
+    def test_upper(self, fn):
+        a = make_spd(12, "d", seed=99)
+        work = a.copy()
+        assert fn(work, uplo="u") == 0
+        expected = sla.cholesky(a, lower=False)
+        np.testing.assert_allclose(np.triu(work), expected, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("prec", ["s", "d", "c", "z"])
+    def test_all_precisions_residual(self, prec):
+        a = make_spd(20, prec, seed=5)
+        work = a.copy()
+        assert potrf(work, nb=7) == 0
+        tol = 1e-5 if prec in ("s", "c") else 1e-13
+        assert cholesky_residual(a, work) < tol
+
+    def test_complex_upper_in_place(self):
+        a = make_spd(10, "z", seed=31)
+        work = a.copy()
+        assert potrf(work, uplo="u", nb=4) == 0
+        u = np.triu(work)
+        np.testing.assert_allclose(u.conj().T @ u, a, rtol=1e-10, atol=1e-10)
+
+    def test_non_spd_info_code(self):
+        a = np.eye(5)
+        a[3, 3] = -1.0
+        work = a.copy()
+        assert potf2(work) == 4
+        assert potrf(a.copy(), nb=2) == 4
+
+    def test_partial_factor_before_failure(self):
+        """LAPACK contract: leading info-1 columns hold the partial factor."""
+        a = make_spd(6, "d", seed=77)
+        a[4, 4] = -50.0
+        a[5, 4] = a[4, 5] = 0.0
+        work = a.copy()
+        info = potrf(work, nb=2)
+        assert info == 5
+        ref = sla.cholesky(a[:4, :4], lower=True)
+        np.testing.assert_allclose(np.tril(work[:4, :4]), ref, rtol=1e-10)
+
+    def test_strict_upper_untouched(self):
+        a = make_spd(11, "d", seed=13)
+        sentinel = a.copy()
+        sentinel[np.triu_indices(11, 1)] = -12345.0
+        work = sentinel.copy()
+        assert potrf(work, nb=4) == 0
+        np.testing.assert_array_equal(
+            work[np.triu_indices(11, 1)], sentinel[np.triu_indices(11, 1)]
+        )
+
+    @pytest.mark.parametrize("nb", [1, 2, 5, 8, 100])
+    def test_blocked_independent_of_nb(self, nb):
+        a = make_spd(23, "d", seed=50)
+        ref = a.copy()
+        assert potrf(ref, nb=3) == 0
+        work = a.copy()
+        assert potrf(work, nb=nb) == 0
+        np.testing.assert_allclose(np.tril(work), np.tril(ref), rtol=1e-12)
+
+    def test_empty_matrix(self):
+        a = np.empty((0, 0))
+        assert potrf(a) == 0
+
+    def test_bad_args(self):
+        with pytest.raises(ArgumentError):
+            potrf(np.ones((2, 3)))
+        with pytest.raises(ArgumentError):
+            potrf(np.eye(2), uplo="q")
+        with pytest.raises(ArgumentError):
+            potrf(np.eye(2), nb=0)
+
+    @given(n=st.integers(1, 40), nb=st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_property_residual_small(self, n, nb):
+        a = make_spd(n, "d", seed=n * 7 + nb)
+        work = a.copy()
+        assert potrf(work, nb=nb) == 0
+        assert cholesky_residual(a, work) < 1e-13
+
+
+class TestValidators:
+    def test_make_spd_is_spd(self):
+        a = make_spd(30, "d", seed=1)
+        assert np.allclose(a, a.T)
+        assert np.linalg.eigvalsh(a).min() > 0
+
+    def test_make_spd_hermitian_complex(self):
+        a = make_spd(15, "z", seed=2)
+        np.testing.assert_allclose(a, a.conj().T)
+        assert np.linalg.eigvalsh(a).min() > 0
+
+    def test_make_spd_batch(self):
+        mats = make_spd_batch([3, 7, 1], "s", seed=0)
+        assert [m.shape[0] for m in mats] == [3, 7, 1]
+        assert all(m.dtype == np.float32 for m in mats)
+
+    def test_make_spd_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_spd(-1)
+
+    def test_residual_zero_for_exact(self):
+        a = make_spd(9, "d", seed=3)
+        l = sla.cholesky(a, lower=True)
+        assert cholesky_residual(a, l) < 1e-14
+
+    def test_residual_large_for_wrong(self):
+        a = make_spd(9, "d", seed=4)
+        assert cholesky_residual(a, np.eye(9)) > 1e-3
+
+    def test_lower_triangular_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            lower_triangular_error(np.eye(2), np.eye(3))

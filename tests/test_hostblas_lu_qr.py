@@ -1,0 +1,157 @@
+"""Tests for the host LU and QR references against SciPy."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ArgumentError
+from repro.hostblas import apply_pivots, build_q, geqr2, geqrf, getf2, getrf
+
+
+def random_matrix(m, n, dtype=np.float64, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    if np.dtype(dtype).kind == "c":
+        a = a + 1j * rng.standard_normal((m, n))
+    return a.astype(dtype)
+
+
+def lu_reconstruct(a_fact, ipiv, m, n):
+    k = min(m, n)
+    l = np.tril(a_fact[:, :k], -1)[:m, :]
+    np.fill_diagonal(l, 1.0)
+    l = l[:, :k]
+    u = np.triu(a_fact[:k, :])
+    pa = l @ u
+    # Undo the permutation: apply pivots in reverse to recover A.
+    return apply_pivots(pa, ipiv, forward=False)
+
+
+class TestGetf2Getrf:
+    @pytest.mark.parametrize("fn", ["getf2", "getrf"])
+    @pytest.mark.parametrize("m,n", [(1, 1), (5, 5), (16, 16), (33, 33), (20, 12), (12, 20)])
+    def test_reconstruction(self, fn, m, n):
+        a = random_matrix(m, n, seed=m * 100 + n)
+        work = a.copy()
+        ipiv = np.zeros(min(m, n), dtype=np.int64)
+        info = getf2(work, ipiv) if fn == "getf2" else getrf(work, ipiv, nb=8)
+        assert info == 0
+        np.testing.assert_allclose(lu_reconstruct(work, ipiv, m, n), a, atol=1e-10)
+
+    def test_matches_scipy_lu(self):
+        a = random_matrix(24, 24, seed=3)
+        work = a.copy()
+        ipiv = np.zeros(24, dtype=np.int64)
+        assert getrf(work, ipiv, nb=7) == 0
+        lu, piv = sla.lu_factor(a)
+        np.testing.assert_allclose(np.abs(work), np.abs(lu), atol=1e-9)
+
+    def test_pivoting_actually_pivots(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        ipiv = np.zeros(2, dtype=np.int64)
+        assert getf2(a.copy(), ipiv) == 0
+        assert ipiv[0] == 2  # row 2 chosen as first pivot
+
+    def test_singular_info(self):
+        a = np.zeros((3, 3))
+        ipiv = np.zeros(3, dtype=np.int64)
+        assert getf2(a, ipiv) == 1
+
+    def test_blocked_equals_unblocked(self):
+        a = random_matrix(40, 40, seed=9)
+        w1, p1 = a.copy(), np.zeros(40, dtype=np.int64)
+        w2, p2 = a.copy(), np.zeros(40, dtype=np.int64)
+        getf2(w1, p1)
+        getrf(w2, p2, nb=13)
+        np.testing.assert_allclose(w1, w2, atol=1e-10)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_validation(self):
+        with pytest.raises(ArgumentError):
+            getf2(np.eye(3), np.zeros(1, dtype=np.int64))
+        with pytest.raises(ArgumentError):
+            getrf(np.eye(3), np.zeros(3, dtype=np.int64), nb=0)
+
+    def test_solve_via_factors(self):
+        a = random_matrix(12, 12, seed=11)
+        b = random_matrix(12, 2, seed=12)
+        work = a.copy()
+        ipiv = np.zeros(12, dtype=np.int64)
+        getrf(work, ipiv, nb=4)
+        y = apply_pivots(b.copy(), ipiv)
+        from repro.hostblas import trsm
+
+        trsm("l", "l", "n", "u", 1.0, work, y)
+        trsm("l", "u", "n", "n", 1.0, work, y)
+        np.testing.assert_allclose(a @ y, b, atol=1e-9)
+
+    @given(n=st.integers(1, 24), nb=st.integers(1, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_property_reconstruction(self, n, nb):
+        a = random_matrix(n, n, seed=n * 13 + nb)
+        work = a.copy()
+        ipiv = np.zeros(n, dtype=np.int64)
+        assert getrf(work, ipiv, nb=nb) == 0
+        np.testing.assert_allclose(lu_reconstruct(work, ipiv, n, n), a, atol=1e-9)
+
+
+class TestGeqr2Geqrf:
+    @pytest.mark.parametrize("fn", ["geqr2", "geqrf"])
+    @pytest.mark.parametrize("m,n", [(1, 1), (6, 6), (20, 20), (33, 17), (17, 9)])
+    def test_qr_reconstruction(self, fn, m, n):
+        a = random_matrix(m, n, seed=m * 7 + n)
+        work = a.copy()
+        tau = np.zeros(min(m, n))
+        if fn == "geqr2":
+            geqr2(work, tau)
+        else:
+            geqrf(work, tau, nb=5)
+        q = build_q(work, tau)
+        r = np.triu(work)[: min(m, n) if m < n else m, :]
+        r_full = np.triu(work)
+        np.testing.assert_allclose(q @ r_full, a, atol=1e-9)
+        # Q orthogonal
+        np.testing.assert_allclose(q.T @ q, np.eye(m), atol=1e-9)
+
+    def test_r_matches_scipy_up_to_signs(self):
+        a = random_matrix(15, 15, seed=20)
+        work = a.copy()
+        tau = np.zeros(15)
+        geqrf(work, tau, nb=4)
+        _, r_scipy = sla.qr(a)
+        np.testing.assert_allclose(np.abs(np.diag(np.triu(work))), np.abs(np.diag(r_scipy)), atol=1e-9)
+
+    def test_blocked_equals_unblocked(self):
+        a = random_matrix(30, 30, seed=21)
+        w1, t1 = a.copy(), np.zeros(30)
+        w2, t2 = a.copy(), np.zeros(30)
+        geqr2(w1, t1)
+        geqrf(w2, t2, nb=8)
+        np.testing.assert_allclose(w1, w2, atol=1e-9)
+        np.testing.assert_allclose(t1, t2, atol=1e-10)
+
+    def test_complex_qr(self):
+        a = random_matrix(10, 10, np.complex128, seed=22)
+        work = a.copy()
+        tau = np.zeros(10, dtype=np.complex128)
+        geqrf(work, tau, nb=3)
+        q = build_q(work, tau)
+        np.testing.assert_allclose(q @ np.triu(work), a, atol=1e-9)
+        np.testing.assert_allclose(q.conj().T @ q, np.eye(10), atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ArgumentError):
+            geqr2(np.eye(3), np.zeros(1))
+        with pytest.raises(ArgumentError):
+            geqrf(np.eye(3), np.zeros(3), nb=0)
+
+    @given(m=st.integers(1, 20), n=st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_property_qr(self, m, n):
+        a = random_matrix(m, n, seed=m * 31 + n)
+        work = a.copy()
+        tau = np.zeros(min(m, n))
+        geqrf(work, tau, nb=6)
+        q = build_q(work, tau)
+        np.testing.assert_allclose(q @ np.triu(work), a, atol=1e-8)

@@ -1,0 +1,235 @@
+"""Tests for the fused/panel/naive POTRF kernels and the aux kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import VBatch
+from repro.device import Device
+from repro.errors import LaunchError
+from repro.hostblas import make_spd, make_spd_batch, potrf as host_potrf
+from repro.kernels.aux import IMaxReduceKernel, StepSizesKernel, compute_max_size
+from repro.kernels.fused_potrf import (
+    FusedPotrfStepKernel,
+    fused_shared_mem_bytes,
+    fused_step_numerics,
+)
+from repro.kernels.naive import NaivePotf2Kernel
+from repro.kernels.potf2 import PanelPotf2StepKernel
+from repro.types import Precision
+
+
+def batch_of(device, sizes, precision="d", seed=0):
+    return VBatch.from_host(device, make_spd_batch(sizes, precision, seed=seed))
+
+
+class TestFusedStepNumerics:
+    @pytest.mark.parametrize("n,nb", [(4, 2), (16, 8), (33, 8), (64, 16)])
+    def test_full_factorization_by_steps(self, n, nb):
+        a = make_spd(n, "d", seed=n)
+        work = a.copy()
+        for s in range(-(-n // nb)):
+            assert fused_step_numerics(work, s * nb, nb) == 0
+        ref = a.copy()
+        assert host_potrf(ref, nb=nb) == 0
+        np.testing.assert_allclose(np.tril(work), np.tril(ref), rtol=1e-11)
+
+    def test_failure_reports_global_index(self):
+        a = make_spd(8, "d", seed=1)
+        a[5, 5] = -100.0
+        a[6:, 5] = a[5, 6:] = 0.0
+        work = a.copy()
+        assert fused_step_numerics(work, 0, 4) == 0
+        assert fused_step_numerics(work, 4, 4) == 6  # 1-based global pivot
+
+
+class TestFusedPotrfStepKernel:
+    def test_one_block_per_matrix(self):
+        dev = Device()
+        b = batch_of(dev, [10, 20, 30])
+        k = FusedPotrfStepKernel(b, 0, 8, np.arange(3), max_m=30)
+        assert k.total_blocks() == 3
+
+    def test_finished_matrices_become_dead_blocks(self):
+        dev = Device()
+        b = batch_of(dev, [5, 40])
+        k = FusedPotrfStepKernel(b, step=1, nb=8, indices=np.arange(2), max_m=32)
+        works = k.block_works()
+        assert sum(w.count for w in works if w.terminated) == 1
+        assert sum(w.count for w in works if not w.terminated) == 1
+
+    def test_numerics_advance_and_finish(self):
+        dev = Device()
+        mats = make_spd_batch([12, 30], "d", seed=3)
+        b = VBatch.from_host(dev, mats)
+        nb = 8
+        for s in range(-(-30 // nb)):
+            dev.launch(FusedPotrfStepKernel(b, s, nb, np.arange(2), max_m=max(1, 30 - s * nb)))
+        outs = b.download_matrices()
+        for a, l in zip(mats, outs):
+            ref = a.copy()
+            host_potrf(ref)
+            np.testing.assert_allclose(np.tril(l), np.tril(ref), rtol=1e-10)
+
+    def test_non_spd_sets_info_and_stops(self):
+        dev = Device()
+        a = make_spd(10, "d", seed=4)
+        a[7, 7] = -1e3
+        a[8:, 7] = a[7, 8:] = 0.0
+        b = VBatch.from_host(dev, [a])
+        for s in range(5):
+            dev.launch(FusedPotrfStepKernel(b, s, 2, np.arange(1), max_m=max(1, 10 - 2 * s)))
+        infos = b.download_infos()
+        assert infos[0] == 8
+
+    def test_shared_memory_scales_with_max_m(self):
+        dev = Device()
+        b = batch_of(dev, [64, 512])
+        small = FusedPotrfStepKernel(b, 0, 8, np.array([0]), max_m=64)
+        big = FusedPotrfStepKernel(b, 0, 8, np.array([0, 1]), max_m=512)
+        assert big.launch_config().shared_mem_per_block > small.launch_config().shared_mem_per_block
+
+    def test_rejects_oversized_panel(self):
+        dev = Device()
+        b = batch_of(dev, [8])
+        with pytest.raises(LaunchError, match="separated"):
+            FusedPotrfStepKernel(b, 0, 8, np.array([0]), max_m=2000)
+
+    def test_argument_validation(self):
+        dev = Device()
+        b = batch_of(dev, [8])
+        with pytest.raises(ValueError):
+            FusedPotrfStepKernel(b, 0, 0, np.array([0]), max_m=8)
+        with pytest.raises(ValueError):
+            FusedPotrfStepKernel(b, -1, 8, np.array([0]), max_m=8)
+        with pytest.raises(ValueError):
+            FusedPotrfStepKernel(b, 0, 8, np.array([0]), max_m=0)
+
+    def test_shared_mem_helper(self):
+        assert fused_shared_mem_bytes(128, 8, 8) == 128 * 8 * 8
+        assert fused_shared_mem_bytes(0, 8, 8) == 8 * 8  # at least one row
+
+
+class TestPanelPotf2Kernel:
+    def test_tile_local_factorization(self):
+        """The panel kernel must use tile-local history only."""
+        dev = Device()
+        n, off, jb = 40, 16, 16
+        a = make_spd(n, "d", seed=9)
+        b = VBatch.from_host(dev, [a])
+        # Pretend the leading off x off block is already factorized and
+        # the trailing matrix updated (right-looking invariant): here we
+        # just factor the tile as if its update was applied.
+        tile_ref = a[off : off + jb, off : off + jb].copy()
+        jbs = np.array([jb])
+        for t in range(-(-jb // 8)):
+            dev.launch(PanelPotf2StepKernel(b, off, t, 8, jbs, jb))
+        got = b.download_matrices()[0][off : off + jb, off : off + jb]
+        ref = tile_ref.copy()
+        assert host_potrf(ref, nb=8) == 0
+        np.testing.assert_allclose(np.tril(got), np.tril(ref), rtol=1e-10)
+
+    def test_zero_jb_matrices_are_dead(self):
+        dev = Device()
+        b = batch_of(dev, [4, 40])
+        k = PanelPotf2StepKernel(b, 0, 0, 8, np.array([0, 32]), 32)
+        assert sum(w.count for w in k.block_works() if w.terminated) == 1
+
+    def test_validation(self):
+        dev = Device()
+        b = batch_of(dev, [8])
+        with pytest.raises(ValueError):
+            PanelPotf2StepKernel(b, 0, 0, 0, np.array([8]), 8)
+        with pytest.raises(ValueError):
+            PanelPotf2StepKernel(b, 0, 0, 8, np.array([8]), 0)
+
+
+class TestNaivePotf2Kernel:
+    def test_numerics(self):
+        dev = Device()
+        mats = make_spd_batch([6, 20], "d", seed=5)
+        b = VBatch.from_host(dev, mats)
+        dev.launch(NaivePotf2Kernel(b, 0, np.array([6, 20]), 20))
+        outs = b.download_matrices()
+        for a, l in zip(mats, outs):
+            ref = a.copy()
+            host_potrf(ref)
+            np.testing.assert_allclose(np.tril(l), np.tril(ref), rtol=1e-10)
+
+    def test_serial_latency_scale_above_fused(self):
+        assert NaivePotf2Kernel.serial_latency_scale > 1.0
+
+    def test_slower_than_fused_per_block(self):
+        dev = Device()
+        b = batch_of(dev, [32] * 50)
+        t0 = dev.synchronize()
+        dev.launch(NaivePotf2Kernel(b, 0, np.full(50, 32), 32))
+        naive_t = dev.synchronize() - t0
+        dev2 = Device()
+        b2 = batch_of(dev2, [32] * 50)
+        t0 = dev2.synchronize()
+        dev2.launch(FusedPotrfStepKernel(b2, 0, 32, np.arange(50), 32))
+        fused_t = dev2.synchronize() - t0
+        assert naive_t > 1.5 * fused_t
+
+    def test_validation(self):
+        dev = Device()
+        b = batch_of(dev, [8])
+        with pytest.raises(ValueError):
+            NaivePotf2Kernel(b, -1, np.array([8]), 8)
+        with pytest.raises(ValueError):
+            NaivePotf2Kernel(b, 0, np.array([8]), 0)
+
+
+class TestAuxKernels:
+    def test_imax_reduce(self):
+        dev = Device()
+        vals = dev.alloc((100,), np.int64)
+        vals.data[...] = np.random.default_rng(0).integers(1, 500, 100)
+        out = dev.alloc((1,), np.int64)
+        dev.launch(IMaxReduceKernel(vals, out))
+        assert out.data[0] == vals.data.max()
+
+    def test_compute_max_size_charges_time(self):
+        dev = Device()
+        b = batch_of(dev, [3, 99, 42])
+        t0 = dev.synchronize()
+        assert compute_max_size(dev, b) == 99
+        assert dev.synchronize() > t0
+
+    def test_compute_max_size_timing_only_mode(self):
+        dev = Device(execute_numerics=False)
+        b = VBatch.allocate(dev, [3, 77, 42], "d")
+        assert compute_max_size(dev, b) == 77
+
+    def test_step_sizes_kernel(self):
+        dev = Device()
+        b = batch_of(dev, [5, 20, 64])
+        rem = dev.alloc((3,), np.int64)
+        pan = dev.alloc((3,), np.int64)
+        stats = dev.alloc((2,), np.int64)
+        dev.launch(StepSizesKernel(b.sizes_dev, offset=16, nb=8, remaining_dev=rem, panel_dev=pan, stats_dev=stats))
+        np.testing.assert_array_equal(rem.data, [0, 4, 48])
+        np.testing.assert_array_equal(pan.data, [0, 4, 8])
+        assert stats.data[0] == 48  # max remaining
+        assert stats.data[1] == 2   # live count
+
+    def test_step_sizes_validation(self):
+        dev = Device()
+        b = batch_of(dev, [5])
+        rem = dev.alloc((1,), np.int64)
+        with pytest.raises(ValueError):
+            StepSizesKernel(b.sizes_dev, -1, 8, rem, rem, rem)
+        with pytest.raises(ValueError):
+            StepSizesKernel(b.sizes_dev, 0, 0, rem, rem, rem)
+
+    def test_aux_kernels_are_cheap(self):
+        """§III-F: auxiliary kernel overhead is almost negligible."""
+        dev = Device(execute_numerics=False)
+        b = VBatch.allocate(dev, list(range(1, 1001)), "d")
+        rem = dev.alloc((1000,), np.int64)
+        pan = dev.alloc((1000,), np.int64)
+        stats = dev.alloc((2,), np.int64)
+        dev.reset_clock()
+        dev.launch(StepSizesKernel(b.sizes_dev, 0, 8, rem, pan, stats))
+        aux_time = dev.synchronize()
+        assert aux_time < 20e-6  # a handful of microseconds

@@ -1,0 +1,187 @@
+"""Tests for the multifrontal solver package."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import Device
+from repro.errors import BatchNumericalError
+from repro.multifrontal import analyze, factorize, nested_dissection, solve
+
+
+def grid_problem(nx_, ny, shift=4.0):
+    g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(nx_, ny))
+    n = g.number_of_nodes()
+    a = nx.laplacian_matrix(g).astype(float).toarray()
+    a += shift * np.eye(n)
+    return g, a
+
+
+class TestNestedDissection:
+    def test_covers_every_vertex_once(self):
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(9, 9))
+        forest = nested_dissection(g, min_size=5)
+        seen = []
+        for tree in forest:
+            seen.extend(tree.subtree_vertices)
+        assert sorted(seen) == sorted(g.nodes)
+
+    def test_separator_separates(self):
+        """Removing a node's vertices disconnects its children's parts."""
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(10, 10))
+        (tree,) = nested_dissection(g, min_size=5)
+        assert tree.children, "a 100-vertex grid must actually dissect"
+        remaining = g.subgraph(set(g.nodes) - set(tree.vertices))
+        comp_of = {}
+        for ci, comp in enumerate(nx.connected_components(remaining)):
+            for v in comp:
+                comp_of[v] = ci
+        for c1 in tree.children:
+            comps = {comp_of[v] for v in c1.subtree_vertices}
+            for c2 in tree.children:
+                if c1 is c2:
+                    continue
+                assert comps.isdisjoint({comp_of[v] for v in c2.subtree_vertices})
+
+    def test_disconnected_graph_gives_forest(self):
+        g = nx.union(
+            nx.convert_node_labels_to_integers(nx.path_graph(20)),
+            nx.convert_node_labels_to_integers(nx.path_graph(15), first_label=100),
+        )
+        forest = nested_dissection(g, min_size=4)
+        assert len(forest) == 2
+
+    def test_min_size_validated(self):
+        with pytest.raises(ValueError):
+            nested_dissection(nx.path_graph(5), min_size=0)
+
+
+class TestSymbolic:
+    def test_front_structure_invariants(self):
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(8, 8))
+        sym = analyze(g, min_size=4)
+        assert sym.n == 64
+        for front in sym.fronts:
+            # Boundary eliminated strictly after the separator.
+            sep_max = max(sym.elim_position[v] for v in front.sep)
+            for b in front.boundary:
+                assert sym.elim_position[b] > sep_max
+            # Children's boundaries live inside this front's rows.
+            rows = set(front.rows)
+            for child in front.children:
+                assert set(child.boundary) <= rows
+
+    def test_levels_schedule_children_first(self):
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(8, 8))
+        sym = analyze(g, min_size=4)
+        seen = set()
+        for level in sym.levels:
+            for front in level:
+                for child in front.children:
+                    assert id(child) in seen
+            seen.update(id(f) for f in level)
+
+    def test_permutation_is_a_permutation(self):
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(6, 6))
+        sym = analyze(g, min_size=4)
+        perm = sym.permutation()
+        assert sorted(perm.tolist()) == sorted(g.nodes)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            analyze(nx.Graph())
+
+
+class TestNumericAndSolve:
+    @pytest.mark.parametrize("dims", [(6, 6), (12, 9), (15, 15)])
+    def test_solve_matches_dense(self, dims):
+        g, a = grid_problem(*dims)
+        sym = analyze(g, min_size=6)
+        dev = Device()
+        fac = factorize(dev, a, sym)
+        rng = np.random.default_rng(dims[0])
+        b = rng.standard_normal(a.shape[0])
+        x = solve(fac, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-10)
+
+    def test_irregular_graph(self):
+        rng = np.random.default_rng(3)
+        g = nx.connected_watts_strogatz_graph(120, 4, 0.2, seed=5)
+        a = nx.laplacian_matrix(g).astype(float).toarray() + 5.0 * np.eye(120)
+        sym = analyze(g, min_size=8)
+        dev = Device()
+        fac = factorize(dev, a, sym)
+        b = rng.standard_normal(120)
+        x = solve(fac, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-9)
+
+    def test_device_time_charged_per_level(self):
+        g, a = grid_problem(10, 10)
+        sym = analyze(g, min_size=6)
+        dev = Device()
+        fac = factorize(dev, a, sym)
+        assert fac.elapsed > 0
+        assert len(fac.level_stats) == len(sym.levels)
+        assert fac.total_flops > 0
+
+    def test_variable_front_sizes_within_levels(self):
+        """The point of the exercise: real levels mix front orders."""
+        g, a = grid_problem(14, 14)
+        sym = analyze(g, min_size=6)
+        spreads = [
+            (min(f.order for f in lv), max(f.order for f in lv))
+            for lv in sym.levels
+            if len(lv) > 1
+        ]
+        assert any(hi > lo for lo, hi in spreads)
+
+    def test_indefinite_matrix_raises(self):
+        g, a = grid_problem(6, 6, shift=-10.0)  # strongly indefinite
+        sym = analyze(g, min_size=6)
+        dev = Device()
+        with pytest.raises(BatchNumericalError):
+            factorize(dev, a, sym)
+
+    def test_solve_dict_interface(self):
+        g = nx.grid_2d_graph(5, 5)  # tuple-labelled vertices
+        n = g.number_of_nodes()
+        a_mat = nx.laplacian_matrix(g).astype(float).toarray() + 3.0 * np.eye(n)
+        order = list(g.nodes)
+        index = {v: i for i, v in enumerate(order)}
+
+        class Sym:
+            def __getitem__(self, uv):
+                return a_mat[index[uv[0]], index[uv[1]]]
+
+        sym = analyze(g, min_size=5)
+        dev = Device()
+        fac = factorize(dev, Sym(), sym)
+        rng = np.random.default_rng(0)
+        b = {v: float(rng.standard_normal()) for v in g.nodes}
+        x = solve(fac, b)
+        xv = np.array([x[v] for v in order])
+        bv = np.array([b[v] for v in order])
+        np.testing.assert_allclose(a_mat @ xv, bv, atol=1e-10)
+
+    def test_solve_validates_b(self):
+        g, a = grid_problem(5, 5)
+        sym = analyze(g, min_size=5)
+        dev = Device()
+        fac = factorize(dev, a, sym)
+        with pytest.raises(ValueError):
+            solve(fac, np.zeros(7))
+        with pytest.raises(ValueError):
+            solve(fac, {0: 1.0})
+
+    @given(nx_=st.integers(4, 10), ny=st.integers(4, 10), seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_grids_solve_exactly(self, nx_, ny, seed):
+        g, a = grid_problem(nx_, ny)
+        sym = analyze(g, min_size=5)
+        dev = Device()
+        fac = factorize(dev, a, sym)
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(a.shape[0])
+        x = solve(fac, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-8)

@@ -1,0 +1,117 @@
+"""Tests for the vbatched partial Cholesky (repro.core.partial)."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings, strategies as st
+
+from repro import Device, VBatch, make_spd, make_spd_batch
+from repro.core.partial import partial_potrf_vbatched
+from repro.errors import ArgumentError
+
+
+def reference_partial(a, k):
+    """L11, L21 and the Schur complement from a full factorization.
+
+    Only the Schur's LOWER triangle is compared: the decision-layer
+    syrk updates one triangle, per the BLAS contract.
+    """
+    l = sla.cholesky(a, lower=True)
+    l11 = l[:k, :k]
+    l21 = l[k:, :k]
+    schur = a[k:, k:] - l21 @ l21.T
+    return l11, l21, schur
+
+
+class TestPartialPotrf:
+    @pytest.mark.parametrize("n,k", [(8, 3), (20, 20), (33, 1), (64, 32), (17, 0)])
+    def test_matches_reference(self, n, k):
+        dev = Device()
+        a = make_spd(n, "d", seed=n * 10 + k)
+        b = VBatch.from_host(dev, [a])
+        res = partial_potrf_vbatched(dev, b, np.array([k]))
+        assert res.failed_count == 0
+        out = b.download_matrices()[0]
+        if k > 0:
+            l11, l21, schur = reference_partial(a, k)
+            np.testing.assert_allclose(np.tril(out[:k, :k]), l11, atol=1e-10)
+            np.testing.assert_allclose(out[k:, :k], l21, atol=1e-10)
+            np.testing.assert_allclose(np.tril(out[k:, k:]), np.tril(schur), atol=1e-10)
+        else:
+            np.testing.assert_array_equal(out, a)
+
+    def test_mixed_k_batch(self):
+        dev = Device()
+        sizes = [10, 25, 40, 7]
+        ks = np.array([4, 25, 13, 0])
+        mats = make_spd_batch(sizes, "d", seed=3)
+        b = VBatch.from_host(dev, mats)
+        res = partial_potrf_vbatched(dev, b, ks)
+        assert res.failed_count == 0
+        assert res.gflops > 0
+        for a, out, k in zip(mats, b.download_matrices(), ks):
+            k = int(k)
+            if k == 0:
+                np.testing.assert_array_equal(out, a)
+                continue
+            l11, l21, schur = reference_partial(a, k)
+            np.testing.assert_allclose(np.tril(out[:k, :k]), l11, atol=1e-9)
+            if k < a.shape[0]:
+                np.testing.assert_allclose(np.tril(out[k:, k:]), np.tril(schur), atol=1e-9)
+
+    def test_schur_complement_stays_spd(self):
+        dev = Device()
+        a = make_spd(30, "d", seed=9)
+        b = VBatch.from_host(dev, [a])
+        partial_potrf_vbatched(dev, b, np.array([12]))
+        tri = np.tril(b.download_matrices()[0][12:, 12:])
+        schur = tri + np.tril(tri, -1).T  # symmetrize from the lower triangle
+        assert np.linalg.eigvalsh(schur).min() > 0
+
+    def test_flop_count_partial_of_full(self):
+        from repro.core.partial import _partial_flops
+        from repro.flops import potrf_flops
+
+        assert _partial_flops(32, 32, "d") == pytest.approx(potrf_flops(32, "d"))
+        assert 0 < _partial_flops(32, 8, "d") < potrf_flops(32, "d")
+
+    def test_non_spd_pivot_reported(self):
+        dev = Device()
+        a = make_spd(10, "d", seed=4)
+        a[3, 3] = -50.0
+        a[4:, 3] = a[3, 4:] = 0.0
+        b = VBatch.from_host(dev, [a])
+        res = partial_potrf_vbatched(dev, b, np.array([6]))
+        assert res.infos[0] == 4
+
+    def test_validation(self):
+        dev = Device()
+        b = VBatch.from_host(dev, make_spd_batch([5, 5], "d"))
+        with pytest.raises(ArgumentError):
+            partial_potrf_vbatched(dev, b, np.array([3]))  # wrong length
+        with pytest.raises(ArgumentError):
+            partial_potrf_vbatched(dev, b, np.array([3, 6]))  # k > n
+        with pytest.raises(ArgumentError):
+            partial_potrf_vbatched(dev, b, np.array([-1, 2]))
+
+    def test_all_zero_k_is_free(self):
+        dev = Device(execute_numerics=False)
+        b = VBatch.allocate(dev, [16, 16], "d")
+        dev.reset_clock()
+        res = partial_potrf_vbatched(dev, b, np.zeros(2, dtype=np.int64))
+        assert res.elapsed == 0.0
+        assert res.total_flops == 0.0
+
+    @given(n=st.integers(2, 40), frac=st.floats(0.1, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_partial_consistent_with_full(self, n, frac):
+        k = max(1, int(n * frac))
+        dev = Device()
+        a = make_spd(n, "d", seed=n * 31)
+        b = VBatch.from_host(dev, [a])
+        res = partial_potrf_vbatched(dev, b, np.array([k]))
+        assert res.failed_count == 0
+        out = b.download_matrices()[0]
+        l11, l21, _ = reference_partial(a, k)
+        np.testing.assert_allclose(np.tril(out[:k, :k]), l11, atol=1e-8)
+        np.testing.assert_allclose(out[k:, :k], l21, atol=1e-8)

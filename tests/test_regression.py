@@ -1,0 +1,94 @@
+"""Tests for figure-snapshot regression tooling, plus live snapshots.
+
+The live tests pin the current calibration's headline numbers: if a
+cost-model change moves any figure by more than the tolerance, these
+fail and the change has to be re-justified (and the snapshot updated
+deliberately via tools/update_snapshots.py).
+"""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.bench import FigureResult
+from repro.bench.figures import fig7_crossover
+from repro.bench.regression import (
+    compare_to_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+
+SNAPSHOT_DIR = Path(__file__).resolve().parent / "snapshots"
+
+
+def demo_figure(values_a=(1.0, 2.0), values_b=(3.0, float("nan"))):
+    fig = FigureResult("Fig T", "test", "x", [10, 20])
+    fig.add("a", list(values_a))
+    fig.add("b", list(values_b))
+    fig.notes["k"] = 1.5
+    return fig
+
+
+class TestSnapshotRoundtrip:
+    def test_save_load(self, tmp_path):
+        fig = demo_figure()
+        path = save_snapshot(fig, tmp_path / "snap.json")
+        back = load_snapshot(path)
+        assert back.figure == "Fig T"
+        assert back.get("a").values == [1.0, 2.0]
+        assert math.isnan(back.get("b").values[1])
+        assert back.notes["k"] == 1.5
+
+    def test_compare_identical_passes(self, tmp_path):
+        fig = demo_figure()
+        save_snapshot(fig, tmp_path / "s.json")
+        drifts = compare_to_snapshot(demo_figure(), load_snapshot(tmp_path / "s.json"))
+        assert all(d.max_rel_drift == 0.0 for d in drifts)
+
+    def test_small_drift_within_tolerance(self, tmp_path):
+        save_snapshot(demo_figure(), tmp_path / "s.json")
+        drifted = demo_figure(values_a=(1.02, 2.0))
+        drifts = compare_to_snapshot(drifted, load_snapshot(tmp_path / "s.json"), rel_tol=0.05)
+        assert max(d.max_rel_drift for d in drifts) == pytest.approx(0.02)
+
+    def test_large_drift_fails(self, tmp_path):
+        save_snapshot(demo_figure(), tmp_path / "s.json")
+        drifted = demo_figure(values_a=(2.0, 2.0))
+        with pytest.raises(AssertionError, match="drifted 100.0%"):
+            compare_to_snapshot(drifted, load_snapshot(tmp_path / "s.json"))
+
+    def test_nan_placement_change_fails(self, tmp_path):
+        save_snapshot(demo_figure(), tmp_path / "s.json")
+        drifted = demo_figure(values_b=(3.0, 3.0))
+        with pytest.raises(AssertionError, match="NaN placement"):
+            compare_to_snapshot(drifted, load_snapshot(tmp_path / "s.json"))
+
+    def test_missing_series_fails(self, tmp_path):
+        save_snapshot(demo_figure(), tmp_path / "s.json")
+        partial = FigureResult("Fig T", "test", "x", [10, 20])
+        partial.add("a", [1.0, 2.0])
+        with pytest.raises(AssertionError, match="disappeared"):
+            compare_to_snapshot(partial, load_snapshot(tmp_path / "s.json"))
+
+    def test_x_axis_change_fails(self, tmp_path):
+        save_snapshot(demo_figure(), tmp_path / "s.json")
+        other = FigureResult("Fig T", "test", "x", [10, 30])
+        other.add("a", [1.0, 2.0])
+        other.add("b", [3.0, 4.0])
+        with pytest.raises(AssertionError, match="x-axis changed"):
+            compare_to_snapshot(other, load_snapshot(tmp_path / "s.json"))
+
+
+class TestLiveSnapshot:
+    """Pin a real figure against a committed snapshot."""
+
+    ARGS = dict(precision="d", nmax_values=(256, 512, 1024), batch_count=300)
+    PATH = SNAPSHOT_DIR / "fig7_d_reduced.json"
+
+    def test_fig7_matches_committed_snapshot(self):
+        fig = fig7_crossover(**self.ARGS)
+        if not self.PATH.exists():
+            save_snapshot(fig, self.PATH)  # first run records the baseline
+        drifts = compare_to_snapshot(fig, load_snapshot(self.PATH), rel_tol=0.02)
+        assert drifts  # every stored series was checked

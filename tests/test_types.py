@@ -1,0 +1,70 @@
+"""Tests for precision metadata (repro.types)."""
+
+import numpy as np
+import pytest
+
+from repro.types import Precision, precision_info
+
+
+class TestPrecisionEnum:
+    def test_four_lapack_precisions_exist(self):
+        assert {p.value for p in Precision} == {"s", "d", "c", "z"}
+
+    @pytest.mark.parametrize("letter", ["s", "d", "c", "z"])
+    def test_constructible_from_letter(self, letter):
+        assert Precision(letter).value == letter
+
+    def test_is_complex(self):
+        assert not Precision.S.is_complex
+        assert not Precision.D.is_complex
+        assert Precision.C.is_complex
+        assert Precision.Z.is_complex
+
+    def test_is_double(self):
+        assert Precision.D.is_double and Precision.Z.is_double
+        assert not Precision.S.is_double and not Precision.C.is_double
+
+    @pytest.mark.parametrize(
+        "dtype,expected",
+        [
+            (np.float32, Precision.S),
+            (np.float64, Precision.D),
+            (np.complex64, Precision.C),
+            (np.complex128, Precision.Z),
+        ],
+    )
+    def test_from_dtype(self, dtype, expected):
+        assert Precision.from_dtype(dtype) is expected
+        assert Precision.from_dtype(np.dtype(dtype)) is expected
+
+    @pytest.mark.parametrize("bad", [np.int32, np.int64, np.float16, np.bool_])
+    def test_from_dtype_rejects_unsupported(self, bad):
+        with pytest.raises(TypeError, match="unsupported dtype"):
+            Precision.from_dtype(bad)
+
+
+class TestPrecisionInfo:
+    @pytest.mark.parametrize(
+        "prec,nbytes,weight,fp64",
+        [
+            ("s", 4, 1, False),
+            ("d", 8, 1, True),
+            ("c", 8, 4, False),
+            ("z", 16, 4, True),
+        ],
+    )
+    def test_static_facts(self, prec, nbytes, weight, fp64):
+        info = precision_info(prec)
+        assert info.bytes_per_element == nbytes
+        assert info.flop_weight == weight
+        assert info.uses_fp64_units is fp64
+        assert info.dtype.itemsize == nbytes
+        assert info.name == prec
+
+    def test_accepts_enum_and_string(self):
+        assert precision_info(Precision.D) is precision_info("d")
+
+    def test_info_is_frozen(self):
+        info = precision_info("d")
+        with pytest.raises(AttributeError):
+            info.flop_weight = 2

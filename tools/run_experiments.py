@@ -1,0 +1,46 @@
+"""Run every figure at paper scale and emit the EXPERIMENTS.md tables.
+
+Usage:  python tools/run_experiments.py > /tmp/experiments_body.md
+
+Takes a few minutes; the output is the measured-results section pasted
+into EXPERIMENTS.md (the surrounding commentary is maintained by hand).
+"""
+
+import time
+
+from repro.bench import figures, format_figure
+
+
+RUNS = [
+    ("fig3", figures.fig3_distributions, dict(bin_width=32)),
+    ("fig4-s", figures.fig4_fusion_fixed, dict(precision="s")),
+    ("fig4-d", figures.fig4_fusion_fixed, dict(precision="d")),
+    ("fig5-s", figures.fig5_fused_variants, dict(precision="s")),
+    ("fig5-d", figures.fig5_fused_variants, dict(precision="d")),
+    ("fig6-s", figures.fig6_fused_variants_gaussian, dict(precision="s")),
+    ("fig6-d", figures.fig6_fused_variants_gaussian, dict(precision="d")),
+    ("fig7-s", figures.fig7_crossover, dict(precision="s")),
+    ("fig7-d", figures.fig7_crossover, dict(precision="d")),
+    ("fig8-s", figures.fig8_overall, dict(precision="s")),
+    ("fig8-d", figures.fig8_overall, dict(precision="d")),
+    ("fig9-s", figures.fig9_overall_gaussian, dict(precision="s")),
+    ("fig9-d", figures.fig9_overall_gaussian, dict(precision="d")),
+    ("fig10", figures.fig10_energy, {}),
+    ("aux", figures.aux_interface_overhead, {}),
+]
+
+
+def main():
+    total0 = time.time()
+    for tag, fn, kwargs in RUNS:
+        t0 = time.time()
+        fig = fn(**kwargs)
+        print("```")
+        print(format_figure(fig))
+        print("```")
+        print(f"_{tag}: {time.time() - t0:.1f} s simulated-run wall time_\n")
+    print(f"_total wall time: {time.time() - total0:.1f} s_")
+
+
+if __name__ == "__main__":
+    main()

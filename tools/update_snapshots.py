@@ -1,0 +1,31 @@
+"""Regenerate the committed figure snapshots (deliberate recalibration).
+
+Usage:  python tools/update_snapshots.py
+
+Run this ONLY after a justified cost-model change; the diff of
+tests/snapshots/*.json then documents exactly what moved.
+"""
+
+from pathlib import Path
+
+from repro.bench.figures import fig7_crossover
+from repro.bench.regression import save_snapshot
+
+SNAPSHOT_DIR = Path(__file__).resolve().parent.parent / "tests" / "snapshots"
+
+SNAPSHOTS = [
+    (
+        "fig7_d_reduced.json",
+        lambda: fig7_crossover(precision="d", nmax_values=(256, 512, 1024), batch_count=300),
+    ),
+]
+
+
+def main():
+    for name, fn in SNAPSHOTS:
+        path = save_snapshot(fn(), SNAPSHOT_DIR / name)
+        print(f"updated {path}")
+
+
+if __name__ == "__main__":
+    main()
