@@ -6,8 +6,6 @@ effect attributed to it — i.e. the figures' shapes come from modeled
 causes, not accidental constants.
 """
 
-import numpy as np
-import pytest
 
 from repro.core.batch import VBatch
 from repro.core.driver import PotrfOptions, run_potrf_vbatched

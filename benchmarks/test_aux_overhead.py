@@ -5,7 +5,6 @@ these maximums.  In most cases, the overhead of computing the maximum
 is negligible."
 """
 
-import numpy as np
 
 from repro.bench.figures import aux_interface_overhead
 from repro.core import PotrfOptions, VBatch, potrf_vbatched, potrf_vbatched_max

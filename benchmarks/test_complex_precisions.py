@@ -8,7 +8,6 @@ the 4x flop weight pushing complex Gflop/s above their real partners
 on the same data volume, and z constrained hardest by shared memory.
 """
 
-import numpy as np
 
 from repro.core.batch import VBatch
 from repro.core.driver import PotrfOptions, run_potrf_vbatched

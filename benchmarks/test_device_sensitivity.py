@@ -7,8 +7,6 @@ on a K20X (fewer, slower SMs, less bandwidth) and a Titan Black
 and the K20X's smaller 6 GB memory must move the padding-OOM threshold.
 """
 
-import numpy as np
-import pytest
 
 from repro.baselines.gpu import run_padding, run_vbatched
 from repro.core.batch import VBatch

@@ -8,8 +8,6 @@ track the distribution's size *spread* (bimodal worst-case for the
 unsorted driver, constant needing no sorting at all).
 """
 
-import numpy as np
-import pytest
 
 from repro.core.batch import VBatch
 from repro.core.fused import FusedDriver

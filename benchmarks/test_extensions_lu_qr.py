@@ -7,7 +7,6 @@ arithmetic intensities predict, and the streamed-syrk alternative of
 serialization), which is why MAGMA's tuning picks between them.
 """
 
-import numpy as np
 
 from repro.core.batch import VBatch
 from repro.core.driver import PotrfOptions, run_potrf_vbatched

@@ -8,8 +8,6 @@ square tiles win on large matrices, small tiles on small matrices —
 and the tuned pick tracks the per-shape winner.
 """
 
-import numpy as np
-import pytest
 
 from repro.autotune import GEMM_TILINGS, Tuner
 from repro.device import Device

@@ -13,7 +13,6 @@ from repro.core.batch import VBatch
 from repro.core.partial import partial_potrf_vbatched
 from repro.device import Device
 from repro.multifrontal import analyze, factorize
-from repro.multifrontal.numeric import _assemble_front
 
 
 def grid_system(grid):

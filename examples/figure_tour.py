@@ -40,10 +40,12 @@ def main(full: bool = False):
             (figures.fig3_distributions, dict(bin_width=32)),
             (figures.fig4_fusion_fixed, dict(precision="d", sizes=(16, 64, 256, 512), batch_count=500)),
             (figures.fig5_fused_variants, dict(precision="d", nmax_values=small_nmax, batch_count=1000)),
-            (figures.fig6_fused_variants_gaussian, dict(precision="d", nmax_values=small_nmax, batch_count=1000)),
+            (figures.fig6_fused_variants_gaussian,
+             dict(precision="d", nmax_values=small_nmax, batch_count=1000)),
             (figures.fig7_crossover, dict(precision="d", nmax_values=(128, 256, 512, 768), batch_count=400)),
             (figures.fig8_overall, dict(precision="d", nmax_values=(256, 512, 1000, 2000), batch_count=400)),
-            (figures.fig9_overall_gaussian, dict(precision="d", nmax_values=(256, 512, 1000), batch_count=400)),
+            (figures.fig9_overall_gaussian,
+             dict(precision="d", nmax_values=(256, 512, 1000), batch_count=400)),
             (figures.fig10_energy, dict(buckets=((64, 256, 1000), (256, 512, 500), (512, 1024, 250)))),
             (figures.aux_interface_overhead, dict(batch_count=1000)),
         ]

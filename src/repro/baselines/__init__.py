@@ -18,7 +18,7 @@ can tabulate them uniformly.
 
 from .result import BaselineResult
 from .cpu_mkl import run_cpu_multithreaded
-from .cpu_percore import run_cpu_percore
+from .cpu_percore import run_cpu_percore, run_cpu_percore_measured
 from .hybrid import run_hybrid
 from .gpu import run_padding, run_vbatched
 from .registry import BASELINES, run_baseline
@@ -27,6 +27,7 @@ __all__ = [
     "BaselineResult",
     "run_cpu_multithreaded",
     "run_cpu_percore",
+    "run_cpu_percore_measured",
     "run_hybrid",
     "run_padding",
     "run_vbatched",

@@ -5,18 +5,35 @@ one CPU core at a time for a given matrix" — most small matrices fit
 the fast cache levels and the work queue balances the load.  The static
 round-robin variant is also provided ("results in some performance
 oscillations").
+
+Two flavors live here:
+
+* :func:`run_cpu_percore` — the *modeled* baseline: per-matrix task
+  times from the MKL model, scheduled by the simulated
+  :class:`~repro.cpu.CoreScheduler` (what the figure harness plots).
+* :func:`run_cpu_percore_measured` — a *real* ``concurrent.futures``
+  pool factorizing actual SPD matrices on this machine.  Dynamic
+  scheduling is the pool's shared work queue (a worker takes the next
+  matrix the moment it frees — OpenMP ``schedule(dynamic)``); static is
+  a round-robin pre-assignment of one chunk per worker.
 """
 
 from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
 from .. import flops as _flops
 from ..cpu import CoreScheduler, CpuSpec, MklModel, SANDY_BRIDGE_2X8
+from ..hostblas import make_spd_batch, potrf
 from ..types import Precision
 from .result import BaselineResult
 
-__all__ = ["run_cpu_percore"]
+__all__ = ["run_cpu_percore", "run_cpu_percore_measured"]
 
 
 def run_cpu_percore(
@@ -49,4 +66,100 @@ def run_cpu_percore(
         total_flops=_flops.batch_flops(sizes, "potrf", prec),
         core_busy=run.core_busy,
         extra={"imbalance": run.imbalance, "utilization": run.utilization},
+    )
+
+
+def _timed_potrf(a: np.ndarray) -> tuple[tuple[int, int], float, int]:
+    """Pool task: factorize one matrix in place; report who ran it."""
+    t0 = time.perf_counter()
+    info = potrf(a, "l")
+    dt = time.perf_counter() - t0
+    # (pid, thread ident) tells workers apart in both pool kinds: a
+    # thread pool varies the ident, a process pool varies the pid.
+    return (os.getpid(), threading.get_ident()), dt, info
+
+
+def _timed_chunk(mats: list[np.ndarray]) -> tuple[float, int]:
+    """Pool task for the static variant: one worker's whole chunk."""
+    t0 = time.perf_counter()
+    info = 0
+    for a in mats:
+        info = info or potrf(a, "l")
+    return time.perf_counter() - t0, info
+
+
+def run_cpu_percore_measured(
+    sizes: np.ndarray,
+    precision: Precision | str = Precision.D,
+    scheduling: str = "dynamic",
+    workers: int | None = None,
+    executor: str = "thread",
+    seed: int = 0,
+    matrices: list[np.ndarray] | None = None,
+) -> BaselineResult:
+    """Actually factorize a batch, one matrix per pool worker at a time.
+
+    Unlike :func:`run_cpu_percore` (an analytic model on simulated
+    cores), this runs the host-BLAS ``potrf`` over real SPD matrices on
+    a ``concurrent.futures`` pool and reports measured wall-clock.
+    ``executor`` selects ``"thread"`` or ``"process"`` workers; the
+    matrix-generation cost is excluded from the timing.  With thread
+    workers the factors land in ``matrices`` in place; process workers
+    factorize copies (only the timings travel back).
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if sizes.size == 0:
+        raise ValueError("batch must contain at least one matrix")
+    if np.any(sizes <= 0):
+        raise ValueError("matrix sizes must be positive")
+    if scheduling not in ("static", "dynamic"):
+        raise ValueError(f"scheduling must be 'static' or 'dynamic', got {scheduling!r}")
+    if executor not in ("thread", "process"):
+        raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
+    prec = Precision(precision)
+    if matrices is None:
+        matrices = make_spd_batch(sizes.tolist(), prec, seed=seed)
+    elif len(matrices) != sizes.size:
+        raise ValueError(f"got {len(matrices)} matrices for {sizes.size} sizes")
+    workers = workers or min(os.cpu_count() or 1, len(matrices))
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+
+    pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+    busy = np.zeros(workers)
+    bad = 0
+    wall0 = time.perf_counter()
+    with pool_cls(max_workers=workers) as pool:
+        if scheduling == "dynamic":
+            # The pool's shared queue *is* the dynamic scheduler: each
+            # worker pulls the next matrix the moment it frees.
+            slots: dict[tuple[int, int], int] = {}
+            for key, dt, info in pool.map(_timed_potrf, matrices):
+                slot = slots.setdefault(key, len(slots) % workers)
+                busy[slot] += dt
+                bad += info != 0
+        else:
+            # Static round-robin: worker i owns matrices i, i+w, i+2w...
+            # oblivious to their sizes (the paper's oscillating variant).
+            chunks = [matrices[i::workers] for i in range(workers)]
+            futs = [pool.submit(_timed_chunk, c) for c in chunks]
+            for i, fut in enumerate(futs):
+                dt, info = fut.result()
+                busy[i] = dt
+                bad += info != 0
+    elapsed = time.perf_counter() - wall0
+
+    mean = float(busy.mean())
+    return BaselineResult(
+        label=f"cpu-1core-{scheduling}-measured",
+        elapsed=elapsed,
+        total_flops=_flops.batch_flops(sizes, "potrf", prec),
+        core_busy=busy,
+        extra={
+            "imbalance": float(busy.max()) / mean if mean > 0 else 1.0,
+            "utilization": float(busy.sum()) / (workers * elapsed) if elapsed > 0 else 0.0,
+            "workers": workers,
+            "executor": executor,
+            "failed": bad,
+        },
     )

@@ -41,7 +41,7 @@ class MatrixBatch:
             self.cols_dev.data[...] = self.cols_host
 
     @classmethod
-    def from_host(cls, device, host_matrices: Sequence[np.ndarray]) -> "MatrixBatch":
+    def from_host(cls, device, host_matrices: Sequence[np.ndarray]) -> MatrixBatch:
         """Upload host matrices (PCIe-charged, one transfer each)."""
         if not host_matrices:
             raise ArgumentError(2, "batch must contain at least one matrix")
@@ -63,7 +63,7 @@ class MatrixBatch:
         rows: Sequence[int] | np.ndarray,
         cols: Sequence[int] | np.ndarray,
         precision: Precision | str = Precision.D,
-    ) -> "MatrixBatch":
+    ) -> MatrixBatch:
         """Allocate an uninitialized batch (timing-only workloads)."""
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)

@@ -58,7 +58,7 @@ class FigureResult:
         known = ", ".join(s.label for s in self.series)
         raise KeyError(f"no series {label!r}; have: {known}")
 
-    def to_csv(self, path) -> "Path":
+    def to_csv(self, path) -> Path:
         """Write the figure's data as CSV (x column + one per series)."""
         import csv
         from pathlib import Path

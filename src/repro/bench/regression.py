@@ -14,9 +14,18 @@ import math
 from dataclasses import dataclass
 from pathlib import Path
 
-from .harness import FigureResult, Series
+from .harness import FigureResult
 
 __all__ = ["save_snapshot", "load_snapshot", "compare_to_snapshot", "SeriesDrift"]
+
+
+def _jsonable(obj):
+    """JSON fallback for the numpy scalars/arrays figures carry."""
+    if hasattr(obj, "item") and not hasattr(obj, "__len__"):
+        return obj.item()
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
 
 
 def save_snapshot(fig: FigureResult, path: str | Path) -> Path:
@@ -31,7 +40,7 @@ def save_snapshot(fig: FigureResult, path: str | Path) -> Path:
         "notes": {k: v for k, v in fig.notes.items() if isinstance(v, (int, float, str))},
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2))
+    path.write_text(json.dumps(payload, indent=2, default=_jsonable))
     return path
 
 

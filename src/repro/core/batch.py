@@ -60,7 +60,7 @@ class VBatch:
         sizes: Sequence[int] | np.ndarray,
         precision: Precision | str = Precision.D,
         ldas: Sequence[int] | np.ndarray | None = None,
-    ) -> "VBatch":
+    ) -> VBatch:
         """Allocate an uninitialized batch on the device (no host data).
 
         Used by timing-only sweeps: the cost model never reads matrix
@@ -76,7 +76,7 @@ class VBatch:
         return cls(device, mats, sizes, np.maximum(ldas, 1))
 
     @classmethod
-    def from_host(cls, device, host_matrices: Sequence[np.ndarray]) -> "VBatch":
+    def from_host(cls, device, host_matrices: Sequence[np.ndarray]) -> VBatch:
         """Upload host matrices (one PCIe-charged transfer per matrix)."""
         if not host_matrices:
             raise ArgumentError(2, "batch must contain at least one matrix")

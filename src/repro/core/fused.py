@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ArgumentError
 from ..types import Precision, precision_info
+from ..kernels import grouping
 from ..kernels.aux import StepSizesKernel
 from ..kernels.fused_potrf import FusedPotrfStepKernel
 from .batch import VBatch
@@ -141,6 +142,11 @@ class FusedDriver:
                     break
                 stats.steps += 1
 
+                # Host-side grouping of this step's remaining sizes: the
+                # driver buckets once and every sub-launch reuses it for
+                # the timing plane (same-size blocks collapse to one
+                # grouped work record).
+                rem_all = np.maximum(0, sizes - offset)
                 if self.sorting:
                     # Merge small windows up to roughly the device's block
                     # capacity so no sub-launch wastes whole waves.
@@ -150,11 +156,19 @@ class FusedDriver:
                     stats.window_launches_max = max(stats.window_launches_max, len(windows))
                     for win in windows:
                         dev.launch(
-                            FusedPotrfStepKernel(batch, s, nb, win.indices, win.max_m, self.etm)
+                            FusedPotrfStepKernel(
+                                batch, s, nb, win.indices, win.max_m, self.etm,
+                                groups=grouping.grouped_first_seen(rem_all[win.indices]),
+                            )
                         )
                         stats.fused_launches += 1
                 else:
-                    dev.launch(FusedPotrfStepKernel(batch, s, nb, order, max_m, self.etm))
+                    dev.launch(
+                        FusedPotrfStepKernel(
+                            batch, s, nb, order, max_m, self.etm,
+                            groups=grouping.grouped_first_seen(rem_all[order]),
+                        )
+                    )
                     stats.fused_launches += 1
         finally:
             dev.pool.release(remaining_dev)

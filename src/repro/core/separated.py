@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ArgumentError
+from ..kernels import grouping
 from ..kernels.aux import StepSizesKernel
 from ..kernels.gemm import GemmTask, GemmTiling, VbatchedGemmKernel
 from ..kernels.naive import NaivePotf2Kernel
@@ -115,12 +116,22 @@ class SeparatedDriver:
                 remaining = np.maximum(0, sizes - offset)
                 jbs = np.minimum(remaining, NB)
                 max_jb = int(jbs.max())
+                jb_list = jbs.tolist()
+                rem_list = remaining.tolist()
 
                 # 1) Panel factorization on the diagonal tiles.
                 if self.panel_mode == "fused":
                     for t in range(-(-max_jb // inner_nb)):
+                        # Pre-group the sub-step's live tile heights on
+                        # the host; the kernel's timing plane consumes
+                        # the buckets directly.
                         dev.launch(
-                            PanelPotf2StepKernel(batch, offset, t, inner_nb, jbs, max_jb, etm="aggressive")
+                            PanelPotf2StepKernel(
+                                batch, offset, t, inner_nb, jbs, max_jb, etm="aggressive",
+                                groups=grouping.grouped_first_seen(
+                                    np.maximum(0, jbs - t * inner_nb)
+                                ),
+                            )
                         )
                         stats.potf2_launches += 1
                 else:
@@ -131,8 +142,8 @@ class SeparatedDriver:
                 # 2) Triangular solve for the rows below each tile.
                 items = []
                 for i in range(k):
-                    jb = int(jbs[i])
-                    m_below = int(remaining[i]) - jb
+                    jb = jb_list[i]
+                    m_below = rem_list[i] - jb
                     if jb <= 0:
                         items.append(TrsmPanelItem(0, 0))
                         continue
@@ -144,7 +155,7 @@ class SeparatedDriver:
                                 m=max(0, m_below),
                                 jb=jb,
                                 l11=a[offset:j1, offset:j1],
-                                b=a[j1 : offset + int(remaining[i]), offset:j1],
+                                b=a[j1 : offset + rem_list[i], offset:j1],
                                 inv_ws=inv_ws.data[i, :jb, :jb],
                             )
                         )
@@ -158,8 +169,8 @@ class SeparatedDriver:
                 # 3) Trailing update: C -= B B^H on what remains.
                 tasks = []
                 for i in range(k):
-                    jb = int(jbs[i])
-                    n_trail = int(remaining[i]) - jb
+                    jb = jb_list[i]
+                    n_trail = rem_list[i] - jb
                     if jb <= 0 or n_trail <= 0:
                         tasks.append(SyrkTask(0, 0))
                         continue

@@ -77,7 +77,7 @@ class Calibration:
     warp_mem_bandwidth: float = 3.5e9
     max_transfer_chunk: int = 1 << 22
 
-    def with_overrides(self, **kwargs) -> "Calibration":
+    def with_overrides(self, **kwargs) -> Calibration:
         """Return a copy with some constants replaced (for ablations)."""
         return replace(self, **kwargs)
 

@@ -135,7 +135,8 @@ class Device:
         """Allocate and copy host -> device, charging PCIe time."""
         dev = self.alloc(host_array.shape, host_array.dtype)
         if self.execute_numerics:
-            dev.data[...] = host_array
+            # Skip materializing the zero payload just to overwrite it.
+            dev.data = host_array.copy()
         self._transfer(host_array.nbytes, "memcpy_h2d", stream)
         return dev
 
@@ -168,11 +169,7 @@ class Device:
         works = kernel.block_works()
         counts = np.fromiter((w.count for w in works), dtype=np.int64, count=len(works))
         total_blocks = int(counts.sum())
-        durations = np.fromiter(
-            (self._block_duration(w, occ, info, kernel, config, total_blocks) for w in works),
-            dtype=np.float64,
-            count=len(works),
-        )
+        durations = self._block_durations(works, occ, info, kernel, config, total_blocks)
         schedule = self.scheduler.makespan(durations, counts, occ.concurrent_blocks)
 
         # Host-side issue cost; the host then runs ahead (async launch).
@@ -200,6 +197,76 @@ class Device:
     # ------------------------------------------------------------------
     # cost model
     # ------------------------------------------------------------------
+    def _block_durations(
+        self,
+        works: list[BlockWork],
+        occ: Occupancy,
+        info,
+        kernel: Kernel,
+        config,
+        total_blocks: int,
+    ) -> np.ndarray:
+        """Vectorized `_block_duration` over a launch's work groups.
+
+        Evaluates the identical expression tree elementwise, so each
+        entry matches the scalar path bit-for-bit.
+        """
+        cal = self.calibration
+        n = len(works)
+        threads_per_block = config.threads_per_block
+        flops = np.empty(n)
+        bytes_ = np.empty(n)
+        serial = np.empty(n)
+        active = np.empty(n)
+        for i, w in enumerate(works):
+            flops[i] = w.flops
+            bytes_[i] = w.bytes
+            serial[i] = w.serial_iters
+            a = w.active_threads
+            active[i] = threads_per_block if a is None else min(a, threads_per_block)
+        terminated = active == 0.0
+
+        warp = self.spec.warp_size
+        # Clamped to one warp for terminated groups to keep the shared
+        # expressions finite; those entries are overwritten at the end.
+        live_warps = np.maximum(np.ceil(active / warp), 1.0)
+
+        latency_eff = min(
+            1.0, occ.resident_warps_per_sm * config.ilp / cal.full_throughput_warps
+        )
+        sm_share_rate = (
+            self.spec.peak_flops_per_sm(info)
+            * cal.issue_efficiency
+            * kernel.compute_efficiency
+            * latency_eff
+            / occ.blocks_per_sm
+        )
+        warp_issue_rate = (
+            live_warps * warp * 2.0 * self.spec.clock_hz
+            * cal.issue_efficiency * kernel.compute_efficiency
+        )
+        compute_rate = np.minimum(sm_share_rate, warp_issue_rate)
+        sharers = max(1, min(occ.concurrent_blocks, total_blocks))
+        mem_rate = np.minimum(
+            self.spec.global_mem_bandwidth * cal.mem_efficiency / sharers,
+            live_warps * cal.warp_mem_bandwidth * config.ilp,
+        )
+        base = np.maximum(flops / compute_rate, bytes_ / mem_rate)
+
+        lane_capacity = live_warps * warp
+        sub_idle = (lane_capacity - active) / lane_capacity
+        base *= 1.0 + cal.intra_warp_divergence_penalty * sub_idle
+        if kernel.etm_mode == "classic":
+            total_warps = -(-threads_per_block // warp)
+            idle_warp_frac = (total_warps - live_warps) / total_warps
+            base *= 1.0 + cal.classic_idle_warp_penalty * idle_warp_frac
+
+        arith = cal.serial_fp64_scale if info.uses_fp64_units else 1.0
+        per_iter = cal.serial_op_latency * (arith + (kernel.serial_latency_scale - 1.0))
+        out = base + serial * per_iter + cal.block_start_overhead
+        out[terminated] = cal.etm_terminate_overhead
+        return out
+
     def _block_duration(
         self,
         work: BlockWork,

@@ -25,27 +25,60 @@ class DeviceArray:
     public API goes through :meth:`Device.memcpy_h2d` /
     :meth:`Device.memcpy_d2h` so PCIe cost is accounted.  Kernels (which
     execute "on the device") read and write ``.data`` freely.
+
+    The payload is materialized lazily: capacity is charged at ``alloc``
+    time, but the backing zeros are only created on first ``.data``
+    access.  Timing-only sweeps (``execute_numerics=False``) never touch
+    matrix values, so their allocations stay payload-free.
     """
 
-    __slots__ = ("memory", "handle", "data", "nbytes")
+    __slots__ = ("memory", "handle", "nbytes", "_data", "_producer", "_shape", "_dtype")
 
-    def __init__(self, memory: "GlobalMemory", handle: int, data: np.ndarray):
+    def __init__(self, memory: "GlobalMemory", handle: int, shape: tuple[int, ...], dtype: np.dtype):
         self.memory = memory
         self.handle = handle
-        self.data = data
-        self.nbytes = int(data.nbytes)
+        self._data: np.ndarray | None = None
+        self._producer = None
+        self._shape = shape
+        self._dtype = dtype
+        self.nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if shape else dtype.itemsize
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._data is None:
+            if self._producer is not None:
+                self._data = self._producer()
+            else:
+                self._data = np.zeros(self._shape, dtype=self._dtype)
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        self._data = value
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the backing payload has been created yet."""
+        return self._data is not None
+
+    def set_producer(self, producer, shape: tuple[int, ...], dtype: np.dtype) -> None:
+        """Defer the payload to ``producer()`` (pool views); resets ``.data``."""
+        self._data = None
+        self._producer = producer
+        self._shape = shape
+        self._dtype = dtype
 
     @property
     def shape(self) -> tuple[int, ...]:
-        return self.data.shape
+        return self._shape if self._data is None else self._data.shape
 
     @property
     def dtype(self) -> np.dtype:
-        return self.data.dtype
+        return self._dtype if self._data is None else self._data.dtype
 
     @property
     def precision(self) -> Precision:
-        return Precision.from_dtype(self.data.dtype)
+        return Precision.from_dtype(self.dtype)
 
     def free(self) -> None:
         """Release the allocation (idempotent)."""
@@ -89,7 +122,7 @@ class GlobalMemory:
         self._live[handle] = nbytes
         self.used += nbytes
         self.peak_used = max(self.peak_used, self.used)
-        return DeviceArray(self, handle, np.zeros(shape, dtype=dtype))
+        return DeviceArray(self, handle, shape, dtype)
 
     def _release(self, array: DeviceArray) -> None:
         nbytes = self._live.pop(array.handle, None)

@@ -30,13 +30,42 @@ def _bin_bytes(nbytes: int) -> int:
     return size
 
 
+class _LazyPoolView:
+    """Deferred zeroed view into a bin's backing buffer.
+
+    The buffer itself is created on first access, so timing-only sweeps
+    that request workspaces but never read them pay no zero-fill.
+    """
+
+    __slots__ = ("pool", "handle", "count", "shape")
+
+    def __init__(self, pool: "WorkspacePool", handle: int, count: int, shape):
+        self.pool = pool
+        self.handle = handle
+        self.count = count
+        self.shape = shape
+
+    def __call__(self) -> np.ndarray:
+        base = self.pool._bases.get(self.handle)
+        if base is None:
+            nelems, dtype = self.pool._bins[self.handle]
+            # Fresh zeros: the view needs no additional clearing.
+            base = np.zeros(nelems, dtype=dtype)
+            self.pool._bases[self.handle] = base
+            return base[: self.count].reshape(self.shape)
+        view = base[: self.count].reshape(self.shape)
+        view[...] = 0
+        return view
+
+
 class WorkspacePool:
     """Size-binned free-list allocator on top of device global memory."""
 
     def __init__(self, memory: GlobalMemory):
         self.memory = memory
         self._free: dict[tuple[int, np.dtype], list[DeviceArray]] = defaultdict(list)
-        self._flat: dict[int, np.ndarray] = {}  # handle -> full-bin buffer
+        self._bins: dict[int, tuple[int, np.dtype]] = {}  # handle -> (elems, dtype)
+        self._bases: dict[int, np.ndarray] = {}  # handle -> materialized buffer
         self.hits = 0
         self.misses = 0
 
@@ -56,17 +85,15 @@ class WorkspacePool:
             self.misses += 1
             # Allocate the whole bin so any same-bin request can reuse it.
             arr = self.memory.alloc((key[0] // dtype.itemsize,), dtype)
-            self._flat[arr.handle] = arr.data
-        view = self._flat[arr.handle][:count].reshape(shape)
-        view[...] = 0
-        arr.data = view
+            self._bins[arr.handle] = (key[0] // dtype.itemsize, dtype)
+        arr.set_producer(_LazyPoolView(self, arr.handle, count, shape), shape, dtype)
         return arr
 
     def release(self, arr: DeviceArray) -> None:
         """Return a block to the pool (it stays charged to the device)."""
-        if arr.handle not in self._flat:
+        if arr.handle not in self._bins:
             raise ValueError("array was not allocated from this pool")
-        dtype = self._flat[arr.handle].dtype
+        dtype = self._bins[arr.handle][1]
         key = (_bin_bytes(max(arr.nbytes, 1)), dtype)
         self._free[key].append(arr)
 
@@ -79,7 +106,8 @@ class WorkspacePool:
         n = 0
         for bucket in self._free.values():
             for arr in bucket:
-                self._flat.pop(arr.handle, None)
+                self._bins.pop(arr.handle, None)
+                self._bases.pop(arr.handle, None)
                 arr.free()
                 n += 1
             bucket.clear()

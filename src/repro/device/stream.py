@@ -27,7 +27,7 @@ class Stream:
         self.device._host_wait(self.ready_time)
         return self.ready_time
 
-    def record_event(self) -> "Event":
+    def record_event(self) -> Event:
         """Capture the stream's current completion frontier."""
         return Event(self, self.ready_time)
 

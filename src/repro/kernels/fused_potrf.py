@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from .. import flops as _flops
 from ..errors import LaunchError
 from ..hostblas import potf2 as host_potf2, trsm as host_trsm
 from ..types import Precision, precision_info
 from ..device.kernel import BlockWork, Kernel, LaunchConfig
+from . import grouping
 
 __all__ = ["FusedPotrfStepKernel", "fused_step_numerics", "fused_shared_mem_bytes"]
 
@@ -81,12 +81,18 @@ class FusedPotrfStepKernel(Kernel):
         max across the batch.
     etm:
         "classic" or "aggressive".
+    groups:
+        Optional pre-grouped ``(remaining_sizes, counts)`` pair from
+        :func:`~repro.kernels.grouping.grouped_first_seen` — the driver
+        computes the step's grouping once and shares it across the
+        timing plane instead of each launch re-deriving it.
     """
 
     #: Shared-memory-bound FMA loop: well below a register-tiled gemm.
     compute_efficiency = 0.70
 
-    def __init__(self, batch, step: int, nb: int, indices: np.ndarray, max_m: int, etm: str = "classic"):
+    def __init__(self, batch, step: int, nb: int, indices: np.ndarray, max_m: int,
+                 etm: str = "classic", groups: tuple[np.ndarray, np.ndarray] | None = None):
         self.etm_mode = etm
         super().__init__()
         if nb <= 0:
@@ -100,6 +106,7 @@ class FusedPotrfStepKernel(Kernel):
         self.nb = nb
         self.indices = np.asarray(indices, dtype=np.int64)
         self.max_m = int(max_m)
+        self.groups = groups
         self._info = precision_info(batch.precision)
         self.name = f"fused_potrf:{self._info.name}:nb{nb}"
 
@@ -140,51 +147,70 @@ class FusedPotrfStepKernel(Kernel):
         # driver controls ordering: the implicit-sorting driver passes
         # size-sorted indices, the plain driver passes batch order —
         # the load-balance difference between the two must survive).
-        groups: dict[int, int] = {}
-        for i in self.indices:
-            m = self._remaining(int(i))
-            groups[m] = groups.get(m, 0) + 1
-
+        if self.groups is not None:
+            ms, counts = self.groups
+        else:
+            remaining = np.maximum(0, self.batch.sizes_host[self.indices] - k)
+            ms, counts = grouping.grouped_first_seen(remaining)
+        m = ms.astype(np.float64)
+        jb = np.minimum(float(self.nb), m)
+        # Customized syrk: C[m x jb] -= A[m x k] B[jb x k]^H; then the
+        # potf2 of the tile and the trsm of the rows below it.
+        flops = 2.0 * m * jb * k if k > 0 else np.zeros_like(m)
+        flops = flops + (jb**3 / 3.0 + jb**2 / 2.0 + jb / 6.0)
+        flops = flops + np.where(m > jb, (m - jb) * jb * jb, 0.0)
+        # Global traffic: read the m x k history panel once (B is a
+        # slice of A — the customized kernel does not reload it),
+        # read + write the m x jb panel.
+        bytes_ = (m * k + 2.0 * m * jb) * elem
+        # Serial chains: jb dependent column steps in potf2 and jb
+        # substitution steps in the fused trsm.
+        serial = 2.0 * jb
         works: list[BlockWork] = []
-        for m, count in groups.items():
-            if m == 0:
+        for i, (mi, count) in enumerate(zip(ms.tolist(), counts.tolist())):
+            if mi == 0:
                 works.append(BlockWork(0.0, 0.0, active_threads=0, count=count))
-                continue
-            jb = min(self.nb, m)
-            flops = 0.0
-            if k > 0:
-                # Customized syrk: C[m x jb] -= A[m x k] B[jb x k]^H.
-                flops += _flops.gemm_flops(m, jb, k)
-            flops += _flops.potf2_flops(jb)
-            if m > jb:
-                flops += _flops.trsm_flops(m - jb, jb, side="right")
-            # Global traffic: read the m x k history panel once (B is a
-            # slice of A — the customized kernel does not reload it),
-            # read + write the m x jb panel.
-            bytes_ = (m * k + 2.0 * m * jb) * elem
-            # Serial chains: jb dependent column steps in potf2 and jb
-            # substitution steps in the fused trsm.
-            serial = 2.0 * jb
-            works.append(
-                BlockWork(
-                    flops=flops * w,
-                    bytes=bytes_,
-                    serial_iters=serial,
-                    active_threads=m,
-                    count=count,
+            else:
+                works.append(
+                    BlockWork(
+                        flops=flops[i] * w,
+                        bytes=bytes_[i],
+                        serial_iters=serial[i],
+                        active_threads=mi,
+                        count=count,
+                    )
                 )
-            )
         return works
 
     def run_numerics(self) -> None:
         infos = self.batch.infos_dev.data
         j0 = self.step * self.nb
-        for i in self.indices:
-            i = int(i)
-            n = int(self.batch.sizes_host[i])
-            if n - j0 <= 0 or infos[i] != 0:
-                continue  # ETM: nothing left to do (or already failed)
-            a = self.batch.matrix_view(i)
-            info = fused_step_numerics(a, j0, self.nb)
-            if info != 0:
-                infos[i] = info
+        sizes = self.batch.sizes_host
+        # ETM: drop finished and already-failed matrices up front.
+        live = self.indices[(sizes[self.indices] > j0) & (infos[self.indices] == 0)]
+        if live.size == 0:
+            return
+        if grouping.reference_enabled():
+            for i in live:
+                i = int(i)
+                info = fused_step_numerics(self.batch.matrix_view(i), j0, self.nb)
+                if info != 0:
+                    infos[i] = info
+            return
+        ldas = self.batch.ldas_host
+        buckets = grouping.partition_buckets(
+            [(int(sizes[i]), int(ldas[i])) for i in live]
+        )
+        for bucket in buckets:
+            ids = live[bucket.positions]
+            if len(ids) == 1:
+                i = int(ids[0])
+                info = fused_step_numerics(self.batch.matrix_view(i), j0, self.nb)
+                if info != 0:
+                    infos[i] = info
+                continue
+            views = [self.batch.matrix_view(int(i)) for i in ids]
+            ret = grouping.bucket_fused_step(views, j0, self.nb)
+            bad = ret > 0
+            if bad.any():
+                infos[ids[bad]] = ret[bad]

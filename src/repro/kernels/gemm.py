@@ -16,10 +16,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import flops as _flops
 from ..hostblas import gemm as host_gemm
 from ..types import Precision, precision_info
 from ..device.kernel import BlockWork, Kernel, LaunchConfig
+from . import grouping
 
 __all__ = ["GemmTiling", "GemmTask", "VbatchedGemmKernel"]
 
@@ -43,7 +43,7 @@ class GemmTiling:
         return 2 * (self.blk_m + self.blk_n) * self.blk_k * bytes_per_element
 
     @classmethod
-    def for_precision(cls, bytes_per_element: int) -> "GemmTiling":
+    def for_precision(cls, bytes_per_element: int) -> GemmTiling:
         """Default tile shape per element size.
 
         The 64x64x16 shape fits shared memory for 4- and 8-byte
@@ -79,13 +79,52 @@ class GemmTask:
             raise ValueError(f"negative gemm dimensions: {self}")
 
 
+def _merged_works(
+    flops: np.ndarray,
+    bytes_: np.ndarray,
+    active: np.ndarray,
+    counts: np.ndarray,
+    serial: np.ndarray | None = None,
+) -> list[BlockWork]:
+    """Collapse consecutive identical (flops, bytes, active) rows.
+
+    Issue order is preserved, so the exact scheduler sees the same block
+    sequence; merging only shrinks the grouped representation (vbatched
+    launches typically carry long runs of same-shape tasks).
+    """
+    size = flops.size
+    if size == 0:
+        return []
+    new = np.ones(size, dtype=bool)
+    new[1:] = (
+        (flops[1:] != flops[:-1])
+        | (bytes_[1:] != bytes_[:-1])
+        | (active[1:] != active[:-1])
+    )
+    if serial is not None:
+        new[1:] |= serial[1:] != serial[:-1]
+    starts = np.flatnonzero(new)
+    merged = np.add.reduceat(counts, starts)
+    return [
+        BlockWork(
+            flops=float(flops[i]),
+            bytes=float(bytes_[i]),
+            serial_iters=0.0 if serial is None else float(serial[i]),
+            active_threads=int(active[i]),
+            count=int(c),
+        )
+        for i, c in zip(starts.tolist(), merged.tolist())
+    ]
+
+
 class VbatchedGemmKernel(Kernel):
     """One launch covering every task's tiles plus the ETM'd excess."""
 
     etm_mode = "classic"
     compute_efficiency = 0.75  # register-tiled, double-buffered inner loop
 
-    def __init__(self, tasks: list[GemmTask], precision: Precision, tiling: GemmTiling | None = None, label: str = "gemm"):
+    def __init__(self, tasks: list[GemmTask], precision: Precision,
+                 tiling: GemmTiling | None = None, label: str = "gemm"):
         super().__init__()
         if not tasks:
             raise ValueError("gemm launch needs at least one task")
@@ -120,33 +159,57 @@ class VbatchedGemmKernel(Kernel):
         w = self._info.flop_weight
         elem = self._info.bytes_per_element
         grid = self._grid_tiles()
-        works: list[BlockWork] = []
-        dead = 0
-        for task in self.tasks:
-            live = max(0, -(-task.m // t.blk_m)) * max(0, -(-task.n // t.blk_n))
-            live = min(live, grid) if task.m > 0 and task.n > 0 else 0
-            dead += grid - live
-            if live == 0:
-                continue
-            flops = _flops.gemm_flops(task.m, task.n, task.k, None) * w / live
-            # Per tile: stream A and B panels for the k loop, read+write
-            # C — at the tile dims actually touched (edge tiles load
-            # only their live rows/columns).
-            em, en = min(t.blk_m, task.m), min(t.blk_n, task.n)
-            bytes_ = ((em + en) * task.k + 2.0 * em * en) * elem
-            # Small-tile inefficiency: a matrix smaller than the tile
-            # blocking leaves most of the block's threads without
-            # output elements (the generic kernel cannot retile).
-            active = max(1, round(t.threads * (em * en) / (t.blk_m * t.blk_n)))
-            works.append(
-                BlockWork(flops=flops, bytes=bytes_, active_threads=active, count=live)
-            )
+        nt = len(self.tasks)
+        m = np.fromiter((task.m for task in self.tasks), dtype=np.float64, count=nt)
+        n = np.fromiter((task.n for task in self.tasks), dtype=np.float64, count=nt)
+        k = np.fromiter((task.k for task in self.tasks), dtype=np.float64, count=nt)
+        tiles = np.ceil(m / t.blk_m) * np.ceil(n / t.blk_n)
+        live = np.where((m > 0) & (n > 0), np.minimum(tiles, grid), 0.0)
+        dead = int(grid * nt - live.sum())
+        keep = live > 0
+        m, n, k, live = m[keep], n[keep], k[keep], live[keep]
+        flops = 2.0 * m * n * k * w / live
+        # Per tile: stream A and B panels for the k loop, read+write
+        # C — at the tile dims actually touched (edge tiles load
+        # only their live rows/columns).
+        em, en = np.minimum(t.blk_m, m), np.minimum(t.blk_n, n)
+        bytes_ = ((em + en) * k + 2.0 * em * en) * elem
+        # Small-tile inefficiency: a matrix smaller than the tile
+        # blocking leaves most of the block's threads without
+        # output elements (the generic kernel cannot retile).
+        active = np.maximum(1, np.round(t.threads * (em * en) / (t.blk_m * t.blk_n)))
+        works = _merged_works(flops, bytes_, active, live)
         if dead:
             works.append(BlockWork(0.0, 0.0, active_threads=0, count=dead))
         return works
 
     def run_numerics(self) -> None:
-        for task in self.tasks:
-            if task.m == 0 or task.n == 0 or task.c is None:
+        live = [t for t in self.tasks if t.m and t.n and t.c is not None]
+        if not live:
+            return
+        if grouping.reference_enabled():
+            for t in live:
+                host_gemm(t.transa, t.transb, t.alpha, t.a, t.b, t.beta, t.c)
+            return
+        # Same (m, n, k) and flags -> shape-compatible operand stacks.
+        buckets = grouping.partition_buckets(
+            [(t.m, t.n, t.k, t.transa, t.transb, t.alpha, t.beta) for t in live]
+        )
+        for bucket in buckets:
+            tasks = [live[p] for p in bucket.positions]
+            t0 = tasks[0]
+            if len(tasks) == 1:
+                host_gemm(t0.transa, t0.transb, t0.alpha, t0.a, t0.b, t0.beta, t0.c)
                 continue
-            host_gemm(task.transa, task.transb, task.alpha, task.a, task.b, task.beta, task.c)
+            c = np.stack([t.c for t in tasks])
+            grouping.bucket_gemm(
+                np.stack([t.a for t in tasks]),
+                np.stack([t.b for t in tasks]),
+                c,
+                t0.transa,
+                t0.transb,
+                t0.alpha,
+                t0.beta,
+            )
+            for t, slab in zip(tasks, c):
+                t.c[...] = slab

@@ -17,6 +17,7 @@ from .. import flops as _flops
 from ..hostblas import potf2 as host_potf2
 from ..types import Precision, precision_info
 from ..device.kernel import BlockWork, Kernel, LaunchConfig
+from . import grouping
 
 __all__ = ["NaivePotf2Kernel"]
 
@@ -59,11 +60,9 @@ class NaivePotf2Kernel(Kernel):
     def block_works(self) -> list[BlockWork]:
         w = self._info.flop_weight
         elem = self._info.bytes_per_element
-        groups: dict[int, int] = {}
-        for jb in self.jbs:
-            groups[int(jb)] = groups.get(int(jb), 0) + 1
+        jbs, counts = grouping.grouped_first_seen(self.jbs)
         works: list[BlockWork] = []
-        for jb, count in groups.items():
+        for jb, count in zip(jbs.tolist(), counts.tolist()):
             if jb == 0:
                 works.append(BlockWork(0.0, 0.0, active_threads=0, count=count))
                 continue
@@ -82,15 +81,41 @@ class NaivePotf2Kernel(Kernel):
             )
         return works
 
+    def _tile(self, i: int, jb: int) -> np.ndarray:
+        return self.batch.matrix_view(i)[
+            self.offset : self.offset + jb, self.offset : self.offset + jb
+        ]
+
     def run_numerics(self) -> None:
         infos = self.batch.infos_dev.data
-        for i, jb in enumerate(self.jbs):
-            jb = int(jb)
-            if jb <= 0 or infos[i] != 0:
+        live = np.flatnonzero((self.jbs > 0) & (infos[: len(self.jbs)] == 0))
+        if live.size == 0:
+            return
+        if grouping.reference_enabled():
+            for i in live:
+                i = int(i)
+                info = host_potf2(self._tile(i, int(self.jbs[i])), "l")
+                if info != 0:
+                    infos[i] = self.offset + info
+            return
+        ldas = self.batch.ldas_host
+        buckets = grouping.partition_buckets(
+            [(int(self.jbs[i]), int(ldas[i])) for i in live]
+        )
+        for bucket in buckets:
+            ids = live[bucket.positions]
+            jb = int(self.jbs[ids[0]])
+            if len(ids) == 1:
+                i = int(ids[0])
+                info = host_potf2(self._tile(i, jb), "l")
+                if info != 0:
+                    infos[i] = self.offset + info
                 continue
-            tile = self.batch.matrix_view(i)[
-                self.offset : self.offset + jb, self.offset : self.offset + jb
-            ]
-            info = host_potf2(tile, "l")
-            if info != 0:
-                infos[i] = self.offset + info
+            tiles = [self._tile(int(i), jb) for i in ids]
+            stack = np.stack(tiles)
+            ret = grouping.batched_potf2(stack)
+            for b, tile in enumerate(tiles):
+                tile[...] = stack[b]
+            bad = ret > 0
+            if bad.any():
+                infos[ids[bad]] = self.offset + ret[bad]

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from .. import flops as _flops
 from ..types import Precision, precision_info
 from ..device.kernel import BlockWork, Kernel, LaunchConfig
+from . import grouping
 from .fused_potrf import fused_shared_mem_bytes, fused_step_numerics
 
 __all__ = ["PanelPotf2StepKernel"]
@@ -33,7 +33,8 @@ class PanelPotf2StepKernel(Kernel):
     compute_efficiency = 0.70  # same inner loop as the fused kernel
 
     def __init__(self, batch, offset: int, inner_step: int, nb: int,
-                 jbs: np.ndarray, max_jb: int, etm: str = "aggressive"):
+                 jbs: np.ndarray, max_jb: int, etm: str = "aggressive",
+                 groups: tuple[np.ndarray, np.ndarray] | None = None):
         self.etm_mode = etm
         super().__init__()
         if nb <= 0 or inner_step < 0 or offset < 0:
@@ -48,12 +49,17 @@ class PanelPotf2StepKernel(Kernel):
         self.nb = nb
         self.jbs = np.asarray(jbs, dtype=np.int64)
         self.max_jb = int(max_jb)
+        # Pre-grouped (remaining, counts) handed down by the driver;
+        # None -> derive from jbs at launch time.
+        self.groups = groups
         self._info = precision_info(batch.precision)
         self.name = f"vbatched_potf2:{self._info.name}"
         threads = min(1024, -(-self.max_jb // _WARP) * _WARP)
         self._config = LaunchConfig(
             threads_per_block=threads,
-            shared_mem_per_block=fused_shared_mem_bytes(min(self.max_jb, threads), nb, self._info.bytes_per_element),
+            shared_mem_per_block=fused_shared_mem_bytes(
+                min(self.max_jb, threads), nb, self._info.bytes_per_element
+            ),
             regs_per_thread=48,
             ilp=2.0,
         )
@@ -69,43 +75,66 @@ class PanelPotf2StepKernel(Kernel):
         w = self._info.flop_weight
         elem = self._info.bytes_per_element
         k = self.inner_step * self.nb
-        groups: dict[int, int] = {}
-        for jb in self.jbs:
-            m = max(0, int(jb) - k)
-            groups[m] = groups.get(m, 0) + 1
+        if self.groups is not None:
+            ms, counts = self.groups
+        else:
+            ms, counts = grouping.grouped_first_seen(np.maximum(0, self.jbs - k))
+        m = ms.astype(np.float64)
+        jb_step = np.minimum(float(self.nb), m)
+        flops = jb_step**3 / 3.0 + jb_step**2 / 2.0 + jb_step / 6.0
+        if k > 0:
+            flops = flops + 2.0 * m * jb_step * k
+        flops = flops + np.where(m > jb_step, (m - jb_step) * jb_step * jb_step, 0.0)
+        bytes_ = (m * k + 2.0 * m * jb_step) * elem
+        serial = 2.0 * jb_step
         works: list[BlockWork] = []
-        for m, count in groups.items():
-            if m == 0:
+        for i, (mi, count) in enumerate(zip(ms.tolist(), counts.tolist())):
+            if mi == 0:
                 works.append(BlockWork(0.0, 0.0, active_threads=0, count=count))
-                continue
-            jb_step = min(self.nb, m)
-            flops = _flops.potf2_flops(jb_step)
-            if k > 0:
-                flops += _flops.gemm_flops(m, jb_step, k)
-            if m > jb_step:
-                flops += _flops.trsm_flops(m - jb_step, jb_step, side="right")
-            bytes_ = (m * k + 2.0 * m * jb_step) * elem
-            works.append(
-                BlockWork(
-                    flops=flops * w,
-                    bytes=bytes_,
-                    serial_iters=2.0 * jb_step,
-                    active_threads=m,
-                    count=count,
+            else:
+                works.append(
+                    BlockWork(
+                        flops=flops[i] * w,
+                        bytes=bytes_[i],
+                        serial_iters=serial[i],
+                        active_threads=mi,
+                        count=count,
+                    )
                 )
-            )
         return works
+
+    def _tile(self, i: int, jb: int) -> np.ndarray:
+        return self.batch.matrix_view(i)[self.offset : self.offset + jb,
+                                         self.offset : self.offset + jb]
 
     def run_numerics(self) -> None:
         infos = self.batch.infos_dev.data
-        for i, jb in enumerate(self.jbs):
-            jb = int(jb)
-            local = self.inner_step * self.nb
-            if jb - local <= 0 or infos[i] != 0:
+        local = self.inner_step * self.nb
+        live = np.flatnonzero((self.jbs > local) & (infos[: len(self.jbs)] == 0))
+        if live.size == 0:
+            return
+        if grouping.reference_enabled():
+            for i in live:
+                i = int(i)
+                info = fused_step_numerics(self._tile(i, int(self.jbs[i])), local, self.nb)
+                if info != 0:
+                    infos[i] = self.offset + info
+            return
+        ldas = self.batch.ldas_host
+        buckets = grouping.partition_buckets(
+            [(int(self.jbs[i]), int(ldas[i])) for i in live]
+        )
+        for bucket in buckets:
+            ids = live[bucket.positions]
+            jb = int(self.jbs[ids[0]])
+            if len(ids) == 1:
+                i = int(ids[0])
+                info = fused_step_numerics(self._tile(i, jb), local, self.nb)
+                if info != 0:
+                    infos[i] = self.offset + info
                 continue
-            n = int(self.batch.sizes_host[i])
-            tile = self.batch.matrix_view(i)[self.offset : self.offset + jb,
-                                             self.offset : self.offset + jb]
-            info = fused_step_numerics(tile, local, self.nb)
-            if info != 0:
-                infos[i] = self.offset + info
+            tiles = [self._tile(int(i), jb) for i in ids]
+            ret = grouping.bucket_fused_step(tiles, local, self.nb)
+            bad = ret > 0
+            if bad.any():
+                infos[ids[bad]] = self.offset + ret[bad]

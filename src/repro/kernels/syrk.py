@@ -16,11 +16,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import flops as _flops
 from ..hostblas import syrk as host_syrk
 from ..types import Precision, precision_info
 from ..device.kernel import BlockWork, Kernel, LaunchConfig
-from .gemm import GemmTiling
+from . import grouping
+from .gemm import GemmTiling, _merged_works
 
 __all__ = ["SyrkTask", "VbatchedSyrkKernel", "StreamedSyrkLauncher"]
 
@@ -88,36 +88,52 @@ class VbatchedSyrkKernel(Kernel):
         elem = self._info.bytes_per_element
         tiles_max = max(1, -(-self.max_n // t.blk_m))
         grid = tiles_max * tiles_max  # full square grid, sized by max n
-        works: list[BlockWork] = []
-        dead = 0
-        for task in self.tasks:
-            tiles = -(-task.n // t.blk_m) if task.n > 0 else 0
-            live = tiles * (tiles + 1) // 2  # lower-triangle tiles only
-            dead += grid - live
-            e = min(t.blk_m, task.n)
-            if live == 0 or task.k == 0:
-                if live:
-                    # k == 0: blocks scale C by beta only; almost free.
-                    works.append(
-                        BlockWork(0.0, 2.0 * e * e * elem,
-                                  active_threads=t.threads, count=live)
-                    )
-                continue
-            flops = _flops.syrk_flops(task.n, task.k, None) * w / live
-            bytes_ = (2.0 * e * task.k + 2.0 * e * e) * elem
-            active = max(1, round(t.threads * (e * e) / (t.blk_m * t.blk_n)))
-            works.append(
-                BlockWork(flops=flops, bytes=bytes_, active_threads=active, count=live)
-            )
+        nt = len(self.tasks)
+        n = np.fromiter((task.n for task in self.tasks), dtype=np.float64, count=nt)
+        k = np.fromiter((task.k for task in self.tasks), dtype=np.float64, count=nt)
+        tiles = np.ceil(n / t.blk_m)
+        live = tiles * (tiles + 1.0) / 2.0  # lower-triangle tiles only
+        dead = int(grid * nt - live.sum())
+        keep = live > 0
+        n, k, live = n[keep], k[keep], live[keep]
+        e = np.minimum(t.blk_m, n)
+        rank = k > 0
+        # k == 0: blocks scale C by beta only; almost free.
+        flops = np.where(rank, n * (n + 1.0) * k * w / live, 0.0)
+        bytes_ = np.where(rank, (2.0 * e * k + 2.0 * e * e) * elem, 2.0 * e * e * elem)
+        active = np.where(
+            rank,
+            np.maximum(1, np.round(t.threads * (e * e) / (t.blk_m * t.blk_n))),
+            t.threads,
+        )
+        works = _merged_works(flops, bytes_, active, live)
         if dead:
             works.append(BlockWork(0.0, 0.0, active_threads=0, count=dead))
         return works
 
     def run_numerics(self) -> None:
-        for task in self.tasks:
-            if task.n == 0 or task.c is None:
+        live = [t for t in self.tasks if t.n and t.c is not None]
+        if not live:
+            return
+        if grouping.reference_enabled():
+            for t in live:
+                host_syrk(t.uplo, t.trans, t.alpha, t.a, t.beta, t.c)
+            return
+        buckets = grouping.partition_buckets(
+            [(t.n, t.k, t.alpha, t.beta, t.uplo, t.trans) for t in live]
+        )
+        for bucket in buckets:
+            tasks = [live[p] for p in bucket.positions]
+            t0 = tasks[0]
+            if len(tasks) == 1:
+                host_syrk(t0.uplo, t0.trans, t0.alpha, t0.a, t0.beta, t0.c)
                 continue
-            host_syrk(task.uplo, task.trans, task.alpha, task.a, task.beta, task.c)
+            c = np.stack([t.c for t in tasks])
+            grouping.bucket_syrk(
+                np.stack([t.a for t in tasks]), c, t0.uplo, t0.trans, t0.alpha, t0.beta
+            )
+            for t, slab in zip(tasks, c):
+                t.c[...] = slab
 
 
 class StreamedSyrkLauncher:

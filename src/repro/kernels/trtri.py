@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from .. import flops as _flops
 from ..hostblas import trtri as host_trtri
 from ..types import Precision, precision_info
 from ..device.kernel import BlockWork, Kernel, LaunchConfig
+from . import grouping
+from .gemm import _merged_works
 
 __all__ = ["VbatchedTrtriDiagKernel", "TrtriTask"]
 
@@ -69,38 +70,46 @@ class VbatchedTrtriDiagKernel(Kernel):
         w = self._info.flop_weight
         elem = self._info.bytes_per_element
         grid_per_matrix = max(1, -(-self.max_jb // self.ib))
-        works: list[BlockWork] = []
-        dead = 0
         threads = min(256, self.ib * self.ib)
-        for task in self.tasks:
-            live = -(-task.jb // self.ib) if task.jb > 0 else 0
-            dead += grid_per_matrix - live
-            if live == 0:
-                continue
-            ib_eff = min(self.ib, task.jb)
-            works.append(
-                BlockWork(
-                    flops=_flops.trtri_flops(ib_eff) * w,
-                    bytes=2.0 * ib_eff * ib_eff * elem,
-                    serial_iters=float(ib_eff),
-                    active_threads=threads,
-                    count=live,
-                )
-            )
+        nt = len(self.tasks)
+        jb = np.fromiter((task.jb for task in self.tasks), dtype=np.float64, count=nt)
+        live = np.ceil(jb / self.ib)
+        dead = int(grid_per_matrix * nt - live.sum())
+        keep = live > 0
+        jb, live = jb[keep], live[keep]
+        ib_eff = np.minimum(self.ib, jb)
+        flops = (ib_eff**3 / 3.0 + 2.0 * ib_eff / 3.0) * w
+        bytes_ = 2.0 * ib_eff * ib_eff * elem
+        active = np.full(ib_eff.shape, threads, dtype=np.float64)
+        works = _merged_works(flops, bytes_, active, live, serial=ib_eff)
         if dead:
             works.append(BlockWork(0.0, 0.0, active_threads=0, count=dead))
         return works
 
     def run_numerics(self) -> None:
-        for task in self.tasks:
-            if task.jb == 0 or task.tri is None:
-                continue
-            inv = task.inv_out
-            for j0 in range(0, task.jb, self.ib):
-                j1 = min(j0 + self.ib, task.jb)
-                # Must be an explicit copy: the factor itself stays
-                # intact, only the workspace receives the inverse
-                # (ascontiguousarray would alias contiguous slices).
-                block = task.tri[j0:j1, j0:j1].copy()
-                host_trtri("l", "n", block, nb=self.ib)
-                inv[j0:j1, j0:j1] = np.tril(block)
+        live = [t for t in self.tasks if t.jb and t.tri is not None]
+        if not live:
+            return
+        if grouping.reference_enabled() or len(live) == 1:
+            for task in live:
+                inv = task.inv_out
+                for j0 in range(0, task.jb, self.ib):
+                    j1 = min(j0 + self.ib, task.jb)
+                    # Must be an explicit copy: the factor itself stays
+                    # intact, only the workspace receives the inverse
+                    # (ascontiguousarray would alias contiguous slices).
+                    block = task.tri[j0:j1, j0:j1].copy()
+                    host_trtri("l", "n", block, nb=self.ib)
+                    inv[j0:j1, j0:j1] = np.tril(block)
+            return
+        # Bucket by jb: every task's sequence of ib-wide diagonal blocks
+        # then lines up, so each block position inverts as one stack.
+        for bucket in grouping.partition_buckets([t.jb for t in live]):
+            tasks = [live[p] for p in bucket.positions]
+            jb = tasks[0].jb
+            for j0 in range(0, jb, self.ib):
+                j1 = min(j0 + self.ib, jb)
+                stack = np.stack([t.tri[j0:j1, j0:j1] for t in tasks])
+                inv = grouping.batched_lower_trtri(stack)
+                for t, blk in zip(tasks, inv):
+                    t.inv_out[j0:j1, j0:j1] = blk

@@ -41,7 +41,7 @@ class Precision(str, enum.Enum):
         return self in (Precision.D, Precision.Z)
 
     @classmethod
-    def from_dtype(cls, dtype: np.dtype | type) -> "Precision":
+    def from_dtype(cls, dtype: np.dtype | type) -> Precision:
         """Map a NumPy dtype to its precision letter.
 
         Raises :class:`TypeError` for unsupported dtypes (integers,

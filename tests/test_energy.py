@@ -1,6 +1,5 @@
 """Tests for the energy-to-solution machinery (paper §IV-G)."""
 
-import numpy as np
 import pytest
 
 from repro.distributions import uniform_sizes

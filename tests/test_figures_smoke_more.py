@@ -1,6 +1,5 @@
 """Additional figure-harness checks: seeds, precisions, note integrity."""
 
-import numpy as np
 import pytest
 
 from repro.bench.figures import (

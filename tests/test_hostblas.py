@@ -31,7 +31,8 @@ def random_matrix(m, n, dtype=np.float64, seed=None):
 
 
 def tol_for(dtype):
-    return 1e-4 if np.dtype(dtype).itemsize <= 8 and np.dtype(dtype).kind == "c" or np.dtype(dtype) == np.float32 else 1e-10
+    dt = np.dtype(dtype)
+    return 1e-4 if dt.itemsize <= 8 and dt.kind == "c" or dt == np.float32 else 1e-10
 
 
 DTYPES = [np.float32, np.float64, np.complex64, np.complex128]

@@ -15,7 +15,6 @@ from repro.kernels.fused_potrf import (
 )
 from repro.kernels.naive import NaivePotf2Kernel
 from repro.kernels.potf2 import PanelPotf2StepKernel
-from repro.types import Precision
 
 
 def batch_of(device, sizes, precision="d", seed=0):
@@ -207,7 +206,8 @@ class TestAuxKernels:
         rem = dev.alloc((3,), np.int64)
         pan = dev.alloc((3,), np.int64)
         stats = dev.alloc((2,), np.int64)
-        dev.launch(StepSizesKernel(b.sizes_dev, offset=16, nb=8, remaining_dev=rem, panel_dev=pan, stats_dev=stats))
+        dev.launch(StepSizesKernel(b.sizes_dev, offset=16, nb=8,
+                                   remaining_dev=rem, panel_dev=pan, stats_dev=stats))
         np.testing.assert_array_equal(rem.data, [0, 4, 48])
         np.testing.assert_array_equal(pan.data, [0, 4, 8])
         assert stats.data[0] == 48  # max remaining

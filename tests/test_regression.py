@@ -12,7 +12,7 @@ from pathlib import Path
 import pytest
 
 from repro.bench import FigureResult
-from repro.bench.figures import fig7_crossover
+from repro.bench.figures import fig3_distributions, fig7_crossover
 from repro.bench.regression import (
     compare_to_snapshot,
     load_snapshot,
@@ -92,3 +92,12 @@ class TestLiveSnapshot:
             save_snapshot(fig, self.PATH)  # first run records the baseline
         drifts = compare_to_snapshot(fig, load_snapshot(self.PATH), rel_tol=0.02)
         assert drifts  # every stored series was checked
+
+    def test_fig3_matches_committed_snapshot(self):
+        fig = fig3_distributions(batch_count=400, max_size=256, bin_width=16)
+        path = SNAPSHOT_DIR / "fig3_reduced.json"
+        if not path.exists():
+            save_snapshot(fig, path)
+        # Histograms come from seeded generators: they must be exact.
+        drifts = compare_to_snapshot(fig, load_snapshot(path), rel_tol=0.0)
+        assert all(d.max_rel_drift == 0.0 for d in drifts)

@@ -7,7 +7,6 @@ the native variable-size path.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.batch import VBatch

@@ -1,0 +1,186 @@
+"""Differential tests: bucketed-vectorized kernels vs the per-matrix
+reference path.
+
+Every kernel's ``run_numerics`` has two implementations — the original
+per-matrix loop (the reference, selected by
+``grouping.reference_numerics()`` or ``REPRO_REFERENCE_KERNELS=1``) and
+the size-bucketed batched-NumPy path.  These tests factorize identical
+batches down both paths and require the factors, infos, and padding
+bytes to agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Device, PotrfOptions, VBatch, potrf_vbatched
+from repro.baselines import run_cpu_percore, run_cpu_percore_measured
+from repro.distributions import gaussian_sizes, uniform_sizes
+from repro.hostblas import cholesky_residual, make_spd_batch
+from repro.kernels import grouping
+
+
+def factorize(sizes, mats, approach, reference, ldas=None, precision="d", **opts):
+    """One full factorization; returns (downloaded factors, infos)."""
+    device = Device()
+    if ldas is None:
+        batch = VBatch.from_host(device, mats)
+    else:
+        batch = VBatch.allocate(device, sizes, precision, ldas=ldas)
+        for i, (n, lda) in enumerate(zip(sizes, ldas)):
+            buf = batch.matrices[i].data
+            buf[...] = -777.0  # sentinel in the padding rows
+            buf[:n, :n] = mats[i]
+    with grouping.reference_numerics(reference):
+        potrf_vbatched(device, batch, PotrfOptions(approach=approach, **opts))
+    outs = [m.data.copy() for m in batch.matrices]
+    infos = batch.infos_dev.data.copy()
+    return outs, infos
+
+
+def tol(precision):
+    return 1e-4 if precision == "s" else 1e-12
+
+
+class TestReferenceSwitch:
+    def test_context_manager_restores(self):
+        assert not grouping.reference_enabled()
+        with grouping.reference_numerics():
+            assert grouping.reference_enabled()
+        assert not grouping.reference_enabled()
+
+    def test_set_returns_previous(self):
+        prev = grouping.set_reference_numerics(True)
+        try:
+            assert prev is False
+            assert grouping.reference_enabled()
+        finally:
+            grouping.set_reference_numerics(prev)
+
+
+class TestDifferentialFactorization:
+    @pytest.mark.parametrize("approach", ["fused", "separated"])
+    @pytest.mark.parametrize("dist", ["uniform", "gaussian"])
+    def test_distributions_match_reference(self, approach, dist):
+        gen = uniform_sizes if dist == "uniform" else gaussian_sizes
+        sizes = gen(40, 96, seed=7).tolist()
+        mats = make_spd_batch(sizes, "d", seed=3)
+        ref, ref_infos = factorize(sizes, [m.copy() for m in mats], approach, True)
+        vec, vec_infos = factorize(sizes, [m.copy() for m in mats], approach, False)
+        assert np.array_equal(ref_infos, vec_infos)
+        for r, v in zip(ref, vec):
+            np.testing.assert_allclose(v, r, rtol=tol("d"), atol=tol("d"))
+
+    def test_single_precision_tolerance(self):
+        sizes = uniform_sizes(24, 64, seed=1).tolist()
+        mats = make_spd_batch(sizes, "s", seed=5)
+        ref, _ = factorize(sizes, [m.copy() for m in mats], "fused", True)
+        vec, _ = factorize(sizes, [m.copy() for m in mats], "fused", False)
+        for r, v in zip(ref, vec):
+            np.testing.assert_allclose(v, r, rtol=tol("s"), atol=tol("s"))
+
+    @pytest.mark.parametrize("approach", ["fused", "separated"])
+    def test_lda_padding_matches_reference(self, approach):
+        sizes = [5, 33, 33, 64, 17, 5, 33]
+        ldas = [8, 40, 40, 64, 32, 8, 48]  # repeated (n, lda) -> real buckets
+        mats = make_spd_batch(sizes, "d", seed=11)
+        ref, ref_infos = factorize(sizes, mats, approach, True, ldas=ldas)
+        vec, vec_infos = factorize(sizes, mats, approach, False, ldas=ldas)
+        assert np.array_equal(ref_infos, vec_infos)
+        for n, lda, r, v in zip(sizes, ldas, ref, vec):
+            np.testing.assert_allclose(v[:n, :n], r[:n, :n], rtol=1e-12, atol=1e-12)
+            # Both paths must leave the padding rows untouched.
+            assert np.all(r[n:, :] == -777.0)
+            assert np.all(v[n:, :] == -777.0)
+        worst = max(
+            cholesky_residual(a, v[:n, :n])
+            for a, v, n in zip(mats, vec, sizes)
+        )
+        assert worst < 1e-13
+
+    @pytest.mark.parametrize("approach", ["fused", "separated"])
+    def test_failed_matrices_match_reference(self, approach):
+        """Early-terminated (non-SPD) matrices: same infos, same partial
+        factors, and no writes past the failing column."""
+        sizes = [48, 48, 48, 48, 32]
+        mats = make_spd_batch(sizes, "d", seed=2)
+        mats[1][20, 20] = -5.0  # fails at pivot 21
+        mats[3][0, 0] = -1.0  # fails immediately
+        ref, ref_infos = factorize(
+            sizes, [m.copy() for m in mats], approach, True, on_error="info"
+        )
+        vec, vec_infos = factorize(
+            sizes, [m.copy() for m in mats], approach, False, on_error="info"
+        )
+        assert np.array_equal(ref_infos, vec_infos)
+        assert ref_infos[1] != 0 and ref_infos[3] != 0
+        assert ref_infos[0] == ref_infos[2] == ref_infos[4] == 0
+        for r, v in zip(ref, vec):
+            np.testing.assert_allclose(v, r, rtol=1e-12, atol=1e-12)
+
+    def test_env_var_selects_reference(self, monkeypatch):
+        import importlib
+
+        monkeypatch.setenv("REPRO_REFERENCE_KERNELS", "1")
+        mod = importlib.reload(grouping)
+        try:
+            assert mod.reference_enabled()
+        finally:
+            monkeypatch.delenv("REPRO_REFERENCE_KERNELS")
+            importlib.reload(grouping)
+        assert not grouping.reference_enabled()
+
+
+class TestBucketHelpers:
+    def test_partition_first_seen_order(self):
+        keys = [(8, 8), (4, 4), (8, 8), (4, 8), (4, 4)]
+        buckets = grouping.partition_buckets(keys)
+        assert [b.key for b in buckets] == [(8, 8), (4, 4), (4, 8)]
+        assert [b.positions.tolist() for b in buckets] == [[0, 2], [1, 4], [3]]
+
+    def test_grouped_first_seen_preserves_issue_order(self):
+        vals = np.array([7, 3, 7, 7, 5, 3])
+        uniq, counts = grouping.grouped_first_seen(vals)
+        assert uniq.tolist() == [7, 3, 5]
+        assert counts.tolist() == [3, 2, 1]
+
+    def test_grouped_first_seen_empty(self):
+        uniq, counts = grouping.grouped_first_seen(np.array([], dtype=np.int64))
+        assert uniq.size == 0 and counts.size == 0
+
+
+class TestMeasuredPercoreBaseline:
+    SIZES = np.array([24, 40, 16, 32, 8, 48, 12, 20])
+
+    def test_dynamic_thread_pool_factorizes(self):
+        mats = make_spd_batch(self.SIZES.tolist(), "d", seed=3)
+        orig = [a.copy() for a in mats]
+        r = run_cpu_percore_measured(
+            self.SIZES, "d", scheduling="dynamic", workers=3, matrices=mats
+        )
+        assert r.label == "cpu-1core-dynamic-measured"
+        assert r.elapsed > 0 and r.extra["failed"] == 0
+        assert r.core_busy.shape == (3,)
+        worst = max(cholesky_residual(a, l) for a, l in zip(orig, mats))
+        assert worst < 1e-13
+
+    def test_static_round_robin(self):
+        r = run_cpu_percore_measured(self.SIZES, "d", scheduling="static", workers=2)
+        assert r.label == "cpu-1core-static-measured"
+        assert r.extra["workers"] == 2 and r.extra["failed"] == 0
+        assert r.core_busy.shape == (2,)
+        assert 0.0 < r.extra["utilization"] <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_cpu_percore_measured(np.array([]), "d")
+        with pytest.raises(ValueError):
+            run_cpu_percore_measured(self.SIZES, "d", scheduling="guided")
+        with pytest.raises(ValueError):
+            run_cpu_percore_measured(self.SIZES, "d", executor="mpi")
+        with pytest.raises(ValueError):
+            run_cpu_percore_measured(self.SIZES, "d", matrices=[np.eye(2)])
+
+    def test_modeled_and_measured_report_same_flops(self):
+        modeled = run_cpu_percore(self.SIZES, "d")
+        measured = run_cpu_percore_measured(self.SIZES, "d", workers=2)
+        assert modeled.total_flops == measured.total_flops

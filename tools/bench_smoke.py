@@ -1,0 +1,48 @@
+"""Benchmark smoke run for CI: regenerate the reduced figures and fail
+on drift against the committed snapshots.
+
+Usage:  PYTHONPATH=src python tools/bench_smoke.py
+
+Exit status 0 means every series of every checked figure is within the
+regression tolerance of its snapshot; 1 means the cost model moved (run
+``python tools/update_snapshots.py`` only if the move is deliberate).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.regression import compare_to_snapshot, load_snapshot
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from update_snapshots import SNAPSHOT_DIR, SNAPSHOTS  # noqa: E402
+
+REL_TOL = 0.02
+
+
+def main() -> int:
+    failures = 0
+    for name, build in SNAPSHOTS:
+        path = SNAPSHOT_DIR / name
+        if not path.exists():
+            print(f"MISSING  {name}: no committed snapshot (run tools/update_snapshots.py)")
+            failures += 1
+            continue
+        t0 = time.perf_counter()
+        fig = build()
+        elapsed = time.perf_counter() - t0
+        try:
+            drifts = compare_to_snapshot(fig, load_snapshot(path), rel_tol=REL_TOL)
+        except AssertionError as exc:
+            print(f"DRIFT    {name} ({elapsed:.2f}s):\n{exc}")
+            failures += 1
+            continue
+        worst = max((d.max_rel_drift for d in drifts), default=0.0)
+        print(f"OK       {name} ({elapsed:.2f}s): {len(drifts)} series, worst drift {worst * 100:.2f}%")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

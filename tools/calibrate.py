@@ -5,7 +5,6 @@ per-kernel efficiency attributes.  Each anchor lists the paper's
 approximate value (read off the figures) next to the simulated one.
 """
 
-import numpy as np
 
 from repro import Device, VBatch, potrf_batched_fixed, PotrfOptions
 from repro.core.driver import run_potrf_vbatched

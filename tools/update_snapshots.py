@@ -8,12 +8,16 @@ tests/snapshots/*.json then documents exactly what moved.
 
 from pathlib import Path
 
-from repro.bench.figures import fig7_crossover
+from repro.bench.figures import fig3_distributions, fig7_crossover
 from repro.bench.regression import save_snapshot
 
 SNAPSHOT_DIR = Path(__file__).resolve().parent.parent / "tests" / "snapshots"
 
 SNAPSHOTS = [
+    (
+        "fig3_reduced.json",
+        lambda: fig3_distributions(batch_count=400, max_size=256, bin_width=16),
+    ),
     (
         "fig7_d_reduced.json",
         lambda: fig7_crossover(precision="d", nmax_values=(256, 512, 1024), batch_count=300),
