@@ -31,10 +31,13 @@ from .errors import (
     ReproError,
     StreamError,
 )
-from .device import Device, DeviceSpec, K40C, Stream
+from .device import Device, DeviceGroup, DeviceSpec, K40C, PlanExecutor, Stream
 from .cpu import CpuSpec, MklModel, SANDY_BRIDGE_2X8
 from .core import (
     CrossoverPolicy,
+    LaunchPlan,
+    LaunchStats,
+    PlanCache,
     PotrfOptions,
     PotrfResult,
     VBatch,
@@ -63,9 +66,14 @@ __all__ = [
     "LaunchError",
     "StreamError",
     "Device",
+    "DeviceGroup",
     "DeviceSpec",
     "K40C",
+    "PlanExecutor",
     "Stream",
+    "LaunchPlan",
+    "LaunchStats",
+    "PlanCache",
     "CpuSpec",
     "MklModel",
     "SANDY_BRIDGE_2X8",

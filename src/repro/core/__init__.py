@@ -15,6 +15,15 @@ from .interface import (
     PotrfResult,
 )
 from .crossover import CrossoverPolicy
+from .driver import LaunchStats
+from .plan import (
+    AuxLaunch,
+    Barrier,
+    KernelLaunch,
+    LaunchPlan,
+    PlanBuilder,
+    PlanCache,
+)
 
 __all__ = [
     "VBatch",
@@ -24,4 +33,11 @@ __all__ = [
     "PotrfOptions",
     "PotrfResult",
     "CrossoverPolicy",
+    "LaunchStats",
+    "LaunchPlan",
+    "PlanBuilder",
+    "PlanCache",
+    "KernelLaunch",
+    "AuxLaunch",
+    "Barrier",
 ]

@@ -22,6 +22,7 @@ from ..kernels.gemm import GemmTask, GemmTiling, VbatchedGemmKernel
 from ..kernels.naive import NaivePotf2Kernel
 from ..kernels.trsm import TrsmPanelItem, vbatched_trsm_panel
 from .batch import VBatch
+from .plan import LaunchPlan, PlanBuilder
 
 __all__ = ["BlasStepDriver", "BlasStepRunStats"]
 
@@ -52,28 +53,29 @@ class BlasStepDriver:
         self.ib = ib
         self.tiling = tiling  # None -> per-precision default in each kernel
 
-    def factorize(self, batch: VBatch, max_n: int) -> BlasStepRunStats:
+    def plan(self, batch: VBatch, max_n: int) -> LaunchPlan:
+        """Emit the un-fused gemm/potf2/trsm launch DAG."""
         if max_n <= 0:
             raise ArgumentError(3, f"max_n must be positive, got {max_n}")
-        dev = self.device
         # Generic blocked codes widen the panel once the matrix can use
         # it (the MKL/MAGMA nb heuristic).
         nb = self.nb if self.nb is not None else (16 if max_n <= 64 else 32)
         stats = BlasStepRunStats()
         sizes = batch.sizes_host
         k_count = batch.batch_count
-        numerics = dev.execute_numerics
-
-        remaining_dev = dev.pool.get((k_count,), np.int64)
-        panel_dev = dev.pool.get((k_count,), np.int64)
-        stats_dev = dev.pool.get((2,), np.int64)
-        inv_ws = dev.pool.get((k_count, nb, nb), batch.matrices[0].dtype)
+        numerics = self.device.execute_numerics
+        pb = PlanBuilder(self.device, batch)
 
         try:
+            remaining_dev = pb.workspace((k_count,), np.int64)
+            panel_dev = pb.workspace((k_count,), np.int64)
+            stats_dev = pb.workspace((2,), np.int64)
+            inv_ws = pb.workspace((k_count, nb, nb), batch.matrices[0].dtype)
+
             steps = -(-max_n // nb)
             for s in range(steps):
                 offset = s * nb
-                dev.launch(
+                pb.aux(
                     StepSizesKernel(batch.sizes_dev, offset, nb, remaining_dev, panel_dev, stats_dev)
                 )
                 stats.aux_launches += 1
@@ -108,11 +110,14 @@ class BlasStepDriver:
                             )
                         else:
                             tasks.append(GemmTask(m=m_i, n=jb, k=offset))
-                    dev.launch(VbatchedGemmKernel(tasks, batch.precision, self.tiling, label="panel_update"))
+                    pb.launch(
+                        VbatchedGemmKernel(tasks, batch.precision, self.tiling, label="panel_update"),
+                        tag="gemm",
+                    )
                     stats.gemm_launches += 1
 
                 # 2) Diagonal tile: generic global-memory potf2.
-                dev.launch(NaivePotf2Kernel(batch, offset, jbs, max_jb))
+                pb.launch(NaivePotf2Kernel(batch, offset, jbs, max_jb), tag="potf2")
                 stats.potf2_launches += 1
 
                 # 3) Rows below the tile: trtri + gemm sweep.
@@ -137,12 +142,21 @@ class BlasStepDriver:
                     else:
                         items.append(TrsmPanelItem(m=m_below, jb=jb))
                 if any(it.m > 0 for it in items):
-                    stats.trsm_launches += vbatched_trsm_panel(
-                        dev, items, batch.precision, self.ib, self.tiling
-                    )
+                    with pb.tagged("trsm"):
+                        stats.trsm_launches += vbatched_trsm_panel(
+                            pb, items, batch.precision, self.ib, self.tiling
+                        )
+        except BaseException:
+            pb.abandon()
+            raise
+        return pb.build(run_stats=stats, meta={"planner": "blas-steps", "nb": nb, "max_n": max_n})
+
+    def factorize(self, batch: VBatch, max_n: int) -> BlasStepRunStats:
+        from ..device.executor import PlanExecutor
+
+        plan = self.plan(batch, max_n)
+        try:
+            PlanExecutor(self.device).execute(plan)
         finally:
-            dev.pool.release(remaining_dev)
-            dev.pool.release(panel_dev)
-            dev.pool.release(stats_dev)
-            dev.pool.release(inv_ws)
-        return stats
+            plan.close()
+        return plan.run_stats

@@ -1,13 +1,26 @@
-"""Top-level factorization driver (paper §III-F).
+"""Top-level factorization driver (paper §III-F), plan/execute split.
 
-Chooses the approach (crossover policy), runs it, gathers timing and
+Chooses the approach (crossover policy), asks the matching *planner*
+(:class:`~repro.core.fused.FusedDriver` /
+:class:`~repro.core.separated.SeparatedDriver`) for a
+:class:`~repro.core.plan.LaunchPlan`, hands the DAG to the
+:class:`~repro.device.executor.PlanExecutor`, gathers timing and
 per-matrix info codes, and packages the result.  This is the layer the
 public interface in :mod:`repro.core.interface` calls into.
+
+Two scaling hooks ride on the split:
+
+* ``plan_cache`` — a :class:`~repro.core.plan.PlanCache`; repeated
+  batches with equal size vectors (the figure sweeps' hot path) re-use
+  the cached DAG and skip planning and host-side grouping entirely.
+* ``devices`` — a :class:`~repro.device.topology.DeviceGroup` (or a
+  device list); the batch is partitioned across the group, per-shard
+  plans execute concurrently, and the shard results are merged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -16,9 +29,10 @@ from ..errors import ArgumentError, BatchNumericalError
 from .batch import VBatch
 from .crossover import CrossoverPolicy
 from .fused import FusedDriver
+from .plan import PlanCache
 from .separated import SeparatedDriver
 
-__all__ = ["PotrfOptions", "PotrfResult", "run_potrf_vbatched"]
+__all__ = ["LaunchStats", "PotrfOptions", "PotrfResult", "run_potrf_vbatched"]
 
 
 @dataclass(frozen=True)
@@ -44,8 +58,62 @@ class PotrfOptions:
     def __post_init__(self):
         if self.approach not in ("auto", "fused", "separated"):
             raise ArgumentError(1, f"bad approach {self.approach!r}")
+        if self.etm not in ("classic", "aggressive"):
+            raise ArgumentError(2, f"bad etm {self.etm!r} (use 'classic' or 'aggressive')")
+        if self.syrk_mode not in ("vbatched", "streamed"):
+            raise ArgumentError(
+                6, f"bad syrk_mode {self.syrk_mode!r} (use 'vbatched' or 'streamed')"
+            )
         if self.on_error not in ("info", "raise"):
             raise ArgumentError(8, f"bad on_error {self.on_error!r}")
+
+
+@dataclass
+class LaunchStats:
+    """Typed launch accounting for one driver run.
+
+    Structural counts (``steps``, per-category launches) come from the
+    planner; execution counts (``executed_launches``, ``barriers``) are
+    populated by the :class:`~repro.device.executor.PlanExecutor` that
+    actually walked the DAG.  Behaves as a mapping for backward
+    compatibility with the old ad-hoc dict (``stats["steps"]``,
+    ``{**stats}``).
+    """
+
+    steps: int = 0
+    aux_launches: int = 0
+    fused_launches: int = 0
+    potf2_launches: int = 0
+    trsm_launches: int = 0
+    syrk_launches: int = 0
+    gemm_launches: int = 0
+    executed_launches: int = 0
+    barriers: int = 0
+    plan_nodes: int = 0
+    plan_cache_hit: bool = False
+    devices_used: int = 1
+
+    def keys(self):
+        return [f.name for f in fields(self)]
+
+    def __getitem__(self, name: str):
+        try:
+            return getattr(self, name)
+        except AttributeError:
+            raise KeyError(name) from None
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.keys()}
+
+    def merge(self, other: "LaunchStats") -> None:
+        """Accumulate another shard's counters into this one."""
+        for f in fields(self):
+            if f.name == "plan_cache_hit":
+                self.plan_cache_hit = self.plan_cache_hit and other.plan_cache_hit
+            elif f.name == "devices_used":
+                continue
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 @dataclass
@@ -56,7 +124,7 @@ class PotrfResult:
     elapsed: float
     total_flops: float
     infos: np.ndarray
-    launch_stats: dict = field(default_factory=dict)
+    launch_stats: LaunchStats = field(default_factory=LaunchStats)
     max_n: int = 0
 
     @property
@@ -68,39 +136,105 @@ class PotrfResult:
         return int(np.count_nonzero(self.infos))
 
 
-def run_potrf_vbatched(device, batch: VBatch, max_n: int, options: PotrfOptions) -> PotrfResult:
-    """Execute the factorization and collect the result record."""
-    if max_n < batch.max_size_host:
-        raise ArgumentError(3, f"max_n={max_n} smaller than largest matrix in batch")
+def make_planner(device, approach: str, options: PotrfOptions):
+    """The planner object for a resolved (non-auto) approach."""
+    if approach == "fused":
+        return FusedDriver(device, etm=options.etm, sorting=options.sorting, nb=options.nb)
+    return SeparatedDriver(
+        device,
+        panel_nb=options.panel_nb,
+        inner_nb=options.nb,
+        syrk_mode=options.syrk_mode,
+    )
+
+
+def resolve_approach(batch: VBatch, max_n: int, options: PotrfOptions) -> str:
     approach = options.approach
     if approach == "auto":
         approach = CrossoverPolicy(batch.precision, options.crossover_size).choose(max_n)
+    return approach
 
-    t0 = device.synchronize()
-    if approach == "fused":
-        stats = FusedDriver(
-            device, etm=options.etm, sorting=options.sorting, nb=options.nb
-        ).factorize(batch, max_n)
-        launch_stats = {
-            "steps": stats.steps,
-            "fused_launches": stats.fused_launches,
-            "aux_launches": stats.aux_launches,
-        }
-    else:
-        stats = SeparatedDriver(
-            device,
-            panel_nb=options.panel_nb,
-            inner_nb=options.nb,
-            syrk_mode=options.syrk_mode,
-        ).factorize(batch, max_n)
-        launch_stats = {
-            "steps": stats.steps,
-            "potf2_launches": stats.potf2_launches,
-            "trsm_launches": stats.trsm_launches,
-            "syrk_launches": stats.syrk_launches,
-            "aux_launches": stats.aux_launches,
-        }
-    elapsed = device.synchronize() - t0
+
+def plan_potrf(
+    device,
+    batch: VBatch,
+    max_n: int,
+    options: PotrfOptions,
+    approach: str | None = None,
+    plan_cache: PlanCache | None = None,
+):
+    """Produce (or fetch from cache) the launch plan for one batch."""
+    approach = approach or resolve_approach(batch, max_n, options)
+    build = lambda: make_planner(device, approach, options).plan(batch, max_n)  # noqa: E731
+    if plan_cache is None:
+        return build(), False
+    key = plan_cache.key_for(device, batch, max_n, approach, options)
+    before = plan_cache.planner_calls
+    plan = plan_cache.get_or_build(key, batch, build)
+    return plan, plan_cache.planner_calls == before
+
+
+def stats_from_execution(plan, exec_stats, cache_hit: bool) -> LaunchStats:
+    """Fold planner structure and executor counts into a LaunchStats."""
+    run = plan.run_stats
+    return LaunchStats(
+        steps=getattr(run, "steps", 0),
+        aux_launches=exec_stats.count("aux"),
+        fused_launches=exec_stats.count("fused"),
+        potf2_launches=exec_stats.count("potf2"),
+        trsm_launches=exec_stats.count("trsm"),
+        syrk_launches=exec_stats.count("syrk"),
+        gemm_launches=exec_stats.count("gemm"),
+        executed_launches=exec_stats.launches,
+        barriers=exec_stats.barriers,
+        plan_nodes=len(plan),
+        plan_cache_hit=cache_hit,
+    )
+
+
+def run_potrf_vbatched(
+    device,
+    batch: VBatch,
+    max_n: int,
+    options: PotrfOptions,
+    *,
+    devices=None,
+    plan_cache: PlanCache | None = None,
+) -> PotrfResult:
+    """Execute the factorization and collect the result record.
+
+    ``devices`` (a :class:`~repro.device.topology.DeviceGroup` or a
+    sequence of devices) shards the batch across the group and runs the
+    per-shard plans concurrently; ``plan_cache`` re-serves previously
+    built plans for batches with identical size vectors.
+    """
+    from ..device.executor import PlanExecutor
+
+    if max_n < batch.max_size_host:
+        raise ArgumentError(3, f"max_n={max_n} smaller than largest matrix in batch")
+    approach = resolve_approach(batch, max_n, options)
+
+    if devices is not None:
+        from ..device.topology import DeviceGroup, run_potrf_sharded
+
+        group = devices if isinstance(devices, DeviceGroup) else DeviceGroup(devices)
+        if len(group) > 1:
+            result = run_potrf_sharded(group, batch, max_n, options, approach, plan_cache)
+            if options.on_error == "raise" and result.failed_count:
+                failing = {int(i): int(v) for i, v in enumerate(result.infos) if v != 0}
+                raise BatchNumericalError(failing, f"potrf_vbatched[{batch.precision.value}]")
+            return result
+        device = group.devices[0]
+
+    plan, cache_hit = plan_potrf(device, batch, max_n, options, approach, plan_cache)
+    try:
+        t0 = device.synchronize()
+        exec_stats = PlanExecutor(device).execute(plan)
+        elapsed = device.synchronize() - t0
+        launch_stats = stats_from_execution(plan, exec_stats, cache_hit)
+    finally:
+        if plan_cache is None:
+            plan.close()
 
     if device.execute_numerics:
         infos = batch.download_infos()

@@ -17,9 +17,49 @@ from ..errors import ArgumentError
 from .batch import VBatch
 from .blas_steps import BlasStepDriver
 from .fused import FusedDriver, fused_max_feasible_size
+from .plan import LaunchPlan
 from .separated import SeparatedDriver
 
-__all__ = ["potrf_batched_fixed_run"]
+__all__ = ["plan_potrf_fixed", "potrf_batched_fixed_run"]
+
+
+def plan_potrf_fixed(
+    device,
+    batch: VBatch,
+    n: int,
+    approach: str = "fused",
+    nb: int | None = None,
+    panel_nb: int = 128,
+) -> LaunchPlan:
+    """Plan a fixed-size batch with the chosen approach.
+
+    Raises :class:`ArgumentError` if the batch is not actually
+    fixed-size, or if the fused approach is requested beyond its
+    feasibility bound.
+    """
+    if not np.all(batch.sizes_host == n):
+        raise ArgumentError(3, "batch is not fixed-size; use potrf_vbatched")
+    if approach == "fused":
+        if n > fused_max_feasible_size(batch.precision, nb):
+            raise ArgumentError(
+                4,
+                f"fused approach infeasible for n={n} "
+                f"(max {fused_max_feasible_size(batch.precision, nb)}); use 'separated'",
+            )
+        planner = FusedDriver(device, etm="classic", sorting=False, nb=nb)
+    elif approach == "separated":
+        planner = SeparatedDriver(device, panel_nb=panel_nb)
+    elif approach == "blas":
+        # The un-fused generic batched-BLAS baseline of Fig 4.
+        planner = BlasStepDriver(device, nb=nb or 32)
+    else:
+        raise ArgumentError(
+            4, f"approach must be 'fused', 'separated' or 'blas', got {approach!r}"
+        )
+    plan = planner.plan(batch, n)
+    plan.meta["fixed_n"] = n
+    plan.meta["approach"] = approach
+    return plan
 
 
 def potrf_batched_fixed_run(
@@ -32,32 +72,22 @@ def potrf_batched_fixed_run(
 ) -> dict:
     """Factorize a fixed-size batch with the chosen approach.
 
-    Returns a stats dict (``approach``, launch counters).  Raises
-    :class:`ArgumentError` if the batch is not actually fixed-size, or
-    if the fused approach is requested beyond its feasibility bound.
+    Returns a stats dict (``approach``, launch counters).
     """
-    if not np.all(batch.sizes_host == n):
-        raise ArgumentError(3, "batch is not fixed-size; use potrf_vbatched")
+    from ..device.executor import PlanExecutor
+
+    plan = plan_potrf_fixed(device, batch, n, approach, nb, panel_nb)
+    try:
+        PlanExecutor(device).execute(plan)
+    finally:
+        plan.close()
+    stats = plan.run_stats
     if approach == "fused":
-        if n > fused_max_feasible_size(batch.precision, nb):
-            raise ArgumentError(
-                4,
-                f"fused approach infeasible for n={n} "
-                f"(max {fused_max_feasible_size(batch.precision, nb)}); use 'separated'",
-            )
-        stats = FusedDriver(device, etm="classic", sorting=False, nb=nb).factorize(batch, n)
         return {"approach": "fused", "launches": stats.fused_launches, "steps": stats.steps}
     if approach == "separated":
-        stats = SeparatedDriver(device, panel_nb=panel_nb).factorize(batch, n)
         return {
             "approach": "separated",
             "launches": stats.potf2_launches + stats.trsm_launches + stats.syrk_launches,
             "steps": stats.steps,
         }
-    if approach == "blas":
-        # The un-fused generic batched-BLAS baseline of Fig 4.
-        stats = BlasStepDriver(device, nb=nb or 32).factorize(batch, n)
-        return {"approach": "blas", "launches": stats.total_launches, "steps": stats.steps}
-    raise ArgumentError(
-        4, f"approach must be 'fused', 'separated' or 'blas', got {approach!r}"
-    )
+    return {"approach": "blas", "launches": stats.total_launches, "steps": stats.steps}

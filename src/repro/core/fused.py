@@ -1,4 +1,4 @@
-"""Approach 1: the fused-kernel vbatched Cholesky driver (paper §III-D).
+"""Approach 1: the fused-kernel vbatched Cholesky planner (paper §III-D).
 
 Four variants, matching the progressive versions of Figs 5-6:
 
@@ -7,11 +7,14 @@ Four variants, matching the progressive versions of Figs 5-6:
 3. ETM-classic + implicit sorting,
 4. ETM-aggressive + implicit sorting.
 
-The driver's main loop runs on the (simulated) host: each step it
-launches the auxiliary step-sizes kernel (whose output stays in device
-memory for the compute kernels) and then the fused step kernel — either
-one launch over the whole batch (ETM handles the finished matrices) or
-one per size window (implicit sorting).
+The driver is a *pure planner*: :meth:`FusedDriver.plan` emits a
+:class:`~repro.core.plan.LaunchPlan` — per step, the auxiliary
+step-sizes launch (whose output stays in device memory for the compute
+kernels) followed by the fused step kernel, either one launch over the
+whole batch (ETM handles the finished matrices) or one per size window
+(implicit sorting).  :meth:`FusedDriver.factorize` is the eager
+convenience wrapper: plan, hand the DAG to the
+:class:`~repro.device.executor.PlanExecutor`, close.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from ..kernels import grouping
 from ..kernels.aux import StepSizesKernel
 from ..kernels.fused_potrf import FusedPotrfStepKernel
 from .batch import VBatch
+from .plan import LaunchPlan, PlanBuilder
 from .sorting import partition_windows, sorted_order
 
 __all__ = ["FusedDriver", "FusedRunStats", "default_fused_nb", "fused_max_feasible_size"]
@@ -107,25 +111,26 @@ class FusedDriver:
         self.nb = nb
         self.window_width = window_width
 
-    def factorize(self, batch: VBatch, max_n: int) -> FusedRunStats:
-        """Advance every matrix to full factorization (Algorithm 1)."""
+    def plan(self, batch: VBatch, max_n: int) -> LaunchPlan:
+        """Emit the launch DAG for Algorithm 1 (no device time passes)."""
         if max_n <= 0:
             raise ArgumentError(3, f"max_n must be positive, got {max_n}")
         nb = self.nb or default_fused_nb(max_n, batch.precision)
         window = self.window_width or max(nb, _WARP)
         stats = FusedRunStats()
-        dev = self.device
+        pb = PlanBuilder(self.device, batch)
 
         sizes = batch.sizes_host
         order = sorted_order(sizes) if self.sorting else np.arange(batch.batch_count, dtype=np.int64)
 
-        # Device workspaces for the per-step auxiliary kernel, from
-        # the pooled allocator (repeated factorizations reuse them).
-        remaining_dev = dev.pool.get((batch.batch_count,), np.int64)
-        panel_dev = dev.pool.get((batch.batch_count,), np.int64)
-        stats_dev = dev.pool.get((2,), np.int64)
-
         try:
+            # Device workspaces for the per-step auxiliary kernel; the
+            # plan owns them (cached re-executions reuse them) and the
+            # pool gets them back when the plan closes.
+            remaining_dev = pb.workspace((batch.batch_count,), np.int64)
+            panel_dev = pb.workspace((batch.batch_count,), np.int64)
+            stats_dev = pb.workspace((2,), np.int64)
+
             steps = -(-max_n // nb)
             for s in range(steps):
                 offset = s * nb
@@ -133,7 +138,7 @@ class FusedDriver:
                 # device memory for the compute kernels; the host itself
                 # never reads it back — it derives the launch shape from
                 # the interface-provided max_n (paper §III-F).
-                dev.launch(
+                pb.aux(
                     StepSizesKernel(batch.sizes_dev, offset, nb, remaining_dev, panel_dev, stats_dev)
                 )
                 stats.aux_launches += 1
@@ -143,7 +148,7 @@ class FusedDriver:
                 stats.steps += 1
 
                 # Host-side grouping of this step's remaining sizes: the
-                # driver buckets once and every sub-launch reuses it for
+                # planner buckets once and every sub-launch reuses it for
                 # the timing plane (same-size blocks collapse to one
                 # grouped work record).
                 rem_all = np.maximum(0, sizes - offset)
@@ -155,23 +160,35 @@ class FusedDriver:
                     )
                     stats.window_launches_max = max(stats.window_launches_max, len(windows))
                     for win in windows:
-                        dev.launch(
+                        pb.launch(
                             FusedPotrfStepKernel(
                                 batch, s, nb, win.indices, win.max_m, self.etm,
                                 groups=grouping.grouped_first_seen(rem_all[win.indices]),
-                            )
+                            ),
+                            tag="fused",
                         )
                         stats.fused_launches += 1
                 else:
-                    dev.launch(
+                    pb.launch(
                         FusedPotrfStepKernel(
                             batch, s, nb, order, max_m, self.etm,
                             groups=grouping.grouped_first_seen(rem_all[order]),
-                        )
+                        ),
+                        tag="fused",
                     )
                     stats.fused_launches += 1
+        except BaseException:
+            pb.abandon()
+            raise
+        return pb.build(run_stats=stats, meta={"planner": "fused", "nb": nb, "max_n": max_n})
+
+    def factorize(self, batch: VBatch, max_n: int) -> FusedRunStats:
+        """Advance every matrix to full factorization (Algorithm 1)."""
+        from ..device.executor import PlanExecutor
+
+        plan = self.plan(batch, max_n)
+        try:
+            PlanExecutor(self.device).execute(plan)
         finally:
-            dev.pool.release(remaining_dev)
-            dev.pool.release(panel_dev)
-            dev.pool.release(stats_dev)
-        return stats
+            plan.close()
+        return plan.run_stats

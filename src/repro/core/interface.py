@@ -30,20 +30,40 @@ __all__ = [
 
 
 def potrf_vbatched_max(
-    device, batch: VBatch, max_n: int, options: PotrfOptions | None = None
+    device,
+    batch: VBatch,
+    max_n: int,
+    options: PotrfOptions | None = None,
+    *,
+    devices=None,
+    plan_cache=None,
 ) -> PotrfResult:
     """Cholesky-factorize a variable-size batch, trusting ``max_n``.
 
     Every matrix in ``batch`` is overwritten with its lower Cholesky
     factor (strictly-upper triangles untouched).  Per-matrix LAPACK
     ``info`` codes are collected in the result.
+
+    ``devices`` shards the batch across a
+    :class:`~repro.device.topology.DeviceGroup` (or device sequence);
+    ``plan_cache`` (a :class:`~repro.core.plan.PlanCache`) re-serves
+    launch plans across calls with identical size vectors.
     """
     if max_n <= 0:
         raise ArgumentError(3, f"max_n must be positive, got {max_n}")
-    return run_potrf_vbatched(device, batch, max_n, options or PotrfOptions())
+    return run_potrf_vbatched(
+        device, batch, max_n, options or PotrfOptions(), devices=devices, plan_cache=plan_cache
+    )
 
 
-def potrf_vbatched(device, batch: VBatch, options: PotrfOptions | None = None) -> PotrfResult:
+def potrf_vbatched(
+    device,
+    batch: VBatch,
+    options: PotrfOptions | None = None,
+    *,
+    devices=None,
+    plan_cache=None,
+) -> PotrfResult:
     """LAPACK-like interface: the max size is reduced on the device.
 
     Wraps :func:`potrf_vbatched_max` after a GPU max-reduction kernel
@@ -53,7 +73,9 @@ def potrf_vbatched(device, batch: VBatch, options: PotrfOptions | None = None) -
     max_n = compute_max_size(device, batch)
     if max_n <= 0:
         raise ArgumentError(2, "batch contains only empty matrices")
-    return potrf_vbatched_max(device, batch, max_n, options)
+    return potrf_vbatched_max(
+        device, batch, max_n, options, devices=devices, plan_cache=plan_cache
+    )
 
 
 def potrf_batched_fixed(

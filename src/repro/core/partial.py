@@ -27,8 +27,9 @@ from ..kernels.syrk import SyrkTask, VbatchedSyrkKernel
 from ..kernels.trsm import TrsmPanelItem, vbatched_trsm_panel
 from .batch import VBatch
 from .fused import default_fused_nb
+from .plan import LaunchPlan, PlanBuilder
 
-__all__ = ["PartialPotrfResult", "partial_potrf_vbatched"]
+__all__ = ["PartialPotrfResult", "partial_potrf_vbatched", "plan_partial_potrf"]
 
 
 @dataclass
@@ -55,19 +56,14 @@ def _partial_flops(n: int, k: int, precision) -> float:
     return _flops.potrf_flops(n, precision) - _flops.potrf_flops(n - k, precision)
 
 
-def partial_potrf_vbatched(
+def plan_partial_potrf(
     device,
     batch: VBatch,
     k_cols: np.ndarray,
     inner_nb: int | None = None,
     ib: int = 32,
-) -> PartialPotrfResult:
-    """Eliminate the leading ``k_cols[i]`` columns of every matrix.
-
-    ``k_cols`` is per-matrix (``0 <= k_i <= n_i``); ``k_i = n_i`` is a
-    full factorization.  Numerical failure of a pivot block is reported
-    through the batch's info array, LAPACK-style.
-    """
+) -> LaunchPlan:
+    """Plan the partial elimination (pivot potf2, trsm sweep, Schur syrk)."""
     k_cols = np.asarray(k_cols, dtype=np.int64)
     if k_cols.shape != (batch.batch_count,):
         raise ArgumentError(3, f"k_cols must have shape ({batch.batch_count},)")
@@ -76,26 +72,27 @@ def partial_potrf_vbatched(
 
     max_k = int(k_cols.max(initial=0))
     stats = {"potf2": 0, "trsm": 0, "syrk": 0}
-    t0 = device.synchronize()
-    if max_k == 0:
-        return PartialPotrfResult(0.0, 0.0, np.zeros(batch.batch_count, np.int64), stats)
-
-    nb = inner_nb or default_fused_nb(max_k, batch.precision)
     numerics = device.execute_numerics
     sizes = batch.sizes_host
+    pb = PlanBuilder(device, batch)
+    if max_k == 0:
+        return pb.build(run_stats=stats, meta={"planner": "partial", "max_k": 0})
 
-    # 1) Pivot blocks: the fused panel kernel sweeps each matrix's
-    #    leading k_i x k_i block (tile-local history == global history
-    #    at offset 0).
-    for t in range(-(-max_k // nb)):
-        device.launch(
-            PanelPotf2StepKernel(batch, 0, t, nb, k_cols, max_k, etm="aggressive")
-        )
-        stats["potf2"] += 1
-
-    # 2) L21 := A21 L11^{-H} for the rows below each pivot block.
-    inv_ws = device.pool.get((batch.batch_count, max_k, max_k), batch.matrices[0].dtype)
     try:
+        nb = inner_nb or default_fused_nb(max_k, batch.precision)
+
+        # 1) Pivot blocks: the fused panel kernel sweeps each matrix's
+        #    leading k_i x k_i block (tile-local history == global history
+        #    at offset 0).
+        for t in range(-(-max_k // nb)):
+            pb.launch(
+                PanelPotf2StepKernel(batch, 0, t, nb, k_cols, max_k, etm="aggressive"),
+                tag="potf2",
+            )
+            stats["potf2"] += 1
+
+        # 2) L21 := A21 L11^{-H} for the rows below each pivot block.
+        inv_ws = pb.workspace((batch.batch_count, max_k, max_k), batch.matrices[0].dtype)
         items = []
         for i in range(batch.batch_count):
             k = int(k_cols[i])
@@ -115,30 +112,63 @@ def partial_potrf_vbatched(
             else:
                 items.append(TrsmPanelItem(m=m_below, jb=k))
         if any(it.m > 0 for it in items):
-            stats["trsm"] = vbatched_trsm_panel(device, items, batch.precision, ib)
+            with pb.tagged("trsm"):
+                stats["trsm"] = vbatched_trsm_panel(pb, items, batch.precision, ib)
+
+        # 3) Schur complement: A22 -= L21 L21^H (decision-layer syrk).
+        tasks = []
+        for i in range(batch.batch_count):
+            k = int(k_cols[i])
+            trail = int(sizes[i]) - k
+            if k == 0 or trail <= 0:
+                tasks.append(SyrkTask(0, 0))
+                continue
+            if numerics:
+                a = batch.matrix_view(i)
+                tasks.append(SyrkTask(n=trail, k=k, a=a[k:, :k], c=a[k:, k:]))
+            else:
+                tasks.append(SyrkTask(n=trail, k=k))
+        if any(t.n > 0 for t in tasks):
+            pb.launch(VbatchedSyrkKernel(tasks, batch.precision), tag="syrk")
+            stats["syrk"] = 1
+    except BaseException:
+        pb.abandon()
+        raise
+    return pb.build(run_stats=stats, meta={"planner": "partial", "max_k": max_k})
+
+
+def partial_potrf_vbatched(
+    device,
+    batch: VBatch,
+    k_cols: np.ndarray,
+    inner_nb: int | None = None,
+    ib: int = 32,
+) -> PartialPotrfResult:
+    """Eliminate the leading ``k_cols[i]`` columns of every matrix.
+
+    ``k_cols`` is per-matrix (``0 <= k_i <= n_i``); ``k_i = n_i`` is a
+    full factorization.  Numerical failure of a pivot block is reported
+    through the batch's info array, LAPACK-style.
+    """
+    from ..device.executor import PlanExecutor
+
+    plan = plan_partial_potrf(device, batch, k_cols, inner_nb, ib)
+    k_cols = np.asarray(k_cols, dtype=np.int64)
+    stats = plan.run_stats
+    try:
+        t0 = device.synchronize()
+        if len(plan) == 0:
+            return PartialPotrfResult(0.0, 0.0, np.zeros(batch.batch_count, np.int64), stats)
+        PlanExecutor(device).execute(plan)
+        elapsed = device.synchronize() - t0
     finally:
-        device.pool.release(inv_ws)
-
-    # 3) Schur complement: A22 -= L21 L21^H (decision-layer syrk).
-    tasks = []
-    for i in range(batch.batch_count):
-        k = int(k_cols[i])
-        trail = int(sizes[i]) - k
-        if k == 0 or trail <= 0:
-            tasks.append(SyrkTask(0, 0))
-            continue
-        if numerics:
-            a = batch.matrix_view(i)
-            tasks.append(SyrkTask(n=trail, k=k, a=a[k:, :k], c=a[k:, k:]))
-        else:
-            tasks.append(SyrkTask(n=trail, k=k))
-    if any(t.n > 0 for t in tasks):
-        device.launch(VbatchedSyrkKernel(tasks, batch.precision))
-        stats["syrk"] = 1
-
-    elapsed = device.synchronize() - t0
+        plan.close()
+    numerics = device.execute_numerics
     infos = batch.download_infos() if numerics else np.zeros(batch.batch_count, np.int64)
     total = float(
-        sum(_partial_flops(int(n), int(k), batch.precision) for n, k in zip(sizes, k_cols))
+        sum(
+            _partial_flops(int(n), int(k), batch.precision)
+            for n, k in zip(batch.sizes_host, k_cols)
+        )
     )
     return PartialPotrfResult(elapsed, total, infos, stats)

@@ -1,0 +1,332 @@
+"""The launch-plan IR: what a driver *wants* to run, not how it runs.
+
+The paper's driver (§III-F) is a host loop that eagerly launches fused
+or separated kernels.  Here that loop is split in two:
+
+* **Planning** — the drivers in :mod:`repro.core.fused`,
+  :mod:`repro.core.separated`, :mod:`repro.core.blas_steps`,
+  :mod:`repro.core.partial` and :mod:`repro.core.fixed` emit a
+  :class:`LaunchPlan`: an ordered DAG of :class:`KernelLaunch` /
+  :class:`AuxLaunch` / :class:`Barrier` nodes with explicit logical
+  streams and dependency edges.  Planning never touches the simulated
+  clock.
+* **Execution** — :class:`repro.device.executor.PlanExecutor` walks the
+  DAG on a device, mapping logical streams to real
+  :class:`~repro.device.stream.Stream` objects.
+
+A plan's node order is a valid topological order by construction
+(:class:`PlanBuilder` only lets a node depend on earlier nodes).  Nodes
+on the same logical stream are implicitly ordered by the stream's
+in-order queue; cross-stream edges are realized with events, and
+:class:`Barrier` nodes join streams back to the host.
+
+Plans built against a batch with live numerics (kernels holding views
+into that batch's device arrays) are *bound* to it; :class:`PlanCache`
+only re-serves such a plan for the identical batch object.  Timing-only
+plans (``execute_numerics=False``) depend on nothing but the size
+vector, so repeated sweeps over equal-size batches — the figure
+harness's hot path — skip planning and grouping entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..errors import PlanError
+
+__all__ = [
+    "AuxLaunch",
+    "Barrier",
+    "KernelLaunch",
+    "LaunchPlan",
+    "PlanBuilder",
+    "PlanCache",
+    "PlanNode",
+    "batch_fingerprint",
+]
+
+DEFAULT_STREAM = 0
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Common shape of every node in a :class:`LaunchPlan`.
+
+    ``index`` is the node's position in the plan (its id); ``deps`` are
+    indices of earlier nodes this node must wait for.  Same-stream
+    ordering is implicit, so ``deps`` only matters across streams.
+    """
+
+    index: int
+    stream: int = DEFAULT_STREAM
+    deps: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class KernelLaunch(PlanNode):
+    """Launch one compute kernel on a logical stream."""
+
+    kernel: object = None
+    tag: str = "kernel"
+
+
+@dataclass(frozen=True)
+class AuxLaunch(KernelLaunch):
+    """Launch a metadata/auxiliary kernel (step sizes, reductions)."""
+
+    tag: str = "aux"
+
+
+@dataclass(frozen=True)
+class Barrier(PlanNode):
+    """Join point: the host drains ``streams`` (``None`` = every stream
+    the plan has touched) and then the whole device."""
+
+    streams: tuple[int, ...] | None = None
+
+
+@dataclass
+class LaunchPlan:
+    """An executable DAG of launches plus the resources it owns.
+
+    ``workspaces`` are pool blocks acquired at plan time; they stay
+    alive for the plan's lifetime (a cached plan re-executes against the
+    same workspace memory) and return to the pool on :meth:`close`.
+    ``bound_numerics`` records whether node kernels hold live views into
+    ``batch_ref``'s device arrays — the cache-invalidation bit.
+    """
+
+    device: object
+    nodes: list[PlanNode] = field(default_factory=list)
+    workspaces: list[object] = field(default_factory=list)
+    batch_ref: object = None
+    bound_numerics: bool = False
+    run_stats: object = None
+    meta: dict = field(default_factory=dict)
+    closed: bool = False
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def kernel_launches(self) -> int:
+        return sum(1 for n in self.nodes if isinstance(n, KernelLaunch))
+
+    @property
+    def streams_used(self) -> tuple[int, ...]:
+        return tuple(sorted({n.stream for n in self.nodes if isinstance(n, KernelLaunch)}))
+
+    def validate(self) -> None:
+        """Check the node list is a well-formed DAG in topological order."""
+        for node in self.nodes:
+            if any(d >= node.index or d < 0 for d in node.deps):
+                raise PlanError(
+                    f"node {node.index} depends on {node.deps}: edges must point backwards"
+                )
+            if isinstance(node, KernelLaunch) and node.kernel is None:
+                raise PlanError(f"node {node.index} is a launch without a kernel")
+
+    def close(self) -> None:
+        """Release owned workspaces back to the device pool (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for ws in self.workspaces:
+            self.device.pool.release(ws)
+        self.workspaces.clear()
+
+
+class PlanBuilder:
+    """Append-only constructor the planners drive.
+
+    Exposes a :meth:`launch` with the same calling shape as
+    ``Device.launch`` so kernel-emitting helpers (e.g. the trsm panel
+    builder) work unchanged against either target.
+    """
+
+    def __init__(self, device, batch=None):
+        self.device = device
+        self.batch = batch
+        self._nodes: list[PlanNode] = []
+        self._workspaces: list[object] = []
+        self._tag: str | None = None
+        self._built = False
+
+    # -- node emission --------------------------------------------------
+    def launch(self, kernel, stream: int = DEFAULT_STREAM, after=(), tag: str | None = None):
+        """Append a compute-kernel launch; returns its node index."""
+        node = KernelLaunch(
+            index=len(self._nodes),
+            stream=int(stream),
+            deps=tuple(after),
+            kernel=kernel,
+            tag=tag or self._tag or "kernel",
+        )
+        self._nodes.append(node)
+        return node.index
+
+    def aux(self, kernel, stream: int = DEFAULT_STREAM, after=()):
+        """Append an auxiliary (metadata) launch; returns its node index."""
+        node = AuxLaunch(
+            index=len(self._nodes), stream=int(stream), deps=tuple(after), kernel=kernel
+        )
+        self._nodes.append(node)
+        return node.index
+
+    def barrier(self, streams=None, after=()):
+        """Append a host join over ``streams`` (``None`` = all)."""
+        node = Barrier(
+            index=len(self._nodes),
+            deps=tuple(after),
+            streams=None if streams is None else tuple(streams),
+        )
+        self._nodes.append(node)
+        return node.index
+
+    @contextmanager
+    def tagged(self, tag: str):
+        """Default ``tag`` for launches emitted inside the block (lets
+        helpers that call plain ``launch(kernel)`` land in the right
+        stats counter)."""
+        prev, self._tag = self._tag, tag
+        try:
+            yield self
+        finally:
+            self._tag = prev
+
+    # -- resources ------------------------------------------------------
+    @property
+    def pool(self):
+        """Pool facade: ``builder.pool.get`` acquires a plan-owned block."""
+        return _PlanPool(self)
+
+    def workspace(self, shape, dtype):
+        """Acquire a pool block owned by the resulting plan."""
+        ws = self.device.pool.get(shape, dtype)
+        self._workspaces.append(ws)
+        return ws
+
+    # -- lifecycle ------------------------------------------------------
+    def build(self, run_stats=None, meta=None, bound_numerics: bool | None = None) -> LaunchPlan:
+        if self._built:
+            raise PlanError("builder already produced its plan")
+        self._built = True
+        plan = LaunchPlan(
+            device=self.device,
+            nodes=self._nodes,
+            workspaces=self._workspaces,
+            batch_ref=self.batch,
+            bound_numerics=(
+                self.device.execute_numerics if bound_numerics is None else bound_numerics
+            ),
+            run_stats=run_stats,
+            meta=meta or {},
+        )
+        plan.validate()
+        return plan
+
+    def abandon(self) -> None:
+        """Release acquired workspaces after a failed planning attempt."""
+        for ws in self._workspaces:
+            self.device.pool.release(ws)
+        self._workspaces.clear()
+        self._built = True
+
+
+class _PlanPool:
+    """``WorkspacePool``-shaped view whose gets belong to the plan and
+    whose releases are deferred to ``LaunchPlan.close``."""
+
+    __slots__ = ("builder",)
+
+    def __init__(self, builder: PlanBuilder):
+        self.builder = builder
+
+    def get(self, shape, dtype):
+        return self.builder.workspace(shape, dtype)
+
+    def release(self, arr) -> None:
+        # Ownership stays with the plan; the executor may re-run it.
+        if arr not in self.builder._workspaces:
+            raise PlanError("array was not acquired through this plan builder")
+
+
+def batch_fingerprint(batch) -> tuple:
+    """Hashable identity of everything planning reads from a batch."""
+    return (
+        batch.batch_count,
+        batch.precision.value,
+        hash(batch.sizes_host.tobytes()),
+        hash(batch.ldas_host.tobytes()),
+    )
+
+
+class PlanCache:
+    """LRU cache of :class:`LaunchPlan` keyed on the planning inputs.
+
+    The key covers the device, planner label, options fingerprint and
+    the batch's size/lda/precision fingerprint — everything a planner
+    reads.  A hit additionally requires the plan not to be *bound* to a
+    different batch's numerics (see :class:`LaunchPlan`); a bound plan
+    requested for a new batch object counts as a miss and is replaced.
+    """
+
+    def __init__(self, max_plans: int = 32):
+        if max_plans <= 0:
+            raise PlanError(f"max_plans must be positive, got {max_plans}")
+        self.max_plans = max_plans
+        self._plans: OrderedDict[tuple, LaunchPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.planner_calls = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def key_for(device, batch, max_n: int, label: str, options_key) -> tuple:
+        return (id(device), label, int(max_n), options_key, batch_fingerprint(batch))
+
+    def get(self, key: tuple, batch=None) -> LaunchPlan | None:
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        if plan.bound_numerics and batch is not None and plan.batch_ref is not batch:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: tuple, plan: LaunchPlan) -> LaunchPlan:
+        old = self._plans.pop(key, None)
+        if old is not None and old is not plan:
+            old.close()
+        self._plans[key] = plan
+        while len(self._plans) > self.max_plans:
+            _, evicted = self._plans.popitem(last=False)
+            evicted.close()
+            self.evictions += 1
+        return plan
+
+    def get_or_build(self, key: tuple, batch, build) -> LaunchPlan:
+        """Serve a cached plan or call ``build()`` (counted) and store it."""
+        plan = self.get(key, batch)
+        if plan is None:
+            self.planner_calls += 1
+            plan = self.put(key, build())
+        return plan
+
+    def clear(self) -> None:
+        for plan in self._plans.values():
+            plan.close()
+        self._plans.clear()

@@ -1,14 +1,15 @@
-"""Approach 2: the separated vbatched BLAS driver (paper §III-E).
+"""Approach 2: the separated vbatched BLAS planner (paper §III-E).
 
-A right-looking blocked Cholesky at panel width ``NB``: each step runs
+A right-looking blocked Cholesky at panel width ``NB``: each step plans
 
 1. vbatched ``potf2`` on the ``jb x jb`` diagonal tiles (the fused
    kernel reused tile-locally, §III-E1),
 2. vbatched ``trsm`` on the rows below (trtri + gemm sweep, §III-E2),
 3. vbatched ``syrk`` on the trailing submatrices (§III-E3) — either the
-   MAGMA-style single launch or the streamed per-matrix alternative.
+   MAGMA-style single launch or the streamed per-matrix alternative,
+   which maps to round-robin logical streams joined by a plan barrier.
 
-The driver passes per-step size information through the auxiliary
+The planner passes per-step size information through the auxiliary
 kernels so finished matrices are "ignored onward as the computation
 progresses" (§III-F).
 """
@@ -25,10 +26,11 @@ from ..kernels.aux import StepSizesKernel
 from ..kernels.gemm import GemmTask, GemmTiling, VbatchedGemmKernel
 from ..kernels.naive import NaivePotf2Kernel
 from ..kernels.potf2 import PanelPotf2StepKernel
-from ..kernels.syrk import StreamedSyrkLauncher, SyrkTask, VbatchedSyrkKernel
+from ..kernels.syrk import SyrkTask, VbatchedSyrkKernel
 from ..kernels.trsm import TrsmPanelItem, vbatched_trsm_panel
 from .batch import VBatch
 from .fused import default_fused_nb
+from .plan import LaunchPlan, PlanBuilder
 
 __all__ = ["SeparatedDriver", "SeparatedRunStats"]
 
@@ -76,36 +78,31 @@ class SeparatedDriver:
         # (the [13]-era baseline that Fig 4 compares against).
         self.panel_mode = panel_mode
 
-    def factorize(self, batch: VBatch, max_n: int) -> SeparatedRunStats:
+    def plan(self, batch: VBatch, max_n: int) -> LaunchPlan:
+        """Emit the per-step potf2/trsm/syrk launch DAG."""
         if max_n <= 0:
             raise ArgumentError(3, f"max_n must be positive, got {max_n}")
-        dev = self.device
         NB = self.panel_nb
         inner_nb = self.inner_nb or default_fused_nb(NB, batch.precision)
         stats = SeparatedRunStats()
         sizes = batch.sizes_host
         k = batch.batch_count
-        numerics = dev.execute_numerics
-
-        remaining_dev = dev.pool.get((k,), np.int64)
-        panel_dev = dev.pool.get((k,), np.int64)
-        stats_dev = dev.pool.get((2,), np.int64)
-        # trsm workspace: inverted diagonal blocks of every panel.
-        inv_ws = dev.pool.get((k, NB, NB), batch.matrices[0].dtype)
-
-        streamer = (
-            StreamedSyrkLauncher(dev, self.syrk_streams, self.tiling)
-            if self.syrk_mode == "streamed"
-            else None
-        )
+        numerics = self.device.execute_numerics
+        pb = PlanBuilder(self.device, batch)
 
         try:
+            remaining_dev = pb.workspace((k,), np.int64)
+            panel_dev = pb.workspace((k,), np.int64)
+            stats_dev = pb.workspace((2,), np.int64)
+            # trsm workspace: inverted diagonal blocks of every panel.
+            inv_ws = pb.workspace((k, NB, NB), batch.matrices[0].dtype)
+
             steps = -(-max_n // NB)
             for s in range(steps):
                 offset = s * NB
                 # Metadata for the downstream kernels stays on the device;
                 # the host shapes launches from the interface max (§III-F).
-                dev.launch(
+                pb.aux(
                     StepSizesKernel(batch.sizes_dev, offset, NB, remaining_dev, panel_dev, stats_dev)
                 )
                 stats.aux_launches += 1
@@ -125,18 +122,19 @@ class SeparatedDriver:
                         # Pre-group the sub-step's live tile heights on
                         # the host; the kernel's timing plane consumes
                         # the buckets directly.
-                        dev.launch(
+                        pb.launch(
                             PanelPotf2StepKernel(
                                 batch, offset, t, inner_nb, jbs, max_jb, etm="aggressive",
                                 groups=grouping.grouped_first_seen(
                                     np.maximum(0, jbs - t * inner_nb)
                                 ),
-                            )
+                            ),
+                            tag="potf2",
                         )
                         stats.potf2_launches += 1
                 else:
                     stats.potf2_launches += self._naive_panel(
-                        batch, offset, jbs, max_jb, inv_ws, numerics
+                        pb, batch, offset, jbs, max_jb, inv_ws, numerics
                     )
 
                 # 2) Triangular solve for the rows below each tile.
@@ -162,9 +160,10 @@ class SeparatedDriver:
                     else:
                         items.append(TrsmPanelItem(m=max(0, m_below), jb=jb))
                 if any(it.jb > 0 and it.m > 0 for it in items):
-                    stats.trsm_launches += vbatched_trsm_panel(
-                        dev, items, batch.precision, self.ib, self.tiling
-                    )
+                    with pb.tagged("trsm"):
+                        stats.trsm_launches += vbatched_trsm_panel(
+                            pb, items, batch.precision, self.ib, self.tiling
+                        )
 
                 # 3) Trailing update: C -= B B^H on what remains.
                 tasks = []
@@ -188,22 +187,40 @@ class SeparatedDriver:
                     else:
                         tasks.append(SyrkTask(n=n_trail, k=jb))
                 if any(t.n > 0 for t in tasks):
-                    if streamer is not None:
+                    if self.syrk_mode == "streamed":
+                        # cuBLAS-style alternative: one kernel per matrix,
+                        # round-robin across logical streams, joined by a
+                        # host barrier before the next step's aux launch.
                         live = [t for t in tasks if t.n > 0]
-                        streamer.launch_all(live, batch.precision)
+                        for i, task in enumerate(live):
+                            kernel = VbatchedSyrkKernel([task], batch.precision, self.tiling)
+                            kernel.name = f"streamed_syrk:{kernel._info.name}"
+                            pb.launch(kernel, stream=1 + i % self.syrk_streams, tag="syrk")
                         stats.syrk_launches += len(live)
-                        streamer.synchronize()
+                        pb.barrier()
                     else:
-                        dev.launch(VbatchedSyrkKernel(tasks, batch.precision, self.tiling))
+                        pb.launch(
+                            VbatchedSyrkKernel(tasks, batch.precision, self.tiling), tag="syrk"
+                        )
                         stats.syrk_launches += 1
-        finally:
-            dev.pool.release(remaining_dev)
-            dev.pool.release(panel_dev)
-            dev.pool.release(stats_dev)
-            dev.pool.release(inv_ws)
-        return stats
+        except BaseException:
+            pb.abandon()
+            raise
+        return pb.build(
+            run_stats=stats, meta={"planner": "separated", "panel_nb": NB, "max_n": max_n}
+        )
 
-    def _naive_panel(self, batch, offset, jbs, max_jb, inv_ws, numerics) -> int:
+    def factorize(self, batch: VBatch, max_n: int) -> SeparatedRunStats:
+        from ..device.executor import PlanExecutor
+
+        plan = self.plan(batch, max_n)
+        try:
+            PlanExecutor(self.device).execute(plan)
+        finally:
+            plan.close()
+        return plan.run_stats
+
+    def _naive_panel(self, pb, batch, offset, jbs, max_jb, inv_ws, numerics) -> int:
         """Pre-fusion tile factorization: generic potf2 + gemm + trsm.
 
         Sweeps the ``jb x jb`` diagonal tiles in ``ib``-wide sub-steps,
@@ -211,7 +228,6 @@ class SeparatedDriver:
         tile-local trsm — the launch pattern kernel fusion collapses
         into one kernel.
         """
-        dev = self.device
         ib = self.ib
         launches = 0
         k_count = batch.batch_count
@@ -244,12 +260,13 @@ class SeparatedDriver:
                         )
                     else:
                         tasks.append(GemmTask(m=rows, n=width, k=local))
-                dev.launch(
-                    VbatchedGemmKernel(tasks, batch.precision, self.tiling, label="panel_update")
+                pb.launch(
+                    VbatchedGemmKernel(tasks, batch.precision, self.tiling, label="panel_update"),
+                    tag="potf2",
                 )
                 launches += 1
 
-            dev.launch(NaivePotf2Kernel(batch, col0, sub_jbs, int(sub_jbs.max())))
+            pb.launch(NaivePotf2Kernel(batch, col0, sub_jbs, int(sub_jbs.max())), tag="potf2")
             launches += 1
 
             # Tile-local trsm for panel rows below the ib sub-tile.
@@ -274,5 +291,6 @@ class SeparatedDriver:
                 else:
                     items.append(TrsmPanelItem(m=rows_below, jb=width))
             if any(it.m > 0 for it in items):
-                launches += vbatched_trsm_panel(dev, items, batch.precision, ib, self.tiling)
+                with pb.tagged("potf2"):
+                    launches += vbatched_trsm_panel(pb, items, batch.precision, ib, self.tiling)
         return launches

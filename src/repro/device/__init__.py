@@ -17,6 +17,8 @@ from .kernel import BlockWork, Kernel, LaunchConfig
 from .scheduler import BlockScheduler
 from .stream import Stream
 from .device import Device
+from .executor import ExecutionStats, PlanExecutor, execute_concurrently
+from .topology import DeviceGroup, partition_sizes
 
 __all__ = [
     "DeviceSpec",
@@ -37,4 +39,9 @@ __all__ = [
     "BlockScheduler",
     "Stream",
     "Device",
+    "PlanExecutor",
+    "ExecutionStats",
+    "execute_concurrently",
+    "DeviceGroup",
+    "partition_sizes",
 ]

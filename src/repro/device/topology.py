@@ -1,0 +1,205 @@
+"""Multi-device sharding: a device group and size-aware partitioners.
+
+The paper runs on one K40c; BLASX-style runtimes show that lifting
+batched work onto a task layer is what unlocks multi-GPU scaling.  With
+the plan/execute split in place this layer is small: a
+:class:`DeviceGroup` holds N simulated devices, a partitioner splits a
+:class:`~repro.core.batch.VBatch`'s index space into per-device shards,
+each shard gets its own launch plan, the plans execute *concurrently*
+(every simulated device advances its own clock, so the group's elapsed
+time is the slowest shard), and the shard results are merged back into
+one :class:`~repro.core.driver.PotrfResult`.
+
+Partition policies:
+
+* ``"flops"`` — greedy LPT balance on per-matrix POTRF flops (default;
+  the heterogeneous-batch analogue of BLASX's locality-aware queues),
+* ``"round-robin"`` — index ``i`` to device ``i % N``,
+* ``"contiguous"`` — contiguous index ranges with near-equal flops
+  (preserves batch order within a shard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import flops as _flops
+from ..errors import ArgumentError
+from .calibration import Calibration, K40C_CALIBRATION
+from .device import Device
+from .spec import DeviceSpec, K40C
+
+__all__ = ["DeviceGroup", "partition_sizes", "run_potrf_sharded"]
+
+_POLICIES = ("flops", "round-robin", "contiguous")
+
+
+def partition_sizes(
+    sizes: np.ndarray, precision, n_shards: int, policy: str = "flops"
+) -> list[np.ndarray]:
+    """Split batch indices into ``n_shards`` per-device index arrays.
+
+    Every index lands in exactly one shard; empty shards are allowed
+    (fewer matrices than devices).  Shard index arrays are sorted so a
+    shard preserves the original batch order.
+    """
+    if n_shards <= 0:
+        raise ArgumentError(3, f"n_shards must be positive, got {n_shards}")
+    if policy not in _POLICIES:
+        raise ArgumentError(4, f"unknown partition policy {policy!r} (use one of {_POLICIES})")
+    sizes = np.asarray(sizes, dtype=np.int64)
+    count = sizes.size
+    if n_shards == 1:
+        return [np.arange(count, dtype=np.int64)]
+
+    if policy == "round-robin":
+        return [np.arange(count, dtype=np.int64)[s::n_shards] for s in range(n_shards)]
+
+    work = np.array([_flops.potrf_flops(int(n), precision) for n in sizes])
+    if policy == "contiguous":
+        # Cut the prefix-flops curve at the equal-share levels.
+        csum = np.cumsum(work)
+        total = csum[-1] if count else 0.0
+        bounds = np.searchsorted(csum, total * np.arange(1, n_shards) / n_shards, side="left")
+        pieces = np.split(np.arange(count, dtype=np.int64), bounds)
+        return [np.asarray(p, dtype=np.int64) for p in pieces]
+
+    # Greedy LPT: heaviest matrix first onto the least-loaded device.
+    loads = np.zeros(n_shards)
+    owner = np.empty(count, dtype=np.int64)
+    for i in np.argsort(-work, kind="stable"):
+        s = int(np.argmin(loads))
+        owner[i] = s
+        loads[s] += work[i]
+    return [np.nonzero(owner == s)[0].astype(np.int64) for s in range(n_shards)]
+
+
+class DeviceGroup:
+    """N simulated devices plus the partition policy that feeds them."""
+
+    def __init__(self, devices, partition: str = "flops"):
+        devices = list(devices)
+        if not devices:
+            raise ArgumentError(1, "device group needs at least one device")
+        if len({id(d) for d in devices}) != len(devices):
+            raise ArgumentError(1, "device group contains the same device twice")
+        if partition not in _POLICIES:
+            raise ArgumentError(2, f"unknown partition policy {partition!r}")
+        self.devices = devices
+        self.partition = partition
+
+    @classmethod
+    def simulated(
+        cls,
+        count: int,
+        spec: DeviceSpec = K40C,
+        calibration: Calibration = K40C_CALIBRATION,
+        execute_numerics: bool = True,
+        partition: str = "flops",
+    ) -> "DeviceGroup":
+        """A homogeneous group of ``count`` fresh simulated devices."""
+        if count <= 0:
+            raise ArgumentError(1, f"count must be positive, got {count}")
+        return cls(
+            [
+                Device(spec=spec, calibration=calibration, execute_numerics=execute_numerics)
+                for _ in range(count)
+            ],
+            partition=partition,
+        )
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def partition_indices(self, sizes, precision) -> list[np.ndarray]:
+        return partition_sizes(sizes, precision, len(self.devices), self.partition)
+
+    def reset_clocks(self) -> None:
+        for d in self.devices:
+            d.reset_clock()
+
+    def synchronize(self) -> float:
+        """Drain every device; returns the slowest device's clock."""
+        return max(d.synchronize() for d in self.devices)
+
+
+def run_potrf_sharded(
+    group: DeviceGroup,
+    batch,
+    max_n: int,
+    options,
+    approach: str,
+    plan_cache=None,
+):
+    """Factorize ``batch`` across a device group and merge the results.
+
+    The source batch stays authoritative: each shard is materialized on
+    its device (values copied over when numerics are live), the shards
+    run concurrently, and factors/info codes are gathered back into the
+    source batch's arrays.  ``elapsed`` is the slowest shard — the
+    multi-GPU makespan — while flops cover the whole batch, so
+    ``result.gflops`` reports the group's aggregate rate.
+    """
+    from ..core.batch import VBatch
+    from ..core.driver import LaunchStats, PotrfResult, plan_potrf, stats_from_execution
+    from .executor import execute_concurrently
+
+    sizes = batch.sizes_host
+    shards = []
+    for dev, idx in zip(group.devices, group.partition_indices(sizes, batch.precision)):
+        if idx.size == 0:
+            continue
+        if batch.device.execute_numerics and dev.execute_numerics:
+            shard_batch = VBatch.from_host(
+                dev, [np.ascontiguousarray(batch.matrix_view(int(j))) for j in idx]
+            )
+        else:
+            shard_batch = VBatch.allocate(
+                dev, sizes[idx], batch.precision, ldas=np.maximum(batch.ldas_host[idx], 1)
+            )
+        shard_max = int(sizes[idx].max())
+        plan, cache_hit = plan_potrf(dev, shard_batch, shard_max, options, approach, plan_cache)
+        shards.append((dev, idx, shard_batch, plan, cache_hit))
+
+    for dev, _, _, _, _ in shards:
+        dev.synchronize()
+    starts = {id(dev): dev.host_time for dev, _, _, _, _ in shards}
+    exec_stats = execute_concurrently([plan for _, _, _, plan, _ in shards])
+
+    elapsed = 0.0
+    infos = np.zeros(batch.batch_count, dtype=np.int64)
+    merged = LaunchStats(devices_used=len(shards))
+    first = True
+    for (dev, idx, shard_batch, plan, cache_hit), es in zip(shards, exec_stats):
+        elapsed = max(elapsed, dev.synchronize() - starts[id(dev)])
+        shard_stats = stats_from_execution(plan, es, cache_hit)
+        if first:
+            for name in shard_stats.keys():
+                if name != "devices_used":
+                    setattr(merged, name, shard_stats[name])
+            first = False
+        else:
+            merged.merge(shard_stats)
+        if dev.execute_numerics:
+            infos[idx] = shard_batch.download_infos()
+            # Gather the factors back into the source batch's arrays
+            # (host-side result assembly; the simulated PCIe cost of the
+            # shard download is charged to the shard device above).
+            for local, j in enumerate(idx):
+                batch.matrix_view(int(j))[...] = shard_batch.matrix_view(local)
+        if plan_cache is None:
+            plan.close()
+            shard_batch.free()
+
+    total = _flops.batch_flops(sizes, "potrf", batch.precision)
+    return PotrfResult(
+        approach=approach,
+        elapsed=elapsed,
+        total_flops=total,
+        infos=infos,
+        launch_stats=merged,
+        max_n=max_n,
+    )

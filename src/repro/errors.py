@@ -19,6 +19,7 @@ __all__ = [
     "DeviceError",
     "DeviceOutOfMemory",
     "LaunchError",
+    "PlanError",
     "StreamError",
 ]
 
@@ -90,3 +91,8 @@ class LaunchError(DeviceError):
 
 class StreamError(DeviceError):
     """Invalid stream/event usage (e.g. waiting on an unrecorded event)."""
+
+
+class PlanError(ReproError):
+    """A malformed launch plan, or invalid plan lifecycle usage
+    (executing a closed plan, executing on the wrong device, ...)."""

@@ -386,6 +386,47 @@ class TestStreamsAndTransfers:
         serial.launch(_ToyKernel(**k))
         assert two_stream >= 0.9 * serial.synchronize() / 1.1
 
+    def test_sm_area_frontier_shared_across_streams(self):
+        """`_sm_area_free_at` is one frontier for the whole machine: a
+        launch on any stream pushes it, and the next launch on a
+        *different* stream starts its SM occupation behind it."""
+        dev = Device(execute_numerics=False)
+        s1, s2 = dev.create_stream(), dev.create_stream()
+        r1 = dev.launch(_ToyKernel(nblocks=1000, flops=1e8), stream=s1)
+        area_after_one = dev._sm_area_free_at
+        assert area_after_one > r1.start
+        r2 = dev.launch(_ToyKernel(nblocks=1000, flops=1e8), stream=s2)
+        area_after_two = dev._sm_area_free_at
+        assert area_after_two > area_after_one
+        # The second kernel cannot finish before the area the first
+        # consumed has drained, even though its stream was idle.
+        assert r2.end >= area_after_one
+        # synchronize() waits for the shared frontier, not just streams.
+        assert dev.synchronize() >= area_after_two
+
+    def test_n_streams_no_faster_than_serial_when_saturated(self):
+        """Fanning saturating kernels over N streams cannot beat the
+        same sequence on one stream by more than launch overhead."""
+        k = dict(nblocks=2000, flops=5e7)
+        fan = Device(execute_numerics=False)
+        for _ in range(4):
+            fan.launch(_ToyKernel(**k), stream=fan.create_stream())
+        serial = Device(execute_numerics=False)
+        for _ in range(4):
+            serial.launch(_ToyKernel(**k))
+        t_fan, t_serial = fan.synchronize(), serial.synchronize()
+        # Streams can hide launch overhead and wave-imbalance tails but
+        # never the SM-area itself: nowhere near 4x scaling.
+        assert t_fan >= 0.8 * t_serial
+        assert t_fan <= t_serial
+
+    def test_reset_clock_clears_sm_area_frontier(self):
+        dev = Device(execute_numerics=False)
+        dev.launch(_ToyKernel(nblocks=1000, flops=1e8))
+        assert dev._sm_area_free_at > 0
+        dev.reset_clock()
+        assert dev._sm_area_free_at == 0.0
+
     def test_upload_download_roundtrip(self):
         dev = Device()
         host = np.arange(12, dtype=np.float64).reshape(3, 4)

@@ -32,6 +32,7 @@ def _load(name):
         "multifrontal_solver",
         "sensor_least_squares",
         "autotune_and_deploy",
+        "multi_device_sharding",
     ],
 )
 def test_example_runs(name, capsys):

@@ -1,0 +1,278 @@
+"""Tests for the launch-plan IR: builder, validation, cache semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import VBatch
+from repro.core.driver import PotrfOptions, run_potrf_vbatched
+from repro.core.fused import FusedDriver
+from repro.core.plan import (
+    AuxLaunch,
+    Barrier,
+    KernelLaunch,
+    LaunchPlan,
+    PlanBuilder,
+    PlanCache,
+    batch_fingerprint,
+)
+from repro.core.separated import SeparatedDriver
+from repro.device import Device
+from repro.errors import PlanError
+from repro import distributions as dist
+
+
+class _Stub:
+    """Stands in for a kernel; plans never inspect kernel internals."""
+
+    name = "stub"
+
+
+def _timing_batch(seed=3, count=40, max_size=96):
+    dev = Device(execute_numerics=False)
+    sizes = dist.generate_sizes("uniform", count, max_size, seed=seed)
+    return dev, VBatch.allocate(dev, sizes, "d"), sizes
+
+
+class TestPlanBuilder:
+    def test_nodes_indexed_in_emission_order(self):
+        dev = Device(execute_numerics=False)
+        pb = PlanBuilder(dev)
+        i0 = pb.aux(_Stub())
+        i1 = pb.launch(_Stub(), tag="potf2")
+        i2 = pb.barrier()
+        plan = pb.build()
+        assert (i0, i1, i2) == (0, 1, 2)
+        assert isinstance(plan.nodes[0], AuxLaunch)
+        assert isinstance(plan.nodes[1], KernelLaunch)
+        assert isinstance(plan.nodes[2], Barrier)
+        assert plan.nodes[1].tag == "potf2"
+        assert plan.kernel_launches == 2  # aux is still a launch
+
+    def test_streams_and_deps_recorded(self):
+        pb = PlanBuilder(Device(execute_numerics=False))
+        a = pb.launch(_Stub(), stream=1)
+        b = pb.launch(_Stub(), stream=2, after=(a,))
+        plan = pb.build()
+        assert plan.nodes[b].deps == (a,)
+        assert plan.streams_used == (1, 2)
+
+    def test_tagged_context_sets_default_tag(self):
+        pb = PlanBuilder(Device(execute_numerics=False))
+        with pb.tagged("trsm"):
+            i = pb.launch(_Stub())
+            with pb.tagged("inner"):
+                j = pb.launch(_Stub())
+            k = pb.launch(_Stub())
+        m = pb.launch(_Stub())
+        plan = pb.build()
+        assert [plan.nodes[x].tag for x in (i, j, k, m)] == [
+            "trsm", "inner", "trsm", "kernel",
+        ]
+
+    def test_forward_dependency_rejected(self):
+        pb = PlanBuilder(Device(execute_numerics=False))
+        pb.launch(_Stub(), after=(5,))
+        with pytest.raises(PlanError):
+            pb.build()
+
+    def test_launch_without_kernel_rejected(self):
+        plan = LaunchPlan(device=None, nodes=[KernelLaunch(index=0)])
+        with pytest.raises(PlanError):
+            plan.validate()
+
+    def test_build_twice_rejected(self):
+        pb = PlanBuilder(Device(execute_numerics=False))
+        pb.build()
+        with pytest.raises(PlanError):
+            pb.build()
+
+    def test_bound_numerics_follows_device_mode(self):
+        assert PlanBuilder(Device()).build().bound_numerics
+        assert not PlanBuilder(Device(execute_numerics=False)).build().bound_numerics
+        assert PlanBuilder(Device(), None).build(bound_numerics=False).bound_numerics is False
+
+
+class TestPlanWorkspaces:
+    def test_plan_owns_workspaces_until_close(self):
+        dev = Device(execute_numerics=False)
+        pb = PlanBuilder(dev)
+        pb.workspace((16,), np.int64)
+        plan = pb.build()
+        used_before = dev.memory.used
+        assert len(plan.workspaces) == 1
+        misses_before = dev.pool.misses + dev.pool.hits
+        plan.close()
+        assert plan.closed and not plan.workspaces
+        # The block went back to the pool: the next same-shape get is a hit.
+        dev.pool.get((16,), np.int64)
+        assert dev.pool.hits + dev.pool.misses == misses_before + 1
+        assert dev.pool.hits >= 1
+        assert dev.memory.used <= used_before  # pool retained, nothing leaked
+
+    def test_close_is_idempotent(self):
+        pb = PlanBuilder(Device(execute_numerics=False))
+        pb.workspace((8,), np.int64)
+        plan = pb.build()
+        plan.close()
+        plan.close()
+
+    def test_pool_facade_defers_release(self):
+        dev = Device(execute_numerics=False)
+        pb = PlanBuilder(dev)
+        ws = pb.pool.get((8,), np.float64)
+        pb.pool.release(ws)  # no-op: ownership stays with the plan
+        plan = pb.build()
+        assert plan.workspaces == [ws]
+
+    def test_pool_facade_rejects_foreign_array(self):
+        dev = Device(execute_numerics=False)
+        pb = PlanBuilder(dev)
+        foreign = dev.pool.get((8,), np.float64)
+        with pytest.raises(PlanError):
+            pb.pool.release(foreign)
+
+    def test_abandon_releases_workspaces(self):
+        dev = Device(execute_numerics=False)
+        pb = PlanBuilder(dev)
+        pb.workspace((8,), np.float64)
+        pb.abandon()
+        # Released: the same-bin get is served from the pool free list.
+        dev.pool.get((8,), np.float64)
+        assert dev.pool.hits >= 1
+
+
+class TestBatchFingerprint:
+    def test_equal_sizes_equal_fingerprint(self):
+        dev, b1, sizes = _timing_batch()
+        b2 = VBatch.allocate(dev, sizes.copy(), "d")
+        assert batch_fingerprint(b1) == batch_fingerprint(b2)
+
+    def test_different_sizes_differ(self):
+        dev, b1, sizes = _timing_batch()
+        other = sizes.copy()
+        other[0] += 1
+        b2 = VBatch.allocate(dev, other, "d")
+        assert batch_fingerprint(b1) != batch_fingerprint(b2)
+
+    def test_precision_matters(self):
+        dev, b1, sizes = _timing_batch()
+        b2 = VBatch.allocate(dev, sizes.copy(), "s")
+        assert batch_fingerprint(b1) != batch_fingerprint(b2)
+
+
+class TestPlanCache:
+    def test_hit_and_miss_accounting(self):
+        dev, batch, sizes = _timing_batch()
+        cache = PlanCache()
+        key = cache.key_for(dev, batch, int(sizes.max()), "fused", None)
+        assert cache.get(key, batch) is None
+        plan = FusedDriver(dev).plan(batch, int(sizes.max()))
+        cache.put(key, plan)
+        assert cache.get(key, batch) is plan
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_get_or_build_counts_planner_calls(self):
+        dev, batch, sizes = _timing_batch()
+        cache = PlanCache()
+        key = cache.key_for(dev, batch, int(sizes.max()), "fused", None)
+        build = lambda: FusedDriver(dev).plan(batch, int(sizes.max()))  # noqa: E731
+        p1 = cache.get_or_build(key, batch, build)
+        p2 = cache.get_or_build(key, batch, build)
+        assert p1 is p2
+        assert cache.planner_calls == 1
+
+    def test_lru_eviction_closes_plans(self):
+        dev = Device(execute_numerics=False)
+        cache = PlanCache(max_plans=2)
+        plans = []
+        for i in range(3):
+            pb = PlanBuilder(dev)
+            pb.workspace((8,), np.int64)
+            plan = pb.build()
+            plans.append(plan)
+            cache.put(("k", i), plan)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert plans[0].closed  # oldest evicted and released
+        assert not plans[1].closed and not plans[2].closed
+
+    def test_bound_plan_not_served_for_other_batch(self):
+        dev = Device()  # numerics live -> plans bound to their batch
+        rng = np.random.default_rng(0)
+        mats = [np.eye(8) * 4 + rng.standard_normal((8, 8)) * 0.01 for _ in range(4)]
+        mats = [(m + m.T) / 2 for m in mats]
+        b1 = VBatch.from_host(dev, [m.copy() for m in mats])
+        b2 = VBatch.from_host(dev, [m.copy() for m in mats])
+        cache = PlanCache()
+        key = cache.key_for(dev, b1, 8, "fused", None)
+        plan = FusedDriver(dev).plan(b1, 8)
+        assert plan.bound_numerics
+        cache.put(key, plan)
+        assert cache.get(key, b1) is plan
+        assert cache.get(key, b2) is None  # same key, wrong batch object
+
+    def test_clear_closes_everything(self):
+        dev = Device(execute_numerics=False)
+        cache = PlanCache()
+        pb = PlanBuilder(dev)
+        pb.workspace((8,), np.int64)
+        plan = pb.build()
+        cache.put(("k",), plan)
+        cache.clear()
+        assert plan.closed and len(cache) == 0
+
+    def test_max_plans_validated(self):
+        with pytest.raises(PlanError):
+            PlanCache(max_plans=0)
+
+
+class TestCachedReexecutionAcceptance:
+    """ISSUE acceptance (a): a cached plan re-executes with zero planner calls."""
+
+    def test_second_run_skips_planning_and_matches_timing(self):
+        dev, batch, sizes = _timing_batch(seed=7, count=60, max_size=200)
+        max_n = int(sizes.max())
+        cache = PlanCache()
+        opts = PotrfOptions()
+        r1 = run_potrf_vbatched(dev, batch, max_n, opts, plan_cache=cache)
+        assert cache.planner_calls == 1
+        assert not r1.launch_stats.plan_cache_hit
+        dev.reset_clock()
+        r2 = run_potrf_vbatched(dev, batch, max_n, opts, plan_cache=cache)
+        assert cache.planner_calls == 1  # zero new planner calls
+        assert r2.launch_stats.plan_cache_hit
+        assert r2.elapsed == r1.elapsed  # bit-identical replay
+        # A fresh equal-size batch also hits: timing-only plans are unbound.
+        b3 = VBatch.allocate(dev, sizes.copy(), "d")
+        r3 = run_potrf_vbatched(dev, b3, max_n, opts, plan_cache=cache)
+        assert cache.planner_calls == 1
+        assert r3.elapsed == r1.elapsed
+
+    def test_cache_keyed_on_options(self):
+        dev, batch, sizes = _timing_batch()
+        max_n = int(sizes.max())
+        cache = PlanCache()
+        run_potrf_vbatched(dev, batch, max_n, PotrfOptions(approach="fused"), plan_cache=cache)
+        run_potrf_vbatched(
+            dev, batch, max_n, PotrfOptions(approach="fused", etm="classic"), plan_cache=cache
+        )
+        assert cache.planner_calls == 2  # different options -> different plan
+
+    def test_separated_planner_cacheable_too(self):
+        dev, batch, sizes = _timing_batch()
+        max_n = int(sizes.max())
+        cache = PlanCache()
+        opts = PotrfOptions(approach="separated")
+        r1 = run_potrf_vbatched(dev, batch, max_n, opts, plan_cache=cache)
+        dev.reset_clock()
+        r2 = run_potrf_vbatched(dev, batch, max_n, opts, plan_cache=cache)
+        assert cache.planner_calls == 1
+        assert r2.elapsed == r1.elapsed
+
+    def test_planner_plan_does_not_touch_clock(self):
+        dev, batch, sizes = _timing_batch()
+        t0 = dev.synchronize()
+        FusedDriver(dev).plan(batch, int(sizes.max())).close()
+        SeparatedDriver(dev).plan(batch, int(sizes.max())).close()
+        assert dev.synchronize() == t0
