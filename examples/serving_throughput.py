@@ -1,0 +1,77 @@
+"""Batch serving: individual requests, size-aware windows, one server.
+
+Run:  python examples/serving_throughput.py
+
+The batched routines want a pre-aggregated ``VBatch``; a service gets
+one matrix at a time.  This walkthrough drives the serving subsystem
+both ways it is meant to be used:
+
+1. **asynchronous** — a worker thread forms batches as requests land
+   (windows close on ``max_wait``), with real numerics and a
+   correctness check against a direct factorization of the same batch;
+2. **closed-loop benchmark** — the deterministic ``pump`` mode compares
+   the windowing policies on one fixed-seed stream: per-request
+   dispatch vs FIFO vs the size-aware policies, in simulated
+   matrices/s and padded-flops waste.
+"""
+
+import numpy as np
+
+from repro import Device, make_spd_batch
+from repro.serving import BatchServer, run_serve_bench
+
+
+def async_requests():
+    print("-- async serving: one request at a time, numerics on ----------")
+    sizes = [96, 24, 96, 25, 95, 24, 97, 26]
+    matrices = make_spd_batch(sizes, seed=0)
+
+    with BatchServer(Device(), policy="greedy-window", max_batch=4,
+                     max_wait=2e-3) as server:
+        server.start()
+        futures = [server.submit(m) for m in matrices]
+        responses = [f.result(timeout=10.0) for f in futures]
+
+    for m, resp in zip(matrices, responses):
+        assert resp.ok, f"request {resp.req_id} failed with info={resp.info}"
+        L = np.tril(resp.factor)
+        residual = np.linalg.norm(m - L @ L.T) / np.linalg.norm(m)
+        assert residual < 1e-12, residual
+
+    batches = {r.batch_id for r in responses}
+    print(f"  {len(responses)} requests served in {len(batches)} batches")
+    for b in sorted(batches):
+        ns = sorted(r.factor.shape[0] for r in responses if r.batch_id == b)
+        print(f"    batch {b}: sizes {ns}")
+    print("  every factor verified against its input (residual < 1e-12)\n")
+
+
+def policy_shootout():
+    print("-- closed-loop policy shoot-out (timing mode, seed 0) ---------")
+    report = run_serve_bench(requests=400, max_size=192, seed=0,
+                             max_batch=16, concurrency=64)
+    print(f"  {'policy':>14} {'batches':>8} {'mat/sim_s':>10} {'waste_%':>8}")
+    for name, snap in report["policies"].items():
+        thr, batching = snap["throughput"], snap["batching"]
+        waste = 100.0 * (1.0 - batching["efficiency"])
+        print(f"  {name:>14} {thr['batches']:>8} "
+              f"{thr['matrices_per_sim_s']:>10.0f} {waste:>8.2f}")
+    speedups = report["comparison"]["speedup_vs_per_request"]
+    print("  speedup vs per-request: "
+          + ", ".join(f"{k} {v:.1f}x" for k, v in speedups.items()))
+    assert speedups["greedy-window"] >= 2.0
+    assert speedups["size-bucket"] >= 2.0
+    fifo_waste = report["policies"]["fifo"]["batching"]["wasted_flops"]
+    aware_waste = report["policies"]["greedy-window"]["batching"]["wasted_flops"]
+    assert aware_waste < fifo_waste
+    print("  size-aware windows: >= 2x per-request throughput, "
+          "less padded waste than FIFO")
+
+
+def main():
+    async_requests()
+    policy_shootout()
+
+
+if __name__ == "__main__":
+    main()

@@ -23,12 +23,14 @@ paper-figure reproductions.
 
 from .types import Precision
 from .errors import (
+    AdmissionError,
     ArgumentError,
     BatchNumericalError,
     DeviceError,
     DeviceOutOfMemory,
     LaunchError,
     ReproError,
+    ServingError,
     StreamError,
 )
 from .device import Device, DeviceGroup, DeviceSpec, K40C, PlanExecutor, Stream
@@ -52,18 +54,21 @@ from .extensions import (
     potrs_vbatched,
 )
 from .hostblas import make_spd, make_spd_batch
-from . import batched_blas, distributions, flops, multifrontal
+from .serving import BatchServer
+from . import batched_blas, distributions, flops, multifrontal, serving
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Precision",
     "ReproError",
+    "AdmissionError",
     "ArgumentError",
     "BatchNumericalError",
     "DeviceError",
     "DeviceOutOfMemory",
     "LaunchError",
+    "ServingError",
     "StreamError",
     "Device",
     "DeviceGroup",
@@ -90,9 +95,11 @@ __all__ = [
     "potrs_vbatched",
     "make_spd",
     "make_spd_batch",
+    "BatchServer",
     "batched_blas",
     "distributions",
     "multifrontal",
     "flops",
+    "serving",
     "__version__",
 ]

@@ -7,7 +7,9 @@ Subcommands:
   chosen configuration;
 * ``profile`` — run a vbatched factorization and print the per-kernel
   flat profile (optionally exporting a Chrome trace);
-* ``energy`` — run one Fig-10 energy bucket.
+* ``energy`` — run one Fig-10 energy bucket;
+* ``serve-bench`` — closed-loop load-generator benchmark of the batch
+  server's windowing policies (writes ``BENCH_pr3.json``-style output).
 """
 
 from __future__ import annotations
@@ -60,7 +62,7 @@ def _cmd_tune(args) -> int:
 
 def _cmd_profile(args) -> int:
     from .bench import export_chrome_trace, format_profile
-    from .core import PotrfOptions, VBatch, potrf_vbatched
+    from .core import PlanCache, PotrfOptions, VBatch, potrf_vbatched
     from .device import Device
     from .distributions import generate_sizes
 
@@ -68,14 +70,78 @@ def _cmd_profile(args) -> int:
     sizes = generate_sizes(args.distribution, args.batch, args.max_size, seed=args.seed)
     batch = VBatch.allocate(device, sizes, args.precision)
     device.reset_clock()
-    result = potrf_vbatched(device, batch, PotrfOptions())
+    cache = PlanCache()
+    stats = None
+    for _ in range(max(1, args.repeat)):
+        result = potrf_vbatched(device, batch, PotrfOptions(), plan_cache=cache)
+        if stats is None:
+            stats = result.launch_stats
+        else:
+            stats.merge(result.launch_stats)
     print(f"{result.gflops:.1f} Gflop/s via {result.approach} "
-          f"({result.elapsed * 1e3:.2f} ms simulated)\n")
+          f"({result.elapsed * 1e3:.2f} ms simulated)")
+    print(f"plan cache: {stats.plan_cache_hits} hits / {stats.plan_cache_misses} misses "
+          f"over {stats.batches} batches ({cache.hit_rate * 100:.0f}% hit rate)\n")
     print(format_profile(device.timeline))
     if args.trace:
         path = export_chrome_trace(device.timeline, args.trace)
         print(f"\nChrome trace written to {path}")
     return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .serving import check_acceptance, run_serve_bench
+
+    if args.smoke:
+        config = dict(requests=150, max_size=96, max_batch=16, concurrency=48)
+    else:
+        config = dict(
+            requests=args.requests,
+            max_size=args.max_size,
+            max_batch=args.max_batch,
+            concurrency=args.concurrency,
+        )
+    report = run_serve_bench(
+        distribution=args.distribution,
+        seed=args.seed,
+        device_count=args.devices,
+        **config,
+    )
+
+    header = (
+        f"{'policy':>14} {'batches':>8} {'mean_bs':>8} {'mat/sim_s':>12} "
+        f"{'Gflop/s':>9} {'p50_ms':>8} {'p95_ms':>8} {'p99_ms':>8} {'waste_%':>8}"
+    )
+    print(f"serve-bench: {config['requests']} requests, {args.distribution} sizes "
+          f"<= {config['max_size']}, seed {args.seed}, max_batch {config['max_batch']}, "
+          f"{args.devices} device(s)\n")
+    print(header)
+    for name, snap in report["policies"].items():
+        thr, lat, batching = snap["throughput"], snap["latency_sim_s"], snap["batching"]
+        waste = 100.0 * (1.0 - batching["efficiency"]) if batching["padded_flops"] else 0.0
+        print(
+            f"{name:>14} {thr['batches']:>8} {thr['mean_batch_size']:>8.1f} "
+            f"{thr['matrices_per_sim_s']:>12.0f} {thr['useful_gflops_sim']:>9.1f} "
+            f"{lat['p50'] * 1e3:>8.3f} {lat['p95'] * 1e3:>8.3f} {lat['p99'] * 1e3:>8.3f} "
+            f"{waste:>8.2f}"
+        )
+    speedups = report["comparison"].get("speedup_vs_per_request", {})
+    if speedups:
+        print("\nspeedup vs per-request dispatch: "
+              + ", ".join(f"{k} {v:.2f}x" for k, v in speedups.items()))
+
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {path}")
+
+    failures = check_acceptance(report)
+    for failure in failures:
+        print(f"ACCEPTANCE FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_energy(args) -> int:
@@ -114,8 +180,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--max-size", type=int, default=256)
     p.add_argument("-d", "--distribution", default="uniform")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--repeat", type=int, default=2,
+                   help="factorization repeats (shows plan-cache effectiveness)")
     p.add_argument("--trace", help="write a Chrome trace JSON here")
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("serve-bench", help="benchmark the batch-serving subsystem")
+    p.add_argument("-r", "--requests", type=int, default=2000)
+    p.add_argument("-n", "--max-size", type=int, default=256)
+    p.add_argument("-d", "--distribution", default="uniform")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument("--concurrency", type=int, default=128,
+                   help="closed-loop outstanding requests")
+    p.add_argument("--devices", type=int, default=1, help="simulated devices to shard over")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny fixed load for CI (overrides size arguments)")
+    p.add_argument("-o", "--output", help="write the JSON report here (e.g. BENCH_pr3.json)")
+    p.set_defaults(fn=_cmd_serve_bench)
 
     p = sub.add_parser("energy", help="one energy-to-solution bucket")
     p.add_argument("--low", type=int, default=256)

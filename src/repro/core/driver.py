@@ -78,6 +78,13 @@ class LaunchStats:
     actually walked the DAG.  Behaves as a mapping for backward
     compatibility with the old ad-hoc dict (``stats["steps"]``,
     ``{**stats}``).
+
+    ``batches`` counts the plan executions folded into this object (one
+    per single-device run, one per shard for a sharded run, summed under
+    :meth:`merge`), and ``plan_cache_hits``/``plan_cache_misses`` carry
+    :class:`~repro.core.plan.PlanCache` effectiveness — both stay zero
+    when no cache is in play, so serving metrics and ``profile`` output
+    can report cache behaviour without reaching into private state.
     """
 
     steps: int = 0
@@ -91,6 +98,9 @@ class LaunchStats:
     barriers: int = 0
     plan_nodes: int = 0
     plan_cache_hit: bool = False
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    batches: int = 0
     devices_used: int = 1
 
     def keys(self):
@@ -106,14 +116,24 @@ class LaunchStats:
         return {name: getattr(self, name) for name in self.keys()}
 
     def merge(self, other: "LaunchStats") -> None:
-        """Accumulate another shard's counters into this one."""
+        """Accumulate another run's counters into this one.
+
+        Counter fields add and ``devices_used`` (the accumulator's own
+        bookkeeping) is left untouched.  ``plan_cache_hit`` and-folds
+        across merged runs, but a fresh accumulator (``batches == 0``)
+        adopts the first merged value — so ``LaunchStats()`` is a merge
+        identity and repeated merges associate.
+        """
+        if other.batches or self.batches == 0:
+            self.plan_cache_hit = (
+                other.plan_cache_hit
+                if self.batches == 0
+                else self.plan_cache_hit and other.plan_cache_hit
+            )
         for f in fields(self):
-            if f.name == "plan_cache_hit":
-                self.plan_cache_hit = self.plan_cache_hit and other.plan_cache_hit
-            elif f.name == "devices_used":
+            if f.name in ("plan_cache_hit", "devices_used"):
                 continue
-            else:
-                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 @dataclass
@@ -167,15 +187,20 @@ def plan_potrf(
     approach = approach or resolve_approach(batch, max_n, options)
     build = lambda: make_planner(device, approach, options).plan(batch, max_n)  # noqa: E731
     if plan_cache is None:
-        return build(), False
+        return build(), None
     key = plan_cache.key_for(device, batch, max_n, approach, options)
     before = plan_cache.planner_calls
     plan = plan_cache.get_or_build(key, batch, build)
     return plan, plan_cache.planner_calls == before
 
 
-def stats_from_execution(plan, exec_stats, cache_hit: bool) -> LaunchStats:
-    """Fold planner structure and executor counts into a LaunchStats."""
+def stats_from_execution(plan, exec_stats, cache_hit: bool | None) -> LaunchStats:
+    """Fold planner structure and executor counts into a LaunchStats.
+
+    ``cache_hit`` is ``None`` when no :class:`~repro.core.plan.PlanCache`
+    was consulted (both cache counters stay zero), else the hit/miss
+    outcome of this run's plan lookup.
+    """
     run = plan.run_stats
     return LaunchStats(
         steps=getattr(run, "steps", 0),
@@ -188,7 +213,10 @@ def stats_from_execution(plan, exec_stats, cache_hit: bool) -> LaunchStats:
         executed_launches=exec_stats.launches,
         barriers=exec_stats.barriers,
         plan_nodes=len(plan),
-        plan_cache_hit=cache_hit,
+        plan_cache_hit=bool(cache_hit),
+        plan_cache_hits=1 if cache_hit else 0,
+        plan_cache_misses=1 if cache_hit is False else 0,
+        batches=1,
     )
 
 

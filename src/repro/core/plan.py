@@ -30,6 +30,7 @@ harness's hot path — skip planning and grouping entirely.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -96,6 +97,9 @@ class LaunchPlan:
     same workspace memory) and return to the pool on :meth:`close`.
     ``bound_numerics`` records whether node kernels hold live views into
     ``batch_ref``'s device arrays — the cache-invalidation bit.
+    ``owns_batch`` additionally makes :meth:`close` free ``batch_ref``:
+    set by callers (the sharded driver) that materialized a batch solely
+    to back this plan, so cache eviction releases its device memory.
     """
 
     device: object
@@ -103,6 +107,7 @@ class LaunchPlan:
     workspaces: list[object] = field(default_factory=list)
     batch_ref: object = None
     bound_numerics: bool = False
+    owns_batch: bool = False
     run_stats: object = None
     meta: dict = field(default_factory=dict)
     closed: bool = False
@@ -129,13 +134,15 @@ class LaunchPlan:
                 raise PlanError(f"node {node.index} is a launch without a kernel")
 
     def close(self) -> None:
-        """Release owned workspaces back to the device pool (idempotent)."""
+        """Release owned workspaces (and batch) back to the device (idempotent)."""
         if self.closed:
             return
         self.closed = True
         for ws in self.workspaces:
             self.device.pool.release(ws)
         self.workspaces.clear()
+        if self.owns_batch and self.batch_ref is not None:
+            self.batch_ref.free()
 
 
 class PlanBuilder:
@@ -271,6 +278,14 @@ class PlanCache:
     reads.  A hit additionally requires the plan not to be *bound* to a
     different batch's numerics (see :class:`LaunchPlan`); a bound plan
     requested for a new batch object counts as a miss and is replaced.
+
+    The cache is thread-safe: one instance may be shared by the serving
+    worker loop and the per-device dispatch threads of a
+    :class:`~repro.device.topology.DeviceGroup`.  An internal reentrant
+    lock guards the LRU map and the hit/miss counters;
+    :meth:`get_or_build` holds it across ``build()`` so concurrent
+    requests for the same key never race to double-build (and close)
+    one another's plans.
     """
 
     def __init__(self, max_plans: int = 32):
@@ -278,55 +293,80 @@ class PlanCache:
             raise PlanError(f"max_plans must be positive, got {max_plans}")
         self.max_plans = max_plans
         self._plans: OrderedDict[tuple, LaunchPlan] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.planner_calls = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     @staticmethod
     def key_for(device, batch, max_n: int, label: str, options_key) -> tuple:
         return (id(device), label, int(max_n), options_key, batch_fingerprint(batch))
 
     def get(self, key: tuple, batch=None) -> LaunchPlan | None:
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        if plan.bound_numerics and batch is not None and plan.batch_ref is not batch:
-            self.misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            if plan.bound_numerics and batch is not None and plan.batch_ref is not batch:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
 
     def put(self, key: tuple, plan: LaunchPlan) -> LaunchPlan:
-        old = self._plans.pop(key, None)
-        if old is not None and old is not plan:
-            old.close()
-        self._plans[key] = plan
-        while len(self._plans) > self.max_plans:
-            _, evicted = self._plans.popitem(last=False)
-            evicted.close()
-            self.evictions += 1
-        return plan
+        with self._lock:
+            old = self._plans.pop(key, None)
+            if old is not None and old is not plan:
+                old.close()
+            self._plans[key] = plan
+            while len(self._plans) > self.max_plans:
+                _, evicted = self._plans.popitem(last=False)
+                evicted.close()
+                self.evictions += 1
+            return plan
 
     def get_or_build(self, key: tuple, batch, build) -> LaunchPlan:
         """Serve a cached plan or call ``build()`` (counted) and store it."""
-        plan = self.get(key, batch)
-        if plan is None:
-            self.planner_calls += 1
-            plan = self.put(key, build())
-        return plan
+        with self._lock:
+            plan = self.get(key, batch)
+            if plan is None:
+                self.planner_calls += 1
+                plan = self.put(key, build())
+            return plan
+
+    def evict(self, device=None) -> int:
+        """Drop (and close) cached plans; returns how many were evicted.
+
+        ``device=None`` clears everything; otherwise only plans keyed to
+        that device go — the serving loop calls this when a device
+        leaves the dispatch group, so its workspace pool drains without
+        disturbing the plans of its peers.
+        """
+        with self._lock:
+            if device is None:
+                doomed = list(self._plans)
+            else:
+                doomed = [k for k in self._plans if k[0] == id(device)]
+            for key in doomed:
+                self._plans.pop(key).close()
+            self.evictions += len(doomed)
+            return len(doomed)
 
     def clear(self) -> None:
-        for plan in self._plans.values():
-            plan.close()
-        self._plans.clear()
+        with self._lock:
+            for plan in self._plans.values():
+                plan.close()
+            self._plans.clear()

@@ -172,17 +172,9 @@ def run_potrf_sharded(
     elapsed = 0.0
     infos = np.zeros(batch.batch_count, dtype=np.int64)
     merged = LaunchStats(devices_used=len(shards))
-    first = True
     for (dev, idx, shard_batch, plan, cache_hit), es in zip(shards, exec_stats):
         elapsed = max(elapsed, dev.synchronize() - starts[id(dev)])
-        shard_stats = stats_from_execution(plan, es, cache_hit)
-        if first:
-            for name in shard_stats.keys():
-                if name != "devices_used":
-                    setattr(merged, name, shard_stats[name])
-            first = False
-        else:
-            merged.merge(shard_stats)
+        merged.merge(stats_from_execution(plan, es, cache_hit))
         if dev.execute_numerics:
             infos[idx] = shard_batch.download_infos()
             # Gather the factors back into the source batch's arrays
@@ -193,6 +185,16 @@ def run_potrf_sharded(
         if plan_cache is None:
             plan.close()
             shard_batch.free()
+        elif plan.batch_ref is not shard_batch:
+            # Cached plan is bound elsewhere (or unbound): this shard
+            # batch served planning/gather only — release it now so a
+            # long-running caller (the serving loop) cannot leak device
+            # memory one shard batch per dispatch.
+            shard_batch.free()
+        else:
+            # The cached plan holds live views into this shard batch;
+            # hand it over so cache eviction/replacement frees it.
+            plan.owns_batch = True
 
     total = _flops.batch_flops(sizes, "potrf", batch.precision)
     return PotrfResult(

@@ -14,12 +14,14 @@ from collections.abc import Mapping
 
 __all__ = [
     "ReproError",
+    "AdmissionError",
     "ArgumentError",
     "BatchNumericalError",
     "DeviceError",
     "DeviceOutOfMemory",
     "LaunchError",
     "PlanError",
+    "ServingError",
     "StreamError",
 ]
 
@@ -96,3 +98,14 @@ class StreamError(DeviceError):
 class PlanError(ReproError):
     """A malformed launch plan, or invalid plan lifecycle usage
     (executing a closed plan, executing on the wrong device, ...)."""
+
+
+class ServingError(ReproError):
+    """Base class for batch-serving failures (policy violations,
+    shutdown-cancelled requests, invalid server lifecycle usage)."""
+
+
+class AdmissionError(ServingError):
+    """A request was refused at the server's front door: the bounded
+    queue is full under the ``reject`` admission policy, or the server
+    has stopped accepting work."""

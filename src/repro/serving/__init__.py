@@ -1,0 +1,59 @@
+"""Batch serving: size-aware aggregation of individual requests.
+
+The subsystem the ROADMAP's "serve heavy traffic" north star asks for:
+callers submit one SPD problem at a time (:class:`BatchServer.submit`
+returns a :class:`RequestFuture`), a windowing :class:`Batcher` groups
+near-equal sizes into :class:`~repro.core.batch.VBatch` launches —
+the paper's implicit sorting applied at the request level — and the
+dispatch rides the existing plan/executor/topology stack, including
+multi-device sharding and a shared thread-safe
+:class:`~repro.core.plan.PlanCache`.
+
+    from repro.serving import BatchServer
+
+    with BatchServer(max_batch=32, max_wait=2e-3) as server:
+        server.start()
+        future = server.submit(spd_matrix)          # one request
+        response = future.result()                  # its own factor
+        assert response.ok
+
+See DESIGN.md §5c for the request → batch → plan → devices
+architecture and ``python -m repro serve-bench`` for the load-generator
+benchmark.
+"""
+
+from .batcher import (
+    Batcher,
+    BatchingPolicy,
+    FifoPolicy,
+    GreedyWindowPolicy,
+    POLICIES,
+    SizeBucketPolicy,
+    make_policy,
+)
+from .loadgen import BENCH_POLICIES, check_acceptance, closed_loop, run_serve_bench
+from .metrics import BatchRecord, ServerMetrics, latency_summary, percentile
+from .request import Request, RequestFuture, Response
+from .server import BatchServer
+
+__all__ = [
+    "BatchServer",
+    "Batcher",
+    "BatchingPolicy",
+    "BatchRecord",
+    "FifoPolicy",
+    "GreedyWindowPolicy",
+    "SizeBucketPolicy",
+    "POLICIES",
+    "BENCH_POLICIES",
+    "Request",
+    "RequestFuture",
+    "Response",
+    "ServerMetrics",
+    "check_acceptance",
+    "closed_loop",
+    "latency_summary",
+    "make_policy",
+    "percentile",
+    "run_serve_bench",
+]

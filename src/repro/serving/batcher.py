@@ -1,0 +1,277 @@
+"""Size-aware request aggregation: windowing policies and the batcher.
+
+The paper's implicit sorting (§III-D) keeps each *launch* over
+nearly-equal matrix sizes so thread-block durations cluster and the SM
+schedule stays dense.  A serving front door faces the same problem one
+level up: which of the queued requests should share the next vbatched
+launch?  The policies here answer that question; the :class:`Batcher`
+enforces the invariants around them:
+
+* a batch never exceeds ``max_batch`` requests;
+* a flush is due once the most urgent request has waited ``max_wait``
+  (or its deadline minus ``deadline_margin`` has arrived), and every
+  emitted batch contains that most urgent request — no starvation;
+* a batch never mixes dtypes (one :class:`~repro.core.batch.VBatch`
+  holds one precision).
+
+Policies choose *which* compatible requests ride along:
+
+* ``"fifo"`` — arrival order, sizes ignored (the baseline the paper's
+  unsorted launches correspond to);
+* ``"size-bucket"`` — quantize ``n`` into fixed-width buckets, serve
+  the urgent request's bucket (the serving analogue of the fixed-size
+  batched + padding baseline, without the padding);
+* ``"greedy-window"`` — grow a window around the urgent request's size,
+  always absorbing the closest remaining size, while the window's
+  max/min ratio stays under ``max_ratio`` (implicit sorting as an
+  admission rule).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import ArgumentError, ServingError
+from .request import Request
+
+__all__ = [
+    "Batcher",
+    "BatchingPolicy",
+    "FifoPolicy",
+    "GreedyWindowPolicy",
+    "SizeBucketPolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+
+class BatchingPolicy:
+    """Strategy interface: pick the requests that share the next launch.
+
+    ``select`` receives the pending queue (arrival order), the index of
+    the most urgent request, and the batch budget; it returns indices
+    into ``pending``.  The :class:`Batcher` validates the contract:
+    non-empty, unique, within budget, urgent included, one dtype.
+    """
+
+    name = "abstract"
+
+    def select(self, pending: Sequence[Request], urgent: int, max_batch: int) -> list[int]:
+        raise NotImplementedError
+
+    def compatible(self, pending: Sequence[Request], urgent: int) -> list[int]:
+        """Indices sharing the urgent request's dtype (arrival order)."""
+        dtype = pending[urgent].dtype
+        return [i for i, r in enumerate(pending) if r.dtype == dtype]
+
+
+class FifoPolicy(BatchingPolicy):
+    """Arrival order, size-blind — the baseline every paper figure
+    measures implicit sorting against."""
+
+    name = "fifo"
+
+    def select(self, pending: Sequence[Request], urgent: int, max_batch: int) -> list[int]:
+        picks = self.compatible(pending, urgent)[:max_batch]
+        if urgent not in picks:  # urgent is oldest compatible, but be safe
+            picks = [urgent] + picks[: max_batch - 1]
+        return picks
+
+
+class SizeBucketPolicy(BatchingPolicy):
+    """Quantize sizes into ``bucket_width``-wide bands; a batch serves
+    one band.  Small widths give near-homogeneous launches but smaller
+    batches; ``bucket_width=1`` is exact-size grouping."""
+
+    name = "size-bucket"
+
+    def __init__(self, bucket_width: int = 32):
+        if bucket_width <= 0:
+            raise ArgumentError(1, f"bucket_width must be positive, got {bucket_width}")
+        self.bucket_width = int(bucket_width)
+
+    def bucket(self, n: int) -> int:
+        return (max(int(n), 1) - 1) // self.bucket_width
+
+    def select(self, pending: Sequence[Request], urgent: int, max_batch: int) -> list[int]:
+        want = self.bucket(pending[urgent].n)
+        same = [
+            i for i in self.compatible(pending, urgent) if self.bucket(pending[i].n) == want
+        ]
+        picks = same[:max_batch]
+        if urgent not in picks:
+            picks = [urgent] + picks[: max_batch - 1]
+        return picks
+
+
+class GreedyWindowPolicy(BatchingPolicy):
+    """Grow a size window outward from the urgent request.
+
+    Candidates are taken closest-size-first (ties: smaller ``n``, then
+    arrival) while the window's ``max(n)/max(1, min(n))`` stays at most
+    ``max_ratio``.  ``max_ratio=1.0`` serves exact-size groups only;
+    larger ratios trade launch homogeneity for batch fill.
+    """
+
+    name = "greedy-window"
+
+    def __init__(self, max_ratio: float = 1.5):
+        if max_ratio < 1.0:
+            raise ArgumentError(1, f"max_ratio must be >= 1.0, got {max_ratio}")
+        self.max_ratio = float(max_ratio)
+
+    def select(self, pending: Sequence[Request], urgent: int, max_batch: int) -> list[int]:
+        anchor = pending[urgent].n
+        picks = [urgent]
+        lo = hi = max(anchor, 1)
+        candidates = sorted(
+            (i for i in self.compatible(pending, urgent) if i != urgent),
+            key=lambda i: (abs(pending[i].n - anchor), pending[i].n, pending[i].arrival, i),
+        )
+        for i in candidates:
+            if len(picks) >= max_batch:
+                break
+            n = max(pending[i].n, 1)
+            if max(hi, n) / min(lo, n) > self.max_ratio:
+                continue
+            picks.append(i)
+            lo, hi = min(lo, n), max(hi, n)
+        return picks
+
+
+POLICIES = {
+    "fifo": FifoPolicy,
+    "size-bucket": SizeBucketPolicy,
+    "greedy-window": GreedyWindowPolicy,
+}
+
+
+def make_policy(policy: str | BatchingPolicy, **kwargs) -> BatchingPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, BatchingPolicy):
+        return policy
+    try:
+        cls = POLICIES[policy]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ArgumentError(1, f"unknown batching policy {policy!r}; known: {known}") from None
+    return cls(**kwargs)
+
+
+class Batcher:
+    """The windowing state machine between the queue and the dispatcher.
+
+    Holds pending requests in arrival order and decides *when* a batch
+    must leave (max-batch fill, max-wait age, deadline pressure) and
+    *which* requests it contains (delegated to the policy, validated
+    here).  Thread safety is the server's job; the batcher itself is a
+    plain data structure so the policies stay trivially testable.
+    """
+
+    def __init__(
+        self,
+        policy: str | BatchingPolicy = "greedy-window",
+        max_batch: int = 32,
+        max_wait: float = 2e-3,
+        deadline_margin: float = 0.0,
+    ):
+        if max_batch <= 0:
+            raise ArgumentError(2, f"max_batch must be positive, got {max_batch}")
+        if max_wait < 0:
+            raise ArgumentError(3, f"max_wait cannot be negative, got {max_wait}")
+        if deadline_margin < 0:
+            raise ArgumentError(4, f"deadline_margin cannot be negative, got {deadline_margin}")
+        self.policy = make_policy(policy)
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.deadline_margin = float(deadline_margin)
+        self._pending: list[Request] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> tuple[Request, ...]:
+        """Read-only view of the queue (tests and metrics)."""
+        return tuple(self._pending)
+
+    def add(self, request: Request) -> None:
+        self._pending.append(request)
+
+    def urgent_index(self) -> int | None:
+        """The request the next batch must contain: soonest effective
+        deadline, ties broken by arrival then id (FIFO among equals)."""
+        if not self._pending:
+            return None
+        return min(
+            range(len(self._pending)),
+            key=lambda i: (
+                self._pending[i].effective_deadline(self.max_wait),
+                self._pending[i].arrival,
+                self._pending[i].req_id,
+            ),
+        )
+
+    def flush_due(self, now: float) -> bool:
+        """Whether a batch must leave at time ``now``."""
+        if not self._pending:
+            return False
+        if len(self._pending) >= self.max_batch:
+            return True
+        urgent = self._pending[self.urgent_index()]
+        return now >= urgent.effective_deadline(self.max_wait) - self.deadline_margin
+
+    def next_wakeup(self, now: float) -> float | None:
+        """Earliest future instant a flush could become due (worker
+        wait timeout); ``None`` when the queue is empty."""
+        if not self._pending:
+            return None
+        if len(self._pending) >= self.max_batch:
+            return now
+        soonest = min(
+            r.effective_deadline(self.max_wait) - self.deadline_margin for r in self._pending
+        )
+        return max(soonest, now)
+
+    def next_batch(self, now: float, force: bool = False) -> list[Request] | None:
+        """Pop and return the next batch, or ``None`` if nothing is due.
+
+        ``force`` flushes regardless of the window triggers (drain and
+        closed-loop pumping).  The returned batch satisfies the batcher
+        invariants; a policy that violates them raises
+        :class:`~repro.errors.ServingError` rather than mis-serving.
+        """
+        if not self._pending:
+            return None
+        if not force and not self.flush_due(now):
+            return None
+        urgent = self.urgent_index()
+        picks = self.policy.select(self._pending, urgent, self.max_batch)
+        self._validate(picks, urgent)
+        chosen = set(picks)
+        batch = [self._pending[i] for i in sorted(chosen)]
+        self._pending = [r for i, r in enumerate(self._pending) if i not in chosen]
+        return batch
+
+    def drain_all(self) -> list[list[Request]]:
+        """Flush everything into policy-shaped batches (shutdown path)."""
+        batches = []
+        while self._pending:
+            batches.append(self.next_batch(now=0.0, force=True))
+        return batches
+
+    def _validate(self, picks: list[int], urgent: int) -> None:
+        name = type(self.policy).__name__
+        if not picks:
+            raise ServingError(f"{name} returned an empty batch")
+        if len(set(picks)) != len(picks):
+            raise ServingError(f"{name} selected a request twice")
+        if len(picks) > self.max_batch:
+            raise ServingError(f"{name} exceeded max_batch={self.max_batch}")
+        if urgent not in picks:
+            raise ServingError(f"{name} starved the most urgent request")
+        if any(i < 0 or i >= len(self._pending) for i in picks):
+            raise ServingError(f"{name} selected out-of-range indices")
+        dtypes = {self._pending[i].dtype for i in picks}
+        if len(dtypes) != 1:
+            raise ServingError(f"{name} mixed dtypes in one batch: {sorted(map(str, dtypes))}")

@@ -1,0 +1,168 @@
+"""Closed-loop load generation and the ``serve-bench`` harness.
+
+The benchmark drives a :class:`~repro.serving.server.BatchServer` in
+synchronous pump mode with a *closed loop*: ``concurrency`` requests
+are kept outstanding — the queue refills from a fixed-seed synthetic
+size stream after every dispatched batch, so batch composition (and
+therefore every reported number) is a pure function of the seed, not
+of host timing.  Arrival/latency accounting runs on the simulated
+clock, where queueing delay means "batches the device served while
+this request waited".
+
+Four configurations run over the identical stream:
+
+* ``per-request`` — ``max_batch=1`` dispatch, the no-batching floor;
+* ``fifo`` — arrival-order windows (batching, size-blind);
+* ``size-bucket`` / ``greedy-window`` — the size-aware policies.
+
+The headline comparisons the PR acceptance criteria ask for —
+size-aware throughput vs. per-request dispatch, padded-flops waste vs.
+FIFO — come out of :func:`run_serve_bench` ready for
+``BENCH_pr3.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.driver import PotrfOptions
+from ..core.plan import PlanCache
+from ..device.device import Device
+from ..device.topology import DeviceGroup
+from ..distributions import generate_sizes
+from ..errors import ArgumentError
+from .server import BatchServer
+
+__all__ = ["closed_loop", "run_serve_bench", "check_acceptance", "BENCH_POLICIES"]
+
+BENCH_POLICIES = ("per-request", "fifo", "size-bucket", "greedy-window")
+
+
+def closed_loop(server: BatchServer, matrices, concurrency: int = 128) -> list:
+    """Pump ``server`` through ``matrices`` with a fixed outstanding set.
+
+    Submits until ``concurrency`` requests are queued, dispatches one
+    batch (`force=True`: composition depends only on queue content),
+    refills, and repeats until the stream and queue are empty.  Returns
+    every request's resolved :class:`~repro.serving.request.Response`
+    in submission order.
+    """
+    if concurrency <= 0:
+        raise ArgumentError(3, f"concurrency must be positive, got {concurrency}")
+    futures = []
+    stream = iter(matrices)
+    exhausted = False
+    while True:
+        while not exhausted and server.queue_depth < concurrency:
+            try:
+                futures.append(server.submit(next(stream)))
+            except StopIteration:
+                exhausted = True
+        if server.pump(force=True) == 0 and exhausted:
+            break
+    return [f.result(timeout=60.0) for f in futures]
+
+
+def _bench_matrices(sizes, dtype=np.float64) -> list[np.ndarray]:
+    """Timing-mode payloads: zero matrices (the cost model never reads
+    values, and a numerics-off device never copies them)."""
+    return [np.zeros((int(n), int(n)), dtype=dtype) for n in sizes]
+
+
+def _make_server(policy: str, device_count: int, max_batch: int, max_wait: float) -> BatchServer:
+    """A fresh timing-mode server (own devices, own shared plan cache)."""
+    if device_count > 1:
+        group = DeviceGroup.simulated(device_count, execute_numerics=False)
+        target = {"devices": group}
+    else:
+        target = {"device": Device(execute_numerics=False)}
+    if policy == "per-request":
+        policy, max_batch = "fifo", 1
+    return BatchServer(
+        policy=policy,
+        max_batch=max_batch,
+        max_wait=max_wait,
+        plan_cache=PlanCache(max_plans=64),
+        options=PotrfOptions(),
+        **target,
+    )
+
+
+def run_serve_bench(
+    requests: int = 2000,
+    max_size: int = 256,
+    distribution: str = "uniform",
+    seed: int = 0,
+    max_batch: int = 32,
+    concurrency: int = 128,
+    device_count: int = 1,
+    policies=BENCH_POLICIES,
+    max_wait: float = 2e-3,
+) -> dict:
+    """Run every policy over one fixed-seed stream; return the report.
+
+    The report maps policy name to its metrics snapshot and adds the
+    acceptance-criteria comparisons: size-aware throughput speedup over
+    per-request dispatch (simulated matrices/s) and padded-flops waste
+    relative to FIFO.
+    """
+    sizes = generate_sizes(distribution, requests, max_size, seed=seed)
+    matrices = _bench_matrices(sizes)
+    report: dict = {
+        "config": {
+            "requests": int(requests),
+            "max_size": int(max_size),
+            "distribution": distribution,
+            "seed": int(seed),
+            "max_batch": int(max_batch),
+            "concurrency": int(concurrency),
+            "device_count": int(device_count),
+            "loop": "closed",
+        },
+        "policies": {},
+    }
+    for policy in policies:
+        server = _make_server(policy, device_count, max_batch, max_wait)
+        responses = closed_loop(server, matrices, concurrency=concurrency)
+        server.shutdown(drain=True)
+        snap = server.metrics.snapshot()
+        snap["served"] = len(responses)
+        report["policies"][policy] = snap
+
+    snaps = report["policies"]
+    comparison: dict = {}
+    if "per-request" in snaps:
+        base = snaps["per-request"]["throughput"]["matrices_per_sim_s"]
+        comparison["speedup_vs_per_request"] = {
+            name: (snaps[name]["throughput"]["matrices_per_sim_s"] / base if base else 0.0)
+            for name in snaps
+            if name != "per-request"
+        }
+    if "fifo" in snaps:
+        fifo_waste = snaps["fifo"]["batching"]["wasted_flops"]
+        comparison["padded_flops_saved_vs_fifo"] = {
+            name: fifo_waste - snaps[name]["batching"]["wasted_flops"]
+            for name in snaps
+            if name != "fifo"
+        }
+    report["comparison"] = comparison
+    return report
+
+
+def check_acceptance(report: dict, min_speedup: float = 2.0) -> list[str]:
+    """The PR's acceptance assertions; returns failure messages (empty = pass)."""
+    failures = []
+    snaps = report["policies"]
+    comparison = report.get("comparison", {})
+    for name in ("size-bucket", "greedy-window"):
+        if name not in snaps:
+            continue
+        speedup = comparison.get("speedup_vs_per_request", {}).get(name, 0.0)
+        if speedup < min_speedup:
+            failures.append(
+                f"{name}: {speedup:.2f}x over per-request dispatch (need >= {min_speedup}x)"
+            )
+        saved = comparison.get("padded_flops_saved_vs_fifo", {}).get(name, 0.0)
+        if "fifo" in snaps and saved <= 0:
+            failures.append(f"{name}: no padded-flops saved vs fifo ({saved:.3g})")
+    return failures

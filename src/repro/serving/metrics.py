@@ -1,0 +1,203 @@
+"""Serving telemetry: throughput, latency percentiles, batch shapes.
+
+Everything the load generator and the ``serve-bench`` CLI report comes
+from here.  Two clocks coexist: the *wall* clock times the serving tier
+itself (queueing, windowing), while the *simulated* clock times the
+modeled hardware — latency percentiles are tracked on both.
+
+Batching efficiency is measured in *padded flops*: a launch covering
+sizes ``n_i`` with maximum ``m`` is charged ``count * potrf_flops(m)``
+padded flops against ``sum(potrf_flops(n_i))`` useful ones — the cost a
+fixed-size padded launch would have paid, i.e. how far the batch is
+from the homogeneous ideal the paper's implicit sorting chases.  The
+gap between a size-aware policy's padded total and FIFO's is the
+"padded flops saved" headline in ``BENCH_pr3.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.driver import LaunchStats
+from .. import flops as _flops
+
+__all__ = ["BatchRecord", "ServerMetrics", "latency_summary", "percentile"]
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]); 0.0 if empty."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def latency_summary(values) -> dict:
+    """The p50/p95/p99 block the acceptance criteria ask for."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": percentile(arr, 50),
+        "p95": percentile(arr, 95),
+        "p99": percentile(arr, 99),
+        "max": float(arr.max()),
+    }
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched batch, as the metrics remember it."""
+
+    batch_id: int
+    size: int
+    max_n: int
+    useful_flops: float
+    padded_flops: float
+    sim_elapsed: float
+    devices_used: int = 1
+
+    @property
+    def efficiency(self) -> float:
+        """useful/padded — 1.0 means a perfectly homogeneous launch."""
+        return self.useful_flops / self.padded_flops if self.padded_flops else 0.0
+
+
+class ServerMetrics:
+    """Thread-safe accumulator for one server's lifetime.
+
+    The worker thread records; any thread may :meth:`snapshot`.  Raw
+    per-request latencies are kept (serving runs here are bench-sized);
+    a production tier would reservoir-sample instead.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.deadline_misses = 0
+        self.batches: list[BatchRecord] = []
+        self.queue_depths: list[int] = []
+        self.latencies_wall: list[float] = []
+        self.latencies_sim: list[float] = []
+        self.queue_waits_wall: list[float] = []
+        self.sim_busy = 0.0
+        self.launch_stats = LaunchStats()
+        self.wall_started: float | None = None
+        self.wall_stopped: float | None = None
+
+    # -- recording hooks (called by the server) -------------------------
+    def record_submit(self, queue_depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.queue_depths.append(int(queue_depth))
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_cancelled(self, count: int) -> None:
+        with self._lock:
+            self.cancelled += int(count)
+
+    def record_failure(self, count: int) -> None:
+        with self._lock:
+            self.failed += int(count)
+
+    def record_batch(self, record: BatchRecord, responses, launch_stats=None) -> None:
+        """Fold one dispatched batch and its per-request outcomes in."""
+        with self._lock:
+            self.batches.append(record)
+            self.sim_busy += record.sim_elapsed
+            if launch_stats is not None:
+                self.launch_stats.merge(launch_stats)
+            for resp in responses:
+                self.completed += 1
+                self.latencies_wall.append(resp.latency)
+                self.latencies_sim.append(resp.latency_sim)
+                self.queue_waits_wall.append(resp.queue_wait)
+                if resp.deadline_missed:
+                    self.deadline_misses += 1
+
+    # -- derived views ---------------------------------------------------
+    @staticmethod
+    def padded_flops_for(sizes, precision) -> tuple[float, float]:
+        """(useful, padded) POTRF flops of one launch over ``sizes``."""
+        sizes = [int(n) for n in sizes]
+        useful = sum(_flops.potrf_flops(n, precision) for n in sizes)
+        padded = len(sizes) * _flops.potrf_flops(max(sizes), precision) if sizes else 0.0
+        return useful, padded
+
+    def batch_size_histogram(self) -> dict[int, int]:
+        """batch size -> how many batches dispatched at that size."""
+        with self._lock:
+            hist: dict[int, int] = {}
+            for rec in self.batches:
+                hist[rec.size] = hist.get(rec.size, 0) + 1
+            return dict(sorted(hist.items()))
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict with every headline number."""
+        with self._lock:
+            useful = sum(b.useful_flops for b in self.batches)
+            padded = sum(b.padded_flops for b in self.batches)
+            wall = None
+            if self.wall_started is not None and self.wall_stopped is not None:
+                wall = self.wall_stopped - self.wall_started
+            sim_busy = self.sim_busy
+            completed = self.completed
+            hist: dict[int, int] = {}
+            for rec in self.batches:
+                hist[rec.size] = hist.get(rec.size, 0) + 1
+            return {
+                "requests": {
+                    "submitted": self.submitted,
+                    "completed": completed,
+                    "rejected": self.rejected,
+                    "failed": self.failed,
+                    "cancelled": self.cancelled,
+                    "deadline_misses": self.deadline_misses,
+                },
+                "throughput": {
+                    "batches": len(self.batches),
+                    "mean_batch_size": (completed / len(self.batches)) if self.batches else 0.0,
+                    "sim_busy_s": sim_busy,
+                    "matrices_per_sim_s": (completed / sim_busy) if sim_busy else 0.0,
+                    "useful_gflops_sim": (useful / sim_busy / 1e9) if sim_busy else 0.0,
+                    "wall_s": wall,
+                    "matrices_per_wall_s": (completed / wall) if wall else 0.0,
+                },
+                "latency_sim_s": latency_summary(self.latencies_sim),
+                "latency_wall_s": latency_summary(self.latencies_wall),
+                "queue": {
+                    "max_depth": max(self.queue_depths, default=0),
+                    "mean_depth": float(np.mean(self.queue_depths)) if self.queue_depths else 0.0,
+                    "mean_wait_wall_s": (
+                        float(np.mean(self.queue_waits_wall)) if self.queue_waits_wall else 0.0
+                    ),
+                },
+                "batch_size_histogram": {str(k): v for k, v in sorted(hist.items())},
+                "batching": {
+                    "useful_flops": useful,
+                    "padded_flops": padded,
+                    "wasted_flops": padded - useful,
+                    "efficiency": (useful / padded) if padded else 0.0,
+                },
+                "plan_cache": {
+                    "hits": self.launch_stats.plan_cache_hits,
+                    "misses": self.launch_stats.plan_cache_misses,
+                },
+                "launches": {
+                    "executed": self.launch_stats.executed_launches,
+                    "plan_nodes": self.launch_stats.plan_nodes,
+                    "batches": self.launch_stats.batches,
+                },
+            }
+

@@ -1,0 +1,186 @@
+"""Request/response envelope of the batch-serving subsystem.
+
+One :class:`Request` is one independent problem — an SPD matrix to
+factorize (``op="potrf"``) or factorize-and-solve (``op="posv"``) —
+submitted on its own, the way an inference server receives individual
+queries.  The server aggregates requests into
+:class:`~repro.core.batch.VBatch` launches; each request carries a
+:class:`RequestFuture` that resolves to a :class:`Response` when its
+batch completes.
+
+Deadlines are *scheduling pressure*, not hard kills: a request whose
+deadline draws near forces its window to flush early, and a request
+served late is still served (the miss is counted in the metrics) — the
+semantics of a soft-real-time serving tier.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ArgumentError, ServingError
+from ..types import Precision
+from .. import flops as _flops
+
+__all__ = ["Request", "RequestFuture", "Response"]
+
+OPS = ("potrf", "posv")
+
+
+class RequestFuture:
+    """A minimal thread-safe future for one served request.
+
+    The worker thread resolves it exactly once — with a
+    :class:`Response` on success or an exception if the request was
+    cancelled (non-drain shutdown) or its batch failed unexpectedly.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._response: Response | None = None
+        self._exception: BaseException | None = None
+        self._done = False
+
+    def done(self) -> bool:
+        """Whether the request has been resolved (response or error)."""
+        with self._cond:
+            return self._done
+
+    def result(self, timeout: float | None = None) -> "Response":
+        """Block until resolved; returns the response or raises the error."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._done, timeout):
+                raise TimeoutError("request not served within timeout")
+            if self._exception is not None:
+                raise self._exception
+            return self._response
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until resolved; returns the error (None on success)."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._done, timeout):
+                raise TimeoutError("request not served within timeout")
+            return self._exception
+
+    # -- resolution (server side) ---------------------------------------
+    def set_result(self, response: "Response") -> None:
+        self._resolve(response=response)
+
+    def set_exception(self, error: BaseException) -> None:
+        self._resolve(error=error)
+
+    def _resolve(self, response=None, error=None) -> None:
+        with self._cond:
+            if self._done:
+                raise ServingError("request future resolved twice")
+            self._response = response
+            self._exception = error
+            self._done = True
+            self._cond.notify_all()
+
+
+@dataclass
+class Request:
+    """One submitted problem, as the server's queue holds it.
+
+    ``matrix`` is the caller's host array; the server never mutates it
+    (factors come back in the response).  ``deadline`` is absolute on
+    the server's wall clock (``None`` = best effort).  ``arrival`` /
+    ``arrival_sim`` stamp admission on the wall and simulated clocks.
+    """
+
+    req_id: int
+    op: str
+    matrix: np.ndarray
+    rhs: np.ndarray | None = None
+    deadline: float | None = None
+    arrival: float = 0.0
+    arrival_sim: float = 0.0
+    future: RequestFuture = field(default_factory=RequestFuture)
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ArgumentError(2, f"bad op {self.op!r} (use one of {OPS})")
+        m = self.matrix
+        if not isinstance(m, np.ndarray) or m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ArgumentError(1, f"request matrix must be square 2-D, got {getattr(m, 'shape', None)}")
+        if self.op == "posv":
+            if self.rhs is None:
+                raise ArgumentError(3, "posv request needs a right-hand side")
+            if self.rhs.shape[0] != m.shape[0]:
+                raise ArgumentError(
+                    3, f"rhs has {self.rhs.shape[0]} rows, matrix has {m.shape[0]}"
+                )
+        elif self.rhs is not None:
+            raise ArgumentError(3, "potrf request must not carry a right-hand side")
+
+    @property
+    def n(self) -> int:
+        """Matrix order — the quantity the size-aware batcher groups on."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.matrix.dtype
+
+    @property
+    def precision(self):
+        """The :class:`~repro.types.Precision` of the request matrix."""
+        return Precision.from_dtype(self.matrix.dtype)
+
+    @property
+    def flops(self) -> float:
+        """Useful POTRF flops of this request (metrics currency)."""
+        return _flops.potrf_flops(self.n, self.precision)
+
+    def effective_deadline(self, max_wait: float) -> float:
+        """The instant this request must be in flight: its own deadline
+        or the window bound ``arrival + max_wait``, whichever is sooner."""
+        window = self.arrival + max_wait
+        return window if self.deadline is None else min(self.deadline, window)
+
+
+@dataclass
+class Response:
+    """What a resolved :class:`RequestFuture` yields.
+
+    ``factor`` is the ``n x n`` Cholesky output (lower triangle holds
+    ``L``, strict upper untouched — exactly what ``potrf_vbatched``
+    leaves in the batch) and ``solution`` the solve output for ``posv``
+    requests; both are ``None`` on a timing-only device.  ``info`` is
+    the per-matrix LAPACK code (0 = success).  Timing fields cover both
+    clocks: wall latency for the serving tier itself, simulated-seconds
+    latency for the modeled hardware.
+    """
+
+    req_id: int
+    op: str
+    info: int
+    factor: np.ndarray | None = None
+    solution: np.ndarray | None = None
+    batch_id: int = -1
+    batch_size: int = 0
+    batch_max_n: int = 0
+    arrival: float = 0.0
+    dispatched: float = 0.0
+    completed: float = 0.0
+    latency_sim: float = 0.0
+    service_sim: float = 0.0
+    deadline_missed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.info == 0
+
+    @property
+    def latency(self) -> float:
+        """Wall-clock submit-to-complete latency."""
+        return self.completed - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        """Wall-clock time spent queued before the batch was formed."""
+        return self.dispatched - self.arrival

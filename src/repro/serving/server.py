@@ -1,0 +1,402 @@
+"""The batch server: admission, worker loop, dispatch, drain.
+
+``BatchServer`` is the front door the ROADMAP's serving north star asks
+for: callers submit one SPD problem at a time and get a future; the
+server aggregates compatible requests into
+:class:`~repro.core.batch.VBatch` launches with a size-aware window
+(:mod:`repro.serving.batcher`), dispatches them over the plan/executor
+stack — optionally sharded across a
+:class:`~repro.device.topology.DeviceGroup` and re-serving plans from a
+shared, thread-safe :class:`~repro.core.plan.PlanCache` — and resolves
+each request's future with its own factor/solution slice.
+
+Two driving modes share all of that machinery:
+
+* **asynchronous** — :meth:`start` spawns a worker thread that wakes on
+  submissions and window expiry (``max_wait``, deadline pressure, full
+  window) — the production shape;
+* **synchronous pumping** — :meth:`pump` forms and dispatches one batch
+  inline; the closed-loop load generator uses it so benchmark batch
+  composition is deterministic under a fixed seed.
+
+Admission control is a bounded queue: ``admission="block"`` applies
+backpressure to submitters, ``admission="reject"`` fails fast with
+:class:`~repro.errors.AdmissionError`.  :meth:`drain` serves everything
+queued then returns; :meth:`shutdown` optionally drains, else cancels
+pending futures — mid-stream results stay bit-identical to direct
+``potrf_vbatched`` calls either way.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..core.batch import VBatch
+from ..core.driver import PotrfOptions, run_potrf_vbatched
+from ..core.plan import PlanCache
+from ..device.device import Device
+from ..device.topology import DeviceGroup
+from ..errors import AdmissionError, ArgumentError, ServingError
+from ..extensions.solve import potrs_vbatched
+from .batcher import Batcher, BatchingPolicy
+from .metrics import BatchRecord, ServerMetrics
+from .request import Request, RequestFuture, Response
+
+__all__ = ["BatchServer"]
+
+_ADMISSIONS = ("block", "reject")
+
+
+class BatchServer:
+    """Aggregates individual potrf/posv requests into vbatched launches.
+
+    Parameters
+    ----------
+    device:
+        Target device; ``None`` allocates a fresh simulated K40c.
+        Ignored when ``devices`` is given.
+    devices:
+        A :class:`~repro.device.topology.DeviceGroup` (or device
+        sequence) to shard each dispatched batch across.
+    policy:
+        Batching policy name or instance (see
+        :data:`~repro.serving.batcher.POLICIES`).
+    max_batch / max_wait / deadline_margin:
+        Window bounds: flush on ``max_batch`` queued requests, once the
+        most urgent request has waited ``max_wait`` wall seconds, or
+        ``deadline_margin`` before the soonest deadline.
+    queue_limit / admission:
+        Bounded-queue admission control: ``"block"`` applies
+        backpressure (submit waits for space — needs a running worker),
+        ``"reject"`` raises :class:`~repro.errors.AdmissionError`.
+    options:
+        :class:`~repro.core.driver.PotrfOptions` for every dispatch.
+    plan_cache:
+        ``"auto"`` (default) creates a private thread-safe
+        :class:`~repro.core.plan.PlanCache`; pass an instance to share
+        one across servers, or ``None`` to plan every dispatch afresh.
+    clock:
+        Wall-clock source (monotonic seconds); injectable for tests.
+    """
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        *,
+        devices=None,
+        policy: str | BatchingPolicy = "greedy-window",
+        max_batch: int = 32,
+        max_wait: float = 2e-3,
+        deadline_margin: float = 0.0,
+        queue_limit: int = 1024,
+        admission: str = "block",
+        options: PotrfOptions | None = None,
+        plan_cache: PlanCache | str | None = "auto",
+        clock=time.monotonic,
+    ):
+        if admission not in _ADMISSIONS:
+            raise ArgumentError(7, f"bad admission {admission!r} (use one of {_ADMISSIONS})")
+        if queue_limit <= 0:
+            raise ArgumentError(6, f"queue_limit must be positive, got {queue_limit}")
+        if devices is not None:
+            self.group = devices if isinstance(devices, DeviceGroup) else DeviceGroup(devices)
+            self.device = self.group.devices[0]
+        else:
+            self.device = device if device is not None else Device()
+            self.group = None
+        self.options = options or PotrfOptions()
+        self.plan_cache = PlanCache() if plan_cache == "auto" else plan_cache
+        self.queue_limit = int(queue_limit)
+        self.admission = admission
+        self.clock = clock
+        self.metrics = ServerMetrics()
+        self._batcher = Batcher(
+            policy, max_batch=max_batch, max_wait=max_wait, deadline_margin=deadline_margin
+        )
+        self._cond = threading.Condition()
+        self._dispatch_lock = threading.Lock()
+        self._in_flight = 0
+        self._accepting = True
+        self._stopping = False
+        self._worker: threading.Thread | None = None
+        self._next_req_id = 0
+        self._next_batch_id = 0
+        self.metrics.wall_started = self.clock()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        matrix: np.ndarray,
+        rhs: np.ndarray | None = None,
+        *,
+        deadline: float | None = None,
+    ) -> RequestFuture:
+        """Queue one problem; returns the future resolving to its
+        :class:`~repro.serving.request.Response`.
+
+        ``matrix`` is factorized (``rhs=None``) or factor-and-solved
+        (``posv``) without being mutated.  ``deadline`` is relative wall
+        seconds from now; it pressures the window to flush early and is
+        counted as missed (not dropped) if exceeded.
+        """
+        if deadline is not None and deadline < 0:
+            raise ArgumentError(3, f"deadline cannot be negative, got {deadline}")
+        with self._cond:
+            if not self._accepting:
+                raise AdmissionError("server is not accepting requests")
+            if len(self._batcher) >= self.queue_limit:
+                if self.admission == "reject":
+                    self.metrics.record_reject()
+                    raise AdmissionError(
+                        f"queue full ({self.queue_limit} pending); request rejected"
+                    )
+                self._cond.wait_for(
+                    lambda: len(self._batcher) < self.queue_limit or not self._accepting
+                )
+                if not self._accepting:
+                    raise AdmissionError("server stopped while request awaited admission")
+            now = self.clock()
+            request = Request(
+                req_id=self._next_req_id,
+                op="potrf" if rhs is None else "posv",
+                matrix=matrix,
+                rhs=rhs,
+                deadline=None if deadline is None else now + deadline,
+                arrival=now,
+                arrival_sim=self._sim_now(),
+            )
+            self._next_req_id += 1
+            self._batcher.add(request)
+            self.metrics.record_submit(len(self._batcher))
+            self._cond.notify_all()
+            return request.future
+
+    def submit_many(self, matrices, rhs=None, *, deadline=None) -> list[RequestFuture]:
+        """Submit a sequence of problems; returns their futures in order."""
+        rhs = rhs if rhs is not None else [None] * len(matrices)
+        if len(rhs) != len(matrices):
+            raise ArgumentError(2, f"need {len(matrices)} rhs entries, got {len(rhs)}")
+        return [self.submit(m, b, deadline=deadline) for m, b in zip(matrices, rhs)]
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._batcher)
+
+    # ------------------------------------------------------------------
+    # worker loop / synchronous pumping
+    # ------------------------------------------------------------------
+    def start(self) -> "BatchServer":
+        """Spawn the asynchronous worker thread (idempotent)."""
+        with self._cond:
+            if self._stopping:
+                raise ServingError("cannot start a stopped server")
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._worker_loop, name="repro-batch-server", daemon=True
+                )
+                self._worker.start()
+        return self
+
+    def pump(self, force: bool = False) -> int:
+        """Form and dispatch at most one batch inline; returns its size.
+
+        The synchronous twin of the worker loop: the load generator and
+        tests call it so batch composition depends only on queue content
+        (``force=True`` ignores the time-window triggers entirely).
+        """
+        with self._cond:
+            batch = self._batcher.next_batch(self.clock(), force=force)
+            if batch is None:
+                return 0
+            self._in_flight += 1
+            self._cond.notify_all()
+        try:
+            self._dispatch(batch)
+        finally:
+            with self._cond:
+                self._in_flight -= 1
+                self._cond.notify_all()
+        return len(batch)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    if self._stopping and len(self._batcher) == 0:
+                        return
+                    now = self.clock()
+                    batch = self._batcher.next_batch(now, force=self._stopping)
+                    if batch is not None:
+                        self._in_flight += 1
+                        self._cond.notify_all()
+                        break
+                    wakeup = self._batcher.next_wakeup(now)
+                    self._cond.wait(None if wakeup is None else max(wakeup - now, 1e-4))
+            try:
+                # Futures are resolved with the error inside _dispatch;
+                # the worker itself must survive a failed batch.
+                self._dispatch(batch, reraise=False)
+            finally:
+                with self._cond:
+                    self._in_flight -= 1
+                    self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Serve everything queued; returns True once idle.
+
+        With a running worker this waits (the worker force-flushes
+        nothing — windows still apply — but every window eventually
+        expires); without one it pumps inline.  New submissions remain
+        admitted during and after a drain.
+        """
+        if self._worker is None:
+            while self.pump(force=True):
+                pass
+            with self._cond:
+                return self._cond.wait_for(lambda: self._idle(), timeout)
+        with self._cond:
+            return self._cond.wait_for(lambda: self._idle(), timeout)
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the server: close admission, then drain or cancel.
+
+        ``drain=True`` serves every queued request before stopping;
+        ``drain=False`` cancels pending futures with
+        :class:`~repro.errors.ServingError`.  Idempotent.
+        """
+        with self._cond:
+            self._accepting = False
+            cancelled = []
+            if not drain:
+                while len(self._batcher):
+                    cancelled.extend(self._batcher.next_batch(self.clock(), force=True))
+                self._cond.notify_all()
+        if cancelled:
+            for req in cancelled:
+                req.future.set_exception(
+                    ServingError("server shut down before request was served")
+                )
+            self.metrics.record_cancelled(len(cancelled))
+        if drain:
+            self.drain(timeout)
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+            worker = self._worker
+        if worker is not None:
+            worker.join(timeout)
+        self.metrics.wall_stopped = self.clock()
+
+    def __enter__(self) -> "BatchServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    def _idle(self) -> bool:
+        return len(self._batcher) == 0 and self._in_flight == 0
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _sim_now(self) -> float:
+        """Current simulated time (max over the dispatch devices)."""
+        devs = self.group.devices if self.group is not None else [self.device]
+        return max(d.host_time for d in devs)
+
+    def _dispatch(self, requests: list[Request], reraise: bool = True) -> None:
+        """Run one aggregated batch end-to-end and resolve its futures."""
+        with self._dispatch_lock:
+            try:
+                self._dispatch_inner(requests)
+            except Exception as exc:  # resolve futures before propagating
+                self.metrics.record_failure(len(requests))
+                for req in requests:
+                    if not req.future.done():
+                        req.future.set_exception(exc)
+                if reraise:
+                    raise
+
+    def _dispatch_inner(self, requests: list[Request]) -> None:
+        dispatched_wall = self.clock()
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        # Largest-first within the launch — the paper's implicit-sorting
+        # order, and a canonical size vector for the plan-cache key.
+        order = sorted(
+            range(len(requests)), key=lambda i: (-requests[i].n, requests[i].req_id)
+        )
+        reqs = [requests[i] for i in order]
+        max_n = max(r.n for r in reqs)
+
+        batch = VBatch.from_host(self.device, [r.matrix for r in reqs])
+        try:
+            result = run_potrf_vbatched(
+                self.device,
+                batch,
+                max_n,
+                self.options,
+                devices=self.group,
+                plan_cache=self.plan_cache,
+            )
+            factors: list[np.ndarray | None] = [None] * len(reqs)
+            solutions: list[np.ndarray | None] = [None] * len(reqs)
+            solve = None
+            if self.device.execute_numerics:
+                factors = batch.download_matrices()
+            rhs = [None if r.op != "posv" else np.array(r.rhs, copy=True) for r in reqs]
+            if any(b is not None for b in rhs):
+                solve = potrs_vbatched(self.device, batch, rhs)
+                if self.device.execute_numerics:
+                    solutions = rhs
+        finally:
+            batch.free()
+
+        sim_elapsed = result.elapsed + (solve.elapsed if solve is not None else 0.0)
+        completed_wall = self.clock()
+        completed_sim = self._sim_now()
+        useful, padded = ServerMetrics.padded_flops_for(
+            [r.n for r in reqs], reqs[0].precision
+        )
+        responses = []
+        for i, req in enumerate(reqs):
+            info = int(result.infos[i])
+            resp = Response(
+                req_id=req.req_id,
+                op=req.op,
+                info=info,
+                factor=factors[i],
+                # A failed factorization's "solution" is meaningless.
+                solution=solutions[i] if info == 0 else None,
+                batch_id=batch_id,
+                batch_size=len(reqs),
+                batch_max_n=max_n,
+                arrival=req.arrival,
+                dispatched=dispatched_wall,
+                completed=completed_wall,
+                latency_sim=completed_sim - req.arrival_sim,
+                service_sim=sim_elapsed,
+                deadline_missed=req.deadline is not None and completed_wall > req.deadline,
+            )
+            responses.append(resp)
+        record = BatchRecord(
+            batch_id=batch_id,
+            size=len(reqs),
+            max_n=max_n,
+            useful_flops=useful,
+            padded_flops=padded,
+            sim_elapsed=sim_elapsed,
+            devices_used=result.launch_stats.devices_used,
+        )
+        self.metrics.record_batch(record, responses, result.launch_stats)
+        for req, resp in zip(reqs, responses):
+            req.future.set_result(resp)

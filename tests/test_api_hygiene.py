@@ -23,6 +23,7 @@ PUBLIC_MODULES = [
     "repro.batched_blas",
     "repro.multifrontal",
     "repro.bench",
+    "repro.serving",
 ]
 
 

@@ -1,0 +1,272 @@
+"""Batching policies and windowing invariants (repro.serving.batcher)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ArgumentError, ServingError
+from repro.serving import (
+    Batcher,
+    BatchingPolicy,
+    FifoPolicy,
+    GreedyWindowPolicy,
+    POLICIES,
+    SizeBucketPolicy,
+    make_policy,
+)
+from repro.serving.request import Request
+
+
+def _req(req_id, n, arrival=0.0, deadline=None, dtype=np.float64):
+    return Request(
+        req_id=req_id,
+        op="potrf",
+        matrix=np.zeros((n, n), dtype=dtype),
+        deadline=deadline,
+        arrival=arrival,
+    )
+
+
+class TestMakePolicy:
+    def test_resolves_every_registered_name(self):
+        for name, cls in POLICIES.items():
+            policy = make_policy(name)
+            assert isinstance(policy, cls)
+            assert policy.name == name
+
+    def test_passes_instances_through(self):
+        policy = GreedyWindowPolicy(max_ratio=2.0)
+        assert make_policy(policy) is policy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ArgumentError, match="unknown batching policy"):
+            make_policy("round-robin")
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ArgumentError):
+            SizeBucketPolicy(bucket_width=0)
+        with pytest.raises(ArgumentError):
+            GreedyWindowPolicy(max_ratio=0.5)
+
+
+class TestFifoPolicy:
+    def test_takes_arrival_order(self):
+        pending = [_req(i, n) for i, n in enumerate([64, 8, 256, 16, 128])]
+        picks = FifoPolicy().select(pending, urgent=0, max_batch=3)
+        assert picks == [0, 1, 2]
+
+    def test_ignores_sizes_entirely(self):
+        pending = [_req(0, 1), _req(1, 500)]
+        assert FifoPolicy().select(pending, urgent=0, max_batch=8) == [0, 1]
+
+    def test_skips_incompatible_dtypes(self):
+        pending = [_req(0, 32), _req(1, 32, dtype=np.float32), _req(2, 32)]
+        assert FifoPolicy().select(pending, urgent=0, max_batch=8) == [0, 2]
+
+
+class TestSizeBucketPolicy:
+    def test_bucket_quantization(self):
+        policy = SizeBucketPolicy(bucket_width=32)
+        assert policy.bucket(1) == 0
+        assert policy.bucket(32) == 0
+        assert policy.bucket(33) == 1
+        assert policy.bucket(64) == 1
+        assert policy.bucket(65) == 2
+
+    def test_serves_only_the_urgent_bucket(self):
+        policy = SizeBucketPolicy(bucket_width=32)
+        pending = [_req(i, n) for i, n in enumerate([10, 200, 25, 31, 100])]
+        picks = policy.select(pending, urgent=0, max_batch=8)
+        assert picks == [0, 2, 3]  # the 1..32 bucket
+
+    def test_width_one_is_exact_size_grouping(self):
+        policy = SizeBucketPolicy(bucket_width=1)
+        pending = [_req(i, n) for i, n in enumerate([64, 65, 64, 63])]
+        assert policy.select(pending, urgent=0, max_batch=8) == [0, 2]
+
+
+class TestGreedyWindowPolicy:
+    def test_absorbs_closest_sizes_first(self):
+        policy = GreedyWindowPolicy(max_ratio=10.0)
+        pending = [_req(i, n) for i, n in enumerate([100, 10, 90, 120, 105])]
+        picks = policy.select(pending, urgent=0, max_batch=3)
+        # urgent (100) then closest two: 105 (d=5), 90 (d=10)
+        assert picks == [0, 4, 2]
+
+    def test_ratio_bound_excludes_far_sizes(self):
+        policy = GreedyWindowPolicy(max_ratio=1.5)
+        pending = [_req(i, n) for i, n in enumerate([100, 10, 140, 160, 400])]
+        picks = policy.select(pending, urgent=0, max_batch=8)
+        sizes = sorted(pending[i].n for i in picks)
+        assert max(sizes) / min(sizes) <= 1.5
+        assert 0 in picks and 4 not in picks and 1 not in picks
+
+    def test_exact_ratio_serves_equal_sizes_only(self):
+        policy = GreedyWindowPolicy(max_ratio=1.0)
+        pending = [_req(i, n) for i, n in enumerate([64, 65, 64, 63, 64])]
+        assert sorted(policy.select(pending, urgent=0, max_batch=8)) == [0, 2, 4]
+
+    def test_window_cannot_jump_over_its_own_bound(self):
+        # 80 admits 100 (ratio 1.25) then 120/80 = 1.5 is still in, but
+        # 150/80 would break the bound even though 150/120 alone fits.
+        policy = GreedyWindowPolicy(max_ratio=1.5)
+        pending = [_req(i, n) for i, n in enumerate([80, 100, 120, 150])]
+        picks = policy.select(pending, urgent=0, max_batch=8)
+        assert sorted(picks) == [0, 1, 2]
+
+
+class TestBatcherWindowing:
+    def test_constructor_validation(self):
+        with pytest.raises(ArgumentError):
+            Batcher(max_batch=0)
+        with pytest.raises(ArgumentError):
+            Batcher(max_wait=-1.0)
+        with pytest.raises(ArgumentError):
+            Batcher(deadline_margin=-0.1)
+
+    def test_empty_batcher_is_quiet(self):
+        b = Batcher()
+        assert len(b) == 0
+        assert b.urgent_index() is None
+        assert not b.flush_due(now=100.0)
+        assert b.next_wakeup(now=100.0) is None
+        assert b.next_batch(now=100.0, force=True) is None
+
+    def test_flush_on_full_window(self):
+        b = Batcher("fifo", max_batch=2, max_wait=100.0)
+        b.add(_req(0, 32, arrival=0.0))
+        assert not b.flush_due(now=0.0)
+        b.add(_req(1, 32, arrival=0.0))
+        assert b.flush_due(now=0.0)
+        assert b.next_wakeup(now=0.0) == 0.0
+
+    def test_flush_on_max_wait_expiry(self):
+        b = Batcher("fifo", max_batch=100, max_wait=1.0)
+        b.add(_req(0, 32, arrival=5.0))
+        assert not b.flush_due(now=5.5)
+        assert b.next_wakeup(now=5.5) == pytest.approx(6.0)
+        assert b.flush_due(now=6.0)
+        assert b.next_batch(now=5.5) is None  # window still open
+        assert [r.req_id for r in b.next_batch(now=6.0)] == [0]
+
+    def test_deadline_pressure_flushes_early(self):
+        b = Batcher("fifo", max_batch=100, max_wait=10.0, deadline_margin=0.5)
+        b.add(_req(0, 32, arrival=0.0, deadline=2.0))
+        assert not b.flush_due(now=1.0)
+        assert b.flush_due(now=1.5)  # deadline - margin
+
+    def test_urgent_is_soonest_effective_deadline(self):
+        b = Batcher("fifo", max_batch=100, max_wait=10.0)
+        b.add(_req(0, 32, arrival=0.0))              # effective 10.0
+        b.add(_req(1, 32, arrival=1.0, deadline=3.0))  # effective 3.0
+        assert b.urgent_index() == 1
+
+    def test_ties_break_by_arrival_then_id(self):
+        b = Batcher("fifo", max_batch=100, max_wait=10.0)
+        b.add(_req(3, 32, arrival=1.0))
+        b.add(_req(1, 32, arrival=0.0))
+        b.add(_req(0, 32, arrival=0.0))
+        assert b.urgent_index() == 2  # arrival 0.0, req_id 0
+
+    def test_drain_all_empties_in_policy_shapes(self):
+        b = Batcher("size-bucket", max_batch=3)
+        for i, n in enumerate([10, 100, 20, 110, 30]):
+            b.add(_req(i, n, arrival=float(i)))
+        batches = b.drain_all()
+        assert len(b) == 0
+        served = sorted(r.req_id for batch in batches for r in batch)
+        assert served == [0, 1, 2, 3, 4]
+        for batch in batches:
+            sizes = [r.n for r in batch]
+            width = SizeBucketPolicy().bucket_width
+            assert len({(n - 1) // width for n in sizes}) == 1
+
+    def test_validate_rejects_a_broken_policy(self):
+        class Broken(BatchingPolicy):
+            name = "broken"
+
+            def select(self, pending, urgent, max_batch):
+                return [i for i in range(len(pending)) if i != urgent]
+
+        b = Batcher(Broken(), max_batch=4)
+        b.add(_req(0, 32))
+        b.add(_req(1, 32))
+        with pytest.raises(ServingError, match="starved the most urgent"):
+            b.next_batch(now=0.0, force=True)
+
+    def test_validate_rejects_duplicates_and_overflow(self):
+        class Dup(BatchingPolicy):
+            def select(self, pending, urgent, max_batch):
+                return [urgent, urgent]
+
+        class Fat(BatchingPolicy):
+            def select(self, pending, urgent, max_batch):
+                return list(range(len(pending)))
+
+        for policy, msg in ((Dup(), "twice"), (Fat(), "exceeded max_batch")):
+            b = Batcher(policy, max_batch=1)
+            b.add(_req(0, 32))
+            b.add(_req(1, 32))
+            with pytest.raises(ServingError, match=msg):
+                b.next_batch(now=0.0, force=True)
+
+
+# ----------------------------------------------------------------------
+# Property-based: no policy violates the window invariants under
+# randomized arrival streams (the PR's acceptance requirement).
+# ----------------------------------------------------------------------
+
+arrival_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=300),           # n
+        st.floats(min_value=0.0, max_value=5.0),           # inter-arrival gap
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=8.0)),  # rel deadline
+        st.sampled_from(["d", "s"]),                       # dtype class
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@given(stream=arrival_streams, max_batch=st.integers(1, 8), max_wait=st.floats(0.0, 2.0))
+@settings(max_examples=50, deadline=None)
+def test_batcher_invariants_under_random_arrivals(policy, stream, max_batch, max_wait):
+    """Whatever arrives, every emitted batch stays within max_batch,
+    contains the most urgent request, holds one dtype, and no request
+    is dropped, duplicated, or left waiting past its flush instant."""
+    b = Batcher(policy, max_batch=max_batch, max_wait=max_wait)
+    dtypes = {"d": np.float64, "s": np.float32}
+    served, now = [], 0.0
+
+    def check_pop(now):
+        expected_urgent = b.pending[b.urgent_index()].req_id
+        batch = b.next_batch(now)
+        if batch is None:
+            # Nothing due: nobody's effective deadline has passed and
+            # the window isn't full.
+            assert len(b) < max_batch
+            assert all(r.effective_deadline(max_wait) > now for r in b.pending)
+            return False
+        assert 1 <= len(batch) <= max_batch
+        assert expected_urgent in {r.req_id for r in batch}
+        assert len({r.dtype for r in batch}) == 1
+        served.extend(r.req_id for r in batch)
+        return True
+
+    for req_id, (n, gap, rel_deadline, prec) in enumerate(stream):
+        now += gap
+        deadline = None if rel_deadline is None else now + rel_deadline
+        b.add(_req(req_id, n, arrival=now, deadline=deadline, dtype=dtypes[prec]))
+        while len(b) and check_pop(now):
+            pass
+
+    while len(b):  # drain whatever the windows still hold
+        expected_urgent = b.pending[b.urgent_index()].req_id
+        batch = b.next_batch(now, force=True)
+        assert 1 <= len(batch) <= max_batch
+        assert expected_urgent in {r.req_id for r in batch}
+        assert len({r.dtype for r in batch}) == 1
+        served.extend(r.req_id for r in batch)
+
+    assert sorted(served) == list(range(len(stream)))  # no loss, no dup

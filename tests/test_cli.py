@@ -50,6 +50,50 @@ class TestProfileCommand:
         assert main(["profile", "-b", "100", "-n", "64", "-d", "gaussian"]) == 0
 
 
+class TestProfileCacheLine:
+    def test_repeat_reports_cache_effectiveness(self, capsys):
+        assert main(["profile", "-b", "100", "-n", "64", "--repeat", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache: 2 hits / 1 misses over 3 batches" in out
+
+
+class TestServeBenchCommand:
+    def test_smoke_writes_report_and_passes_acceptance(self, capsys, tmp_path):
+        report_path = tmp_path / "bench.json"
+        assert main(["serve-bench", "--smoke", "-o", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs per-request dispatch" in out
+        report = json.loads(report_path.read_text())
+        assert set(report["policies"]) == {
+            "per-request", "fifo", "size-bucket", "greedy-window"
+        }
+        for snap in report["policies"].values():
+            assert snap["served"] == report["config"]["requests"]
+            assert snap["latency_sim_s"]["p99"] >= snap["latency_sim_s"]["p50"]
+            assert snap["batch_size_histogram"]
+        speedups = report["comparison"]["speedup_vs_per_request"]
+        assert speedups["size-bucket"] >= 2.0
+        assert speedups["greedy-window"] >= 2.0
+        saved = report["comparison"]["padded_flops_saved_vs_fifo"]
+        assert saved["size-bucket"] > 0 and saved["greedy-window"] > 0
+
+    def test_smoke_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["serve-bench", "--smoke", "-o", str(a)]) == 0
+        assert main(["serve-bench", "--smoke", "-o", str(b)]) == 0
+        ja, jb = json.loads(a.read_text()), json.loads(b.read_text())
+        for j in (ja, jb):  # wall-clock fields are the only nondeterminism
+            for snap in j["policies"].values():
+                snap["throughput"].pop("wall_s")
+                snap["throughput"].pop("matrices_per_wall_s")
+                snap.pop("latency_wall_s")
+                snap["queue"].pop("mean_wait_wall_s")
+        assert ja == jb
+
+    def test_multi_device_smoke(self, capsys, tmp_path):
+        assert main(["serve-bench", "--smoke", "--devices", "2"]) == 0
+
+
 class TestEnergyCommand:
     def test_energy_bucket(self, capsys):
         assert main(["energy", "--low", "64", "--high", "128", "-b", "300"]) == 0

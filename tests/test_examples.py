@@ -33,6 +33,7 @@ def _load(name):
         "sensor_least_squares",
         "autotune_and_deploy",
         "multi_device_sharding",
+        "serving_throughput",
     ],
 )
 def test_example_runs(name, capsys):

@@ -276,3 +276,99 @@ class TestCachedReexecutionAcceptance:
         FusedDriver(dev).plan(batch, int(sizes.max())).close()
         SeparatedDriver(dev).plan(batch, int(sizes.max())).close()
         assert dev.synchronize() == t0
+
+
+class TestPlanCacheThreadSafety:
+    """The serving worker and submitters share one cache; it must hold
+    up under concurrent get_or_build/evict traffic."""
+
+    def test_concurrent_get_or_build_builds_once(self):
+        import threading
+
+        dev, batch, sizes = _timing_batch()
+        cache = PlanCache()
+        key = cache.key_for(dev, batch, int(sizes.max()), "fused", None)
+        build = lambda: FusedDriver(dev).plan(batch, int(sizes.max()))  # noqa: E731
+        plans, errors = [], []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    plans.append(cache.get_or_build(key, batch, build))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.planner_calls == 1  # the race never double-builds
+        assert len({id(p) for p in plans}) == 1
+        assert len(cache) == 1
+
+    def test_concurrent_distinct_keys(self):
+        import threading
+
+        dev = Device(execute_numerics=False)
+        cache = PlanCache(max_plans=64)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(10):
+                    sizes = dist.generate_sizes("uniform", 10, 32 + tid, seed=i)
+                    batch = VBatch.allocate(dev, sizes, "d")
+                    key = cache.key_for(dev, batch, int(sizes.max()), "fused", None)
+                    build = lambda: FusedDriver(dev).plan(batch, int(sizes.max()))  # noqa: B023,E731
+                    cache.get_or_build(key, batch, build)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.hits + cache.misses == 40
+
+
+class TestPlanCacheEvict:
+    def _cached_plan(self, cache, dev, seed):
+        sizes = dist.generate_sizes("uniform", 10, 64, seed=seed)
+        batch = VBatch.allocate(dev, sizes, "d")
+        key = cache.key_for(dev, batch, int(sizes.max()), "fused", None)
+        return cache.get_or_build(
+            key, batch, lambda: FusedDriver(dev).plan(batch, int(sizes.max()))
+        )
+
+    def test_evict_one_device_leaves_the_other(self):
+        d1 = Device(execute_numerics=False)
+        d2 = Device(execute_numerics=False)
+        cache = PlanCache()
+        p1 = self._cached_plan(cache, d1, seed=0)
+        p2 = self._cached_plan(cache, d2, seed=1)
+        assert cache.evict(device=d1) == 1
+        assert p1.closed and not p2.closed
+        assert len(cache) == 1
+        assert cache.evictions == 1
+
+    def test_evict_all(self):
+        dev = Device(execute_numerics=False)
+        cache = PlanCache()
+        plans = [self._cached_plan(cache, dev, seed=s) for s in range(3)]
+        assert cache.evict() == 3
+        assert all(p.closed for p in plans)
+        assert len(cache) == 0
+        assert cache.evictions == 3
+
+    def test_evict_unknown_device_is_a_noop(self):
+        dev = Device(execute_numerics=False)
+        cache = PlanCache()
+        self._cached_plan(cache, dev, seed=0)
+        assert cache.evict(device=Device(execute_numerics=False)) == 0
+        assert len(cache) == 1
