@@ -9,7 +9,10 @@ Subcommands:
   flat profile (optionally exporting a Chrome trace);
 * ``energy`` — run one Fig-10 energy bucket;
 * ``serve-bench`` — closed-loop load-generator benchmark of the batch
-  server's windowing policies (writes ``BENCH_pr3.json``-style output).
+  server's windowing policies (writes ``BENCH_pr3.json``-style output;
+  ``--trace`` records a Perfetto-loadable end-to-end trace);
+* ``trace-report`` — occupancy / critical-path / padded-waste /
+  bottleneck tables from a ``--trace`` file.
 """
 
 from __future__ import annotations
@@ -65,12 +68,14 @@ def _cmd_profile(args) -> int:
     from .core import PlanCache, PotrfOptions, VBatch, potrf_vbatched
     from .device import Device
     from .distributions import generate_sizes
+    from .observability import MetricsRegistry
 
     device = Device(execute_numerics=False)
     sizes = generate_sizes(args.distribution, args.batch, args.max_size, seed=args.seed)
     batch = VBatch.allocate(device, sizes, args.precision)
     device.reset_clock()
     cache = PlanCache()
+    registry = MetricsRegistry()
     stats = None
     for _ in range(max(1, args.repeat)):
         result = potrf_vbatched(device, batch, PotrfOptions(), plan_cache=cache)
@@ -78,10 +83,17 @@ def _cmd_profile(args) -> int:
             stats = result.launch_stats
         else:
             stats.merge(result.launch_stats)
+        cache.publish(registry)
+        stats.publish(registry)
+    vals = registry.as_dict()
     print(f"{result.gflops:.1f} Gflop/s via {result.approach} "
           f"({result.elapsed * 1e3:.2f} ms simulated)")
-    print(f"plan cache: {stats.plan_cache_hits} hits / {stats.plan_cache_misses} misses "
-          f"over {stats.batches} batches ({cache.hit_rate * 100:.0f}% hit rate)\n")
+    print(f"plan cache: {vals['plan_cache_hits']:.0f} hits / "
+          f"{vals['plan_cache_misses']:.0f} misses / "
+          f"{vals['plan_cache_evictions']:.0f} evictions over "
+          f"{vals['driver_batches']:.0f} batches "
+          f"({vals['plan_cache_hit_ratio'] * 100:.0f}% hit rate, "
+          f"{vals['plan_cache_size']:.0f} cached)\n")
     print(format_profile(device.timeline))
     if args.trace:
         path = export_chrome_trace(device.timeline, args.trace)
@@ -104,10 +116,16 @@ def _cmd_serve_bench(args) -> int:
             max_batch=args.max_batch,
             concurrency=args.concurrency,
         )
+    tracer = None
+    if args.trace or args.trace_jsonl:
+        from .observability import Tracer
+
+        tracer = Tracer()
     report = run_serve_bench(
         distribution=args.distribution,
         seed=args.seed,
         device_count=args.devices,
+        tracer=tracer,
         **config,
     )
 
@@ -137,11 +155,34 @@ def _cmd_serve_bench(args) -> int:
         path = Path(args.output)
         path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"report written to {path}")
+    if tracer is not None:
+        from .observability import write_chrome_trace, write_trace_jsonl
+
+        if args.trace:
+            path = write_chrome_trace(tracer, args.trace)
+            print(f"trace written to {path} ({len(tracer)} events; "
+                  "load in ui.perfetto.dev or chrome://tracing)")
+        if args.trace_jsonl:
+            path = write_trace_jsonl(tracer, args.trace_jsonl)
+            print(f"event log written to {path}")
 
     failures = check_acceptance(report)
     for failure in failures:
         print(f"ACCEPTANCE FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_trace_report(args) -> int:
+    from .observability import analyze_trace, format_trace_report, load_chrome_trace
+
+    try:
+        data = load_chrome_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"trace-report: {exc}", file=sys.stderr)
+        return 2
+    analysis = analyze_trace(data, top=args.top)
+    print(format_trace_report(analysis, top=args.top))
+    return 0
 
 
 def _cmd_energy(args) -> int:
@@ -197,7 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny fixed load for CI (overrides size arguments)")
     p.add_argument("-o", "--output", help="write the JSON report here (e.g. BENCH_pr3.json)")
+    p.add_argument("--trace", help="write a Chrome/Perfetto trace of the whole run here")
+    p.add_argument("--trace-jsonl", help="write the structured event log (JSONL) here")
     p.set_defaults(fn=_cmd_serve_bench)
+
+    p = sub.add_parser("trace-report", help="bottleneck report from a recorded trace")
+    p.add_argument("trace", help="Chrome-trace JSON written by serve-bench --trace")
+    p.add_argument("--top", type=int, default=10, help="bottleneck rows to show")
+    p.set_defaults(fn=_cmd_trace_report)
 
     p = sub.add_parser("energy", help="one energy-to-solution bucket")
     p.add_argument("--low", type=int, default=256)

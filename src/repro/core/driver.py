@@ -85,6 +85,12 @@ class LaunchStats:
     :class:`~repro.core.plan.PlanCache` effectiveness — both stay zero
     when no cache is in play, so serving metrics and ``profile`` output
     can report cache behaviour without reaching into private state.
+
+    The trace/metric counters ride the same merge semantics (plain sums
+    with a zero identity): ``plan_builds`` counts runs that actually
+    invoked a planner (cache miss or cache-less), ``event_waits`` and
+    ``events_recorded`` carry the executor's cross-stream
+    synchronization traffic.
     """
 
     steps: int = 0
@@ -96,7 +102,10 @@ class LaunchStats:
     gemm_launches: int = 0
     executed_launches: int = 0
     barriers: int = 0
+    event_waits: int = 0
+    events_recorded: int = 0
     plan_nodes: int = 0
+    plan_builds: int = 0
     plan_cache_hit: bool = False
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
@@ -134,6 +143,15 @@ class LaunchStats:
             if f.name in ("plan_cache_hit", "devices_used"):
                 continue
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def publish(self, registry, prefix: str = "driver") -> None:
+        """Snapshot every counter into a metrics registry (gauge set,
+        idempotent — re-publish freely after each merge)."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            registry.gauge(f"{prefix}_{f.name}", f"driver {f.name}").set(
+                float(value) if not isinstance(value, bool) else float(int(value))
+            )
 
 
 @dataclass
@@ -212,7 +230,10 @@ def stats_from_execution(plan, exec_stats, cache_hit: bool | None) -> LaunchStat
         gemm_launches=exec_stats.count("gemm"),
         executed_launches=exec_stats.launches,
         barriers=exec_stats.barriers,
+        event_waits=exec_stats.event_waits,
+        events_recorded=exec_stats.events_recorded,
         plan_nodes=len(plan),
+        plan_builds=0 if cache_hit else 1,
         plan_cache_hit=bool(cache_hit),
         plan_cache_hits=1 if cache_hit else 0,
         plan_cache_misses=1 if cache_hit is False else 0,

@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..errors import PlanError
+from ..observability.trace import Track, current_tracer
 
 __all__ = [
     "AuxLaunch",
@@ -49,6 +50,11 @@ __all__ = [
 ]
 
 DEFAULT_STREAM = 0
+
+
+def _cache_track(device) -> Track:
+    """Trace track for plan-cache events: the device's planner row."""
+    return Track(getattr(device, "name", "planner"), "planner")
 
 
 @dataclass(frozen=True)
@@ -332,20 +338,70 @@ class PlanCache:
             if old is not None and old is not plan:
                 old.close()
             self._plans[key] = plan
+            evicted_count = 0
             while len(self._plans) > self.max_plans:
                 _, evicted = self._plans.popitem(last=False)
                 evicted.close()
                 self.evictions += 1
+                evicted_count += 1
+            if evicted_count:
+                tracer = current_tracer()
+                if tracer:
+                    tracer.instant(
+                        "plan-cache-evict", _cache_track(plan.device),
+                        cat="plan-cache", args={"count": evicted_count},
+                    )
             return plan
 
     def get_or_build(self, key: tuple, batch, build) -> LaunchPlan:
-        """Serve a cached plan or call ``build()`` (counted) and store it."""
+        """Serve a cached plan or call ``build()`` (counted) and store it.
+
+        With a tracer active the lookup outcome becomes a
+        ``plan-cache-hit`` / ``plan-cache-miss`` instant and the build
+        itself a wall-clock ``plan-build`` span — the "plan build" leg
+        of the trace report's critical-path breakdown.
+        """
         with self._lock:
+            tracer = current_tracer()
             plan = self.get(key, batch)
             if plan is None:
                 self.planner_calls += 1
-                plan = self.put(key, build())
+                if tracer:
+                    track = _cache_track(getattr(batch, "device", None))
+                    tracer.instant("plan-cache-miss", track, cat="plan-cache")
+                    t0 = tracer.wall_clock()
+                    plan = self.put(key, build())
+                    tracer.add_span(
+                        "plan-build", track, t0, tracer.wall_clock(),
+                        cat="plan", clock="wall", args={"nodes": len(plan)},
+                    )
+                else:
+                    plan = self.put(key, build())
+            elif tracer:
+                tracer.instant(
+                    "plan-cache-hit", _cache_track(plan.device), cat="plan-cache"
+                )
             return plan
+
+    def publish(self, registry, prefix: str = "plan_cache") -> None:
+        """Snapshot the traffic counters into a metrics registry.
+
+        Gauges (idempotent set), so a caller may re-publish after every
+        repeat without double counting — the ``profile --repeat`` path.
+        """
+        with self._lock:
+            values = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "planner_calls": self.planner_calls,
+                "size": len(self._plans),
+                "hit_ratio": self.hits / (self.hits + self.misses)
+                if (self.hits + self.misses)
+                else 0.0,
+            }
+        for name, value in values.items():
+            registry.gauge(f"{prefix}_{name}", f"plan cache {name}").set(value)
 
     def evict(self, device=None) -> int:
         """Drop (and close) cached plans; returns how many were evicted.

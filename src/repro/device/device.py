@@ -33,6 +33,8 @@ from .stream import Stream
 
 __all__ = ["Device", "LaunchRecord"]
 
+_device_names = itertools.count()
+
 
 class LaunchRecord:
     """Bookkeeping for one kernel launch (inspection and tests)."""
@@ -75,6 +77,10 @@ class Device:
         lets the figure sweeps run orders of magnitude faster.
     exact_threshold:
         Grid-size cutoff between exact and analytic block scheduling.
+    name:
+        Label for trace tracks and reports (default ``devN``, N from a
+        process-wide counter).  Purely cosmetic: never read by the cost
+        model.
     """
 
     def __init__(
@@ -83,7 +89,9 @@ class Device:
         calibration: Calibration = K40C_CALIBRATION,
         execute_numerics: bool = True,
         exact_threshold: int = 50_000,
+        name: str | None = None,
     ):
+        self.name = f"dev{next(_device_names)}" if name is None else str(name)
         self.spec = spec
         self.calibration = calibration
         self.execute_numerics = execute_numerics

@@ -12,6 +12,15 @@ streams back to the host.
 :class:`~repro.device.topology.DeviceGroup` its multi-GPU overlap: each
 simulated device advances its own clock independently, so the group's
 makespan is the slowest shard, not the sum.
+
+Execution is the stack's richest tracing site: with a tracer active
+(:func:`repro.observability.trace.current_tracer`) every kernel launch
+becomes a simulated-clock span on its device-stream track, cross-stream
+event waits that actually blocked become wait spans, and barriers
+become host-track spans.  All stamps are read *from* the device
+(``LaunchRecord``, ``stream.ready_time``) after the fact, so tracing
+can never move the simulated clock, and the disabled path is a single
+falsy check per plan plus one per node.
 """
 
 from __future__ import annotations
@@ -20,19 +29,31 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..errors import PlanError
+from ..observability.trace import Track, current_tracer, propagating
 
 __all__ = ["ExecutionStats", "PlanExecutor", "execute_concurrently"]
 
 
 @dataclass
 class ExecutionStats:
-    """What one plan execution actually launched."""
+    """What one plan execution actually launched.
+
+    ``streams_used`` counts the logical streams that executed at least
+    one launch — an empty plan reports 0, matching
+    :attr:`~repro.core.plan.LaunchPlan.streams_used` rather than the
+    executor's internal stream-map bookkeeping.  ``event_waits`` counts
+    cross-stream dependency edges realized as event waits, and
+    ``events_recorded`` the events recorded to serve them — the raw
+    material of the overlap story the trace makes visible.
+    """
 
     launches: int = 0
     aux_launches: int = 0
     barriers: int = 0
     by_tag: dict = field(default_factory=dict)
-    streams_used: int = 1
+    streams_used: int = 0
+    event_waits: int = 0
+    events_recorded: int = 0
 
     def count(self, tag: str) -> int:
         return self.by_tag.get(tag, 0)
@@ -41,6 +62,23 @@ class ExecutionStats:
     def kernel_launches(self) -> int:
         """Compute launches, i.e. everything that is not metadata."""
         return self.launches - self.aux_launches
+
+    def publish(self, registry, prefix: str = "executor") -> None:
+        """Fold these counts into a metrics registry (counters by tag)."""
+        registry.counter(f"{prefix}_launches_total", "kernel launches executed").inc(
+            self.launches
+        )
+        registry.counter(f"{prefix}_barriers_total", "host barriers executed").inc(
+            self.barriers
+        )
+        registry.counter(f"{prefix}_event_waits_total", "cross-stream event waits").inc(
+            self.event_waits
+        )
+        by_tag = registry.counter(
+            f"{prefix}_launches_by_tag_total", "launches by plan tag", labels=("tag",)
+        )
+        for tag, count in sorted(self.by_tag.items()):
+            by_tag.inc(count, tag=tag)
 
 
 class PlanExecutor:
@@ -64,6 +102,7 @@ class PlanExecutor:
             raise PlanError("plan was built for a different device")
 
         device = self.device
+        tracer = current_tracer()
         streams = {0: device.default_stream}
         nodes = plan.nodes
         # A node needs an event only when a *later, other-stream* node
@@ -76,9 +115,11 @@ class PlanExecutor:
         }
         events: dict[int, object] = {}
         stats = ExecutionStats()
+        used_streams: set[int] = set()
 
         for node in nodes:
             if isinstance(node, Barrier):
+                barrier_from = device.host_time
                 scope = node.streams if node.streams is not None else sorted(streams)
                 for sid in scope:
                     stream = streams.get(sid)
@@ -86,6 +127,12 @@ class PlanExecutor:
                         stream.synchronize()
                 device.synchronize()
                 stats.barriers += 1
+                if tracer:
+                    tracer.add_span(
+                        "barrier", Track.for_host(device),
+                        barrier_from, device.host_time, cat="barrier",
+                        args={"node": node.index},
+                    )
                 continue
             if not isinstance(node, KernelLaunch):  # pragma: no cover - guarded by validate()
                 raise PlanError(f"unknown plan node type: {type(node).__name__}")
@@ -94,16 +141,36 @@ class PlanExecutor:
                 stream = streams[node.stream] = device.create_stream()
             for dep in node.deps:
                 if nodes[dep].stream != node.stream:
+                    blocked_from = stream.ready_time
                     stream.wait_event(events[dep])
-            device.launch(node.kernel, stream=stream)
+                    stats.event_waits += 1
+                    if tracer and stream.ready_time > blocked_from:
+                        tracer.add_span(
+                            "wait", Track.for_stream(device, node.stream),
+                            blocked_from, stream.ready_time, cat="wait",
+                            args={"node": node.index, "on": dep},
+                        )
+            record = device.launch(node.kernel, stream=stream)
             stats.launches += 1
+            used_streams.add(node.stream)
             if isinstance(node, AuxLaunch):
                 stats.aux_launches += 1
             stats.by_tag[node.tag] = stats.by_tag.get(node.tag, 0) + 1
             if node.index in needs_event:
                 events[node.index] = stream.record_event()
+                stats.events_recorded += 1
+            if tracer:
+                tracer.add_span(
+                    record.kernel_name, Track.for_stream(device, node.stream),
+                    record.start, record.end, cat=node.tag,
+                    args={
+                        "node": node.index,
+                        "blocks": record.blocks,
+                        "utilization": round(record.schedule.utilization, 4),
+                    },
+                )
 
-        stats.streams_used = len(streams)
+        stats.streams_used = len(used_streams)
         return stats
 
 
@@ -112,7 +179,9 @@ def execute_concurrently(plans, max_workers: int | None = None) -> list[Executio
 
     Every plan must target a distinct device — two threads advancing one
     simulated clock would race.  Order of the result list matches the
-    order of ``plans``.
+    order of ``plans``.  Each worker runs under a copy of the caller's
+    context, so an active tracer (and its open span) propagates into
+    the per-device threads and shard kernel spans nest correctly.
     """
 
     plans = list(plans)
@@ -124,5 +193,7 @@ def execute_concurrently(plans, max_workers: int | None = None) -> list[Executio
     if len(plans) == 1:
         return [PlanExecutor(plans[0].device).execute(plans[0])]
     with ThreadPoolExecutor(max_workers=max_workers or len(plans)) as pool:
-        futures = [pool.submit(PlanExecutor(p.device).execute, p) for p in plans]
+        futures = [
+            pool.submit(propagating(PlanExecutor(p.device).execute), p) for p in plans
+        ]
         return [f.result() for f in futures]

@@ -25,6 +25,7 @@ import numpy as np
 
 from .. import flops as _flops
 from ..errors import ArgumentError
+from ..observability.trace import Track, current_tracer
 from .calibration import Calibration, K40C_CALIBRATION
 from .device import Device
 from .spec import DeviceSpec, K40C
@@ -96,14 +97,25 @@ class DeviceGroup:
         calibration: Calibration = K40C_CALIBRATION,
         execute_numerics: bool = True,
         partition: str = "flops",
+        name_prefix: str | None = None,
     ) -> "DeviceGroup":
-        """A homogeneous group of ``count`` fresh simulated devices."""
+        """A homogeneous group of ``count`` fresh simulated devices.
+
+        ``name_prefix`` labels the devices ``{prefix}dev0..N`` so their
+        trace tracks group under one serving tier (e.g. per bench
+        policy); ``None`` keeps the process-wide default naming.
+        """
         if count <= 0:
             raise ArgumentError(1, f"count must be positive, got {count}")
         return cls(
             [
-                Device(spec=spec, calibration=calibration, execute_numerics=execute_numerics)
-                for _ in range(count)
+                Device(
+                    spec=spec,
+                    calibration=calibration,
+                    execute_numerics=execute_numerics,
+                    name=None if name_prefix is None else f"{name_prefix}dev{i}",
+                )
+                for i in range(count)
             ],
             partition=partition,
         )
@@ -147,22 +159,31 @@ def run_potrf_sharded(
     from ..core.driver import LaunchStats, PotrfResult, plan_potrf, stats_from_execution
     from .executor import execute_concurrently
 
+    tracer = current_tracer()
     sizes = batch.sizes_host
     shards = []
-    for dev, idx in zip(group.devices, group.partition_indices(sizes, batch.precision)):
-        if idx.size == 0:
-            continue
-        if batch.device.execute_numerics and dev.execute_numerics:
-            shard_batch = VBatch.from_host(
-                dev, [np.ascontiguousarray(batch.matrix_view(int(j))) for j in idx]
+    with tracer.span(
+        "shard-plan", Track("topology", "sharder"), cat="shard",
+        args={"devices": len(group), "batch": int(batch.batch_count)},
+    ) as shard_args:
+        for dev, idx in zip(group.devices, group.partition_indices(sizes, batch.precision)):
+            if idx.size == 0:
+                continue
+            if batch.device.execute_numerics and dev.execute_numerics:
+                shard_batch = VBatch.from_host(
+                    dev, [np.ascontiguousarray(batch.matrix_view(int(j))) for j in idx]
+                )
+            else:
+                shard_batch = VBatch.allocate(
+                    dev, sizes[idx], batch.precision, ldas=np.maximum(batch.ldas_host[idx], 1)
+                )
+            shard_max = int(sizes[idx].max())
+            plan, cache_hit = plan_potrf(
+                dev, shard_batch, shard_max, options, approach, plan_cache
             )
-        else:
-            shard_batch = VBatch.allocate(
-                dev, sizes[idx], batch.precision, ldas=np.maximum(batch.ldas_host[idx], 1)
-            )
-        shard_max = int(sizes[idx].max())
-        plan, cache_hit = plan_potrf(dev, shard_batch, shard_max, options, approach, plan_cache)
-        shards.append((dev, idx, shard_batch, plan, cache_hit))
+            shards.append((dev, idx, shard_batch, plan, cache_hit))
+        if tracer:
+            shard_args["shard_sizes"] = [int(idx.size) for _, idx, _, _, _ in shards]
 
     for dev, _, _, _, _ in shards:
         dev.synchronize()
@@ -172,29 +193,30 @@ def run_potrf_sharded(
     elapsed = 0.0
     infos = np.zeros(batch.batch_count, dtype=np.int64)
     merged = LaunchStats(devices_used=len(shards))
-    for (dev, idx, shard_batch, plan, cache_hit), es in zip(shards, exec_stats):
-        elapsed = max(elapsed, dev.synchronize() - starts[id(dev)])
-        merged.merge(stats_from_execution(plan, es, cache_hit))
-        if dev.execute_numerics:
-            infos[idx] = shard_batch.download_infos()
-            # Gather the factors back into the source batch's arrays
-            # (host-side result assembly; the simulated PCIe cost of the
-            # shard download is charged to the shard device above).
-            for local, j in enumerate(idx):
-                batch.matrix_view(int(j))[...] = shard_batch.matrix_view(local)
-        if plan_cache is None:
-            plan.close()
-            shard_batch.free()
-        elif plan.batch_ref is not shard_batch:
-            # Cached plan is bound elsewhere (or unbound): this shard
-            # batch served planning/gather only — release it now so a
-            # long-running caller (the serving loop) cannot leak device
-            # memory one shard batch per dispatch.
-            shard_batch.free()
-        else:
-            # The cached plan holds live views into this shard batch;
-            # hand it over so cache eviction/replacement frees it.
-            plan.owns_batch = True
+    with tracer.span("shard-gather", Track("topology", "sharder"), cat="shard"):
+        for (dev, idx, shard_batch, plan, cache_hit), es in zip(shards, exec_stats):
+            elapsed = max(elapsed, dev.synchronize() - starts[id(dev)])
+            merged.merge(stats_from_execution(plan, es, cache_hit))
+            if dev.execute_numerics:
+                infos[idx] = shard_batch.download_infos()
+                # Gather the factors back into the source batch's arrays
+                # (host-side result assembly; the simulated PCIe cost of the
+                # shard download is charged to the shard device above).
+                for local, j in enumerate(idx):
+                    batch.matrix_view(int(j))[...] = shard_batch.matrix_view(local)
+            if plan_cache is None:
+                plan.close()
+                shard_batch.free()
+            elif plan.batch_ref is not shard_batch:
+                # Cached plan is bound elsewhere (or unbound): this shard
+                # batch served planning/gather only — release it now so a
+                # long-running caller (the serving loop) cannot leak device
+                # memory one shard batch per dispatch.
+                shard_batch.free()
+            else:
+                # The cached plan holds live views into this shard batch;
+                # hand it over so cache eviction/replacement frees it.
+                plan.owns_batch = True
 
     total = _flops.batch_flops(sizes, "potrf", batch.precision)
     return PotrfResult(

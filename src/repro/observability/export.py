@@ -1,0 +1,243 @@
+"""Trace serialization: Chrome-trace (Perfetto) JSON and JSONL logs.
+
+The Chrome trace-event format is the lingua franca of timeline viewers
+(``chrome://tracing``, https://ui.perfetto.dev): complete events
+(``ph="X"``) render as bars, instants (``"i"``) as ticks, counters
+(``"C"``) as stacked area rows, and metadata events name the process
+and thread rows.  :func:`to_chrome_trace` maps every
+:class:`~repro.observability.trace.Track` to a stable (pid, tid) pair —
+one process per device (or serving tier), one thread row per logical
+stream — which is exactly the "one track per device stream plus a
+serving-queue track" layout the bottleneck reports analyze.
+
+Timestamps are normalized per clock domain (wall and simulated events
+each start at zero) and emitted in microseconds, the unit the viewers
+expect.  The JSONL export (:func:`write_trace_jsonl`) is the
+machine-readable twin: one structured event per line, no viewer
+conventions, for ad-hoc analysis pipelines.
+
+:func:`validate_chrome_trace` is the schema check CI runs on every
+``serve-bench --trace`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .trace import COUNTER, INSTANT, SPAN, TraceEvent, Track
+
+__all__ = [
+    "load_chrome_trace",
+    "to_chrome_trace",
+    "trace_events_from_chrome",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]
+
+_PHASES = {SPAN: "X", INSTANT: "i", COUNTER: "C"}
+_PHASES_BACK = {v: k for k, v in _PHASES.items()}
+
+
+def _natural(text: str):
+    return [int(p) if p.isdigit() else p for p in re.split(r"(\d+)", text)]
+
+
+def _track_table(events) -> dict[Track, tuple[int, int]]:
+    """Assign stable (pid, tid) pairs: sorted processes, natural-sorted
+    thread rows within each (stream2 before stream10)."""
+    processes: dict[str, list[str]] = {}
+    for ev in events:
+        threads = processes.setdefault(ev.track.process, [])
+        if ev.track.thread not in threads:
+            threads.append(ev.track.thread)
+    table: dict[Track, tuple[int, int]] = {}
+    for pid, process in enumerate(sorted(processes), start=1):
+        for tid, thread in enumerate(sorted(processes[process], key=_natural), start=1):
+            table[Track(process, thread)] = (pid, tid)
+    return table
+
+
+def to_chrome_trace(events) -> dict:
+    """Render trace events as a Chrome trace-event JSON object.
+
+    ``events`` is a :class:`~repro.observability.trace.Tracer` or a
+    sequence of :class:`~repro.observability.trace.TraceEvent`.  Wall
+    and simulated timestamps are normalized independently so both
+    domains start at zero on the shared microsecond axis.
+    """
+    if hasattr(events, "snapshot"):
+        events = events.snapshot()
+    events = list(events)
+    table = _track_table(events)
+
+    zero: dict[str, float] = {}
+    for ev in events:
+        zero[ev.clock] = min(zero.get(ev.clock, ev.start), ev.start)
+
+    out = []
+    for track, (pid, tid) in sorted(table.items(), key=lambda kv: kv[1]):
+        if tid == 1:
+            out.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": track.process},
+            })
+        out.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": track.thread},
+        })
+
+    for ev in events:
+        pid, tid = table[ev.track]
+        ts = (ev.start - zero[ev.clock]) * 1e6
+        record = {
+            "name": ev.name,
+            "cat": ev.cat,
+            "ph": _PHASES[ev.phase],
+            "ts": ts,
+            "pid": pid,
+            "tid": tid,
+        }
+        if ev.phase == SPAN:
+            record["dur"] = max(ev.duration, 0.0) * 1e6
+        if ev.phase == INSTANT:
+            record["s"] = "t"
+        args = dict(ev.args)
+        if ev.phase != COUNTER:
+            args.setdefault("clock", ev.clock)
+            if ev.parent_id is not None:
+                args.setdefault("parent", ev.parent_id)
+            args.setdefault("span_id", ev.span_id)
+        record["args"] = args
+        out.append(record)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events, path: str | Path) -> Path:
+    """Validate and write the Chrome-trace JSON file; returns its path."""
+    data = to_chrome_trace(events)
+    problems = validate_chrome_trace(data)
+    if problems:  # pragma: no cover - exporter always emits valid traces
+        raise ValueError("refusing to write an invalid trace: " + "; ".join(problems))
+    path = Path(path)
+    path.write_text(json.dumps(data))
+    return path
+
+
+def write_trace_jsonl(events, path: str | Path) -> Path:
+    """Write the structured-event log: one JSON object per line."""
+    if hasattr(events, "snapshot"):
+        events = events.snapshot()
+    path = Path(path)
+    with path.open("w") as fh:
+        for ev in events:
+            fh.write(json.dumps({
+                "phase": ev.phase,
+                "name": ev.name,
+                "cat": ev.cat,
+                "process": ev.track.process,
+                "thread": ev.track.thread,
+                "clock": ev.clock,
+                "start": ev.start,
+                "end": ev.end,
+                "span_id": ev.span_id,
+                "parent_id": ev.parent_id,
+                "args": ev.args,
+            }) + "\n")
+    return path
+
+
+def validate_chrome_trace(data) -> list[str]:
+    """Schema check for the Chrome trace-event format (CI gate).
+
+    Returns a list of problems (empty means valid): the object shape,
+    per-event required fields, non-negative durations, and that every
+    (pid, tid) used by an event is named by metadata events — the
+    invariant that gives "one track per device stream".
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        return ["top level must be an object with a traceEvents list"]
+    named_pids, named_tids = set(), set()
+    for i, ev in enumerate(data["traceEvents"]):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids.add(ev.get("pid"))
+            elif ev.get("name") == "thread_name":
+                named_tids.add((ev.get("pid"), ev.get("tid")))
+            continue
+        for field_ in ("name", "ph", "ts", "pid", "tid"):
+            if field_ not in ev:
+                problems.append(f"event {i}: missing {field_!r}")
+        if ph not in ("X", "i", "C"):
+            problems.append(f"event {i}: unsupported phase {ph!r}")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                problems.append(f"event {i}: X event needs a non-negative dur")
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"event {i}: ts must be numeric")
+    for i, ev in enumerate(data["traceEvents"]):
+        if not isinstance(ev, dict) or ev.get("ph") in ("M", None):
+            continue
+        if ev.get("pid") not in named_pids:
+            problems.append(f"event {i}: pid {ev.get('pid')} has no process_name metadata")
+        elif ev.get("ph") != "C" and (ev.get("pid"), ev.get("tid")) not in named_tids:
+            problems.append(f"event {i}: tid {ev.get('tid')} has no thread_name metadata")
+    return problems
+
+
+def load_chrome_trace(path: str | Path) -> dict:
+    """Read and validate a Chrome-trace JSON file."""
+    data = json.loads(Path(path).read_text())
+    problems = validate_chrome_trace(data)
+    if problems:
+        raise ValueError(f"{path}: invalid Chrome trace: " + "; ".join(problems[:5]))
+    return data
+
+
+def trace_events_from_chrome(data) -> list[TraceEvent]:
+    """Rebuild :class:`TraceEvent` records from a Chrome-trace object.
+
+    The inverse of :func:`to_chrome_trace` up to timestamp
+    normalization: timestamps come back in seconds relative to each
+    clock domain's zero.  Used by the trace analyzer so it can consume
+    a file straight off disk.
+    """
+    pid_names: dict[int, str] = {}
+    tid_names: dict[tuple, str] = {}
+    for ev in data["traceEvents"]:
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            pid_names[ev["pid"]] = ev["args"]["name"]
+        elif ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tid_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+    out = []
+    for ev in data["traceEvents"]:
+        ph = ev.get("ph")
+        if ph not in _PHASES_BACK:
+            continue
+        track = Track(
+            pid_names.get(ev["pid"], f"pid{ev['pid']}"),
+            tid_names.get((ev["pid"], ev["tid"]), f"tid{ev['tid']}"),
+        )
+        args = dict(ev.get("args", {}))
+        clock = args.pop("clock", "wall") if ph != "C" else "wall"
+        start = ev["ts"] / 1e6
+        out.append(TraceEvent(
+            phase=_PHASES_BACK[ph],
+            name=ev["name"],
+            cat=ev.get("cat", ""),
+            track=track,
+            start=start,
+            end=start + ev.get("dur", 0.0) / 1e6 if ph == "X" else None,
+            clock=clock,
+            span_id=args.pop("span_id", 0),
+            parent_id=args.pop("parent", None),
+            args=args,
+        ))
+    return out

@@ -1,0 +1,364 @@
+"""Unified metrics registry: counters, gauges, histograms, summaries.
+
+One process-wide sink for every number the stack used to keep in ad-hoc
+dicts — the serving tier's counters and latency lists
+(:mod:`repro.serving.metrics`), the driver's
+:class:`~repro.core.driver.LaunchStats`, the executor's
+:class:`~repro.device.executor.ExecutionStats` tag map and the
+:class:`~repro.core.plan.PlanCache` traffic counters.  Metrics are
+created lazily through the registry (``registry.counter(name)``
+get-or-creates), are label-aware, thread-safe under one shared lock,
+and render to the Prometheus text exposition format via
+:meth:`MetricsRegistry.expose` so a scrape endpoint (or a test) can
+read the whole system state in one pass.
+
+Four primitives cover the stack's needs:
+
+* :class:`Counter` — monotone accumulator (requests, launches, hits);
+* :class:`Gauge` — set-to-current value (queue depth, cache size);
+* :class:`Histogram` — fixed cumulative buckets plus sum/count, the
+  Prometheus shape (batch sizes, padded-waste ratios);
+* :class:`Summary` — raw-sample reservoir with exact linear-interpolated
+  percentiles; this is the one home of the quantile code the serving
+  metrics previously duplicated (:func:`percentile`,
+  :func:`latency_summary` live here now and are re-exported from
+  :mod:`repro.serving.metrics` for compatibility).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+import numpy as np
+
+from ..errors import ArgumentError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "Summary",
+    "latency_summary",
+    "percentile",
+]
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]); 0.0 if empty."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def latency_summary(values) -> dict:
+    """The count/mean/p50/p95/p99/max block the serving reports use."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": percentile(arr, 50),
+        "p95": percentile(arr, 95),
+        "p99": percentile(arr, 99),
+        "max": float(arr.max()),
+    }
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ArgumentError(1, f"bad metric name {name!r} (alnum/underscore only)")
+    return name
+
+
+def _labelkey(label_names: tuple, labels: dict) -> tuple:
+    if set(labels) != set(label_names):
+        raise ArgumentError(
+            2, f"metric expects labels {label_names}, got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[k]) for k in label_names)
+
+
+def _fmt_labels(label_names: tuple, key: tuple, extra: str = "") -> str:
+    parts = [f'{n}="{v}"' for n, v in zip(label_names, key)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Metric:
+    """Base: name, help text, label names, per-label-value children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: tuple = (), lock=None):
+        self.name = _validate_name(name)
+        self.help = help
+        self.label_names = tuple(labels)
+        self._lock = lock if lock is not None else threading.Lock()
+        self._children: dict[tuple, object] = {}
+
+    def _child(self, labels: dict):
+        key = _labelkey(self.label_names, labels)
+        with self._lock:
+            if key not in self._children:
+                self._children[key] = self._new_child()
+            return key, self._children[key]
+
+    def _new_child(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def expose(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            lines.extend(self._expose_children())
+        return lines
+
+    def _expose_children(self) -> list[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotone accumulator; ``inc`` only moves forward."""
+
+    kind = "counter"
+
+    def _new_child(self):
+        return [0.0]
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ArgumentError(3, f"counter {self.name} cannot decrease (inc {amount})")
+        _, cell = self._child(labels)
+        with self._lock:
+            cell[0] += amount
+
+    def value(self, **labels) -> float:
+        _, cell = self._child(labels)
+        with self._lock:
+            return cell[0]
+
+    def _expose_children(self) -> list[str]:
+        return [
+            f"{self.name}{_fmt_labels(self.label_names, key)} {cell[0]:g}"
+            for key, cell in sorted(self._children.items())
+        ]
+
+
+class Gauge(Metric):
+    """Set-to-current value; may move in either direction."""
+
+    kind = "gauge"
+
+    def _new_child(self):
+        return [0.0]
+
+    def set(self, value: float, **labels) -> None:
+        _, cell = self._child(labels)
+        with self._lock:
+            cell[0] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        _, cell = self._child(labels)
+        with self._lock:
+            cell[0] += amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        _, cell = self._child(labels)
+        with self._lock:
+            return cell[0]
+
+    def _expose_children(self) -> list[str]:
+        return [
+            f"{self.name}{_fmt_labels(self.label_names, key)} {cell[0]:g}"
+            for key, cell in sorted(self._children.items())
+        ]
+
+
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class Histogram(Metric):
+    """Fixed cumulative buckets plus sum/count (the Prometheus shape)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", labels=(), buckets=DEFAULT_BUCKETS, lock=None):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ArgumentError(4, f"histogram {name} needs at least one bucket")
+        self.buckets = bounds
+        super().__init__(name, help, labels, lock)
+
+    def _new_child(self):
+        # [per-bucket counts..., +Inf count, sum]
+        return [0.0] * (len(self.buckets) + 2)
+
+    def observe(self, value: float, **labels) -> None:
+        _, cell = self._child(labels)
+        idx = bisect_left(self.buckets, float(value))
+        with self._lock:
+            cell[idx] += 1
+            cell[-1] += float(value)
+
+    def counts(self, **labels) -> dict:
+        """Cumulative bucket counts plus count/sum (snapshot)."""
+        _, cell = self._child(labels)
+        with self._lock:
+            raw = list(cell)
+        out, running = {}, 0.0
+        for bound, c in zip(self.buckets, raw):
+            running += c
+            out[bound] = running
+        count = running + raw[len(self.buckets)]
+        return {"buckets": out, "count": count, "sum": raw[-1]}
+
+    def _expose_children(self) -> list[str]:
+        lines = []
+        for key, cell in sorted(self._children.items()):
+            running = 0.0
+            for bound, c in zip(self.buckets, cell):
+                running += c
+                le = _fmt_labels(self.label_names, key, f'le="{bound:g}"')
+                lines.append(f"{self.name}_bucket{le} {running:g}")
+            total = running + cell[len(self.buckets)]
+            inf = _fmt_labels(self.label_names, key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{inf} {total:g}")
+            plain = _fmt_labels(self.label_names, key)
+            lines.append(f"{self.name}_sum{plain} {cell[-1]:g}")
+            lines.append(f"{self.name}_count{plain} {total:g}")
+        return lines
+
+
+class Summary(Metric):
+    """Raw-sample accumulator with exact percentiles.
+
+    Keeps every observation (bench-sized runs; a production tier would
+    reservoir-sample), so :meth:`percentile` is exact — this is the
+    primitive the serving latency p50/p95/p99 blocks are built on.
+    """
+
+    kind = "summary"
+    quantiles = (50.0, 95.0, 99.0)
+
+    def _new_child(self):
+        return []
+
+    def observe(self, value: float, **labels) -> None:
+        _, cell = self._child(labels)
+        with self._lock:
+            cell.append(float(value))
+
+    def values(self, **labels) -> list[float]:
+        _, cell = self._child(labels)
+        with self._lock:
+            return list(cell)
+
+    def percentile(self, q: float, **labels) -> float:
+        return percentile(self.values(**labels), q)
+
+    def summary(self, **labels) -> dict:
+        """The count/mean/p50/p95/p99/max dict the serving snapshot embeds."""
+        return latency_summary(self.values(**labels))
+
+    def count(self, **labels) -> int:
+        return len(self.values(**labels))
+
+    def mean(self, **labels) -> float:
+        vals = self.values(**labels)
+        return float(np.mean(vals)) if vals else 0.0
+
+    def max(self, **labels) -> float:
+        vals = self.values(**labels)
+        return max(vals, default=0.0)
+
+    def _expose_children(self) -> list[str]:
+        lines = []
+        for key, cell in sorted(self._children.items()):
+            for q in self.quantiles:
+                ql = _fmt_labels(self.label_names, key, f'quantile="{q / 100:g}"')
+                lines.append(f"{self.name}{ql} {percentile(cell, q):g}")
+            plain = _fmt_labels(self.label_names, key)
+            lines.append(f"{self.name}_sum{plain} {sum(cell):g}")
+            lines.append(f"{self.name}_count{plain} {len(cell):g}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create factory and exposition point for a metric family.
+
+    One registry per server / CLI run; every metric it creates shares
+    the registry's lock, so cross-metric snapshots (``expose``,
+    ``as_dict``) are consistent.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, tuple(labels), lock=self._lock, **kwargs)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, cls) or metric.label_names != tuple(labels):
+            raise ArgumentError(
+                5,
+                f"metric {name!r} already registered as {metric.kind} "
+                f"with labels {metric.label_names}",
+            )
+        return metric
+
+    def counter(self, name, help="", labels=()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name, help="", labels=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name, help="", labels=(), buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def summary(self, name, help="", labels=()) -> Summary:
+        return self._get_or_create(Summary, name, help, labels)
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def expose(self, prefix: str | None = None) -> str:
+        """Prometheus text exposition of every (matching) metric."""
+        with self._lock:
+            metrics = [
+                m for n, m in sorted(self._metrics.items())
+                if prefix is None or n.startswith(prefix)
+            ]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> dict:
+        """Flat name -> value snapshot (unlabelled scalar metrics only)."""
+        out = {}
+        with self._lock:
+            items = list(self._metrics.items())
+        for name, metric in items:
+            if isinstance(metric, (Counter, Gauge)) and not metric.label_names:
+                out[name] = metric.value()
+        return out

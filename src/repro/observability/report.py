@@ -1,0 +1,243 @@
+"""Trace-driven bottleneck analysis: where did the time actually go?
+
+Consumes the structured events a :class:`~repro.observability.trace.Tracer`
+recorded (or a Chrome-trace JSON re-loaded from disk) and computes the
+quantities the paper's performance story turns on:
+
+* **per-stream occupancy** — busy fraction of every device stream track
+  over the device's active window: the visible form of the SM-idle
+  problem implicit sorting fights (Figs. 5–6);
+* **critical-path breakdown** — simulated queue wait vs. wall-clock
+  plan building vs. simulated execution per serving group, the
+  request's journey decomposed;
+* **padded-flops waste per batch** — useful vs. padded flops of every
+  dispatched batch, aggregated per group; matches the serving metrics'
+  ``batching`` block (the ``BENCH_pr3.json`` headline numbers) because
+  both read the same per-batch accounting;
+* **top-N bottlenecks** — kernel/wait/barrier names ranked by total
+  simulated time.
+
+``python -m repro trace-report out.json`` prints all four tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .trace import INSTANT, SPAN, SIM, TraceEvent
+
+__all__ = [
+    "GroupReport",
+    "TraceAnalysis",
+    "TrackOccupancy",
+    "analyze_trace",
+    "format_trace_report",
+]
+
+
+def _group_of(process: str) -> str:
+    """Serving group of a track process: ``greedy-window:dev0`` and
+    ``greedy-window:serving`` both belong to ``greedy-window``."""
+    return process.split(":", 1)[0] if ":" in process else ""
+
+
+@dataclass(frozen=True)
+class TrackOccupancy:
+    """Busy fraction of one stream track over its device's window."""
+
+    process: str
+    thread: str
+    spans: int
+    busy: float
+    window: float
+
+    @property
+    def occupancy(self) -> float:
+        return self.busy / self.window if self.window > 0 else 0.0
+
+
+@dataclass
+class GroupReport:
+    """Per-serving-group aggregates (one group per bench policy)."""
+
+    group: str
+    batches: int = 0
+    requests: int = 0
+    useful_flops: float = 0.0
+    padded_flops: float = 0.0
+    queue_wait_sim: float = 0.0
+    execute_sim: float = 0.0
+    plan_build_wall: float = 0.0
+    plan_builds: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
+    @property
+    def efficiency(self) -> float:
+        return self.useful_flops / self.padded_flops if self.padded_flops else 0.0
+
+    @property
+    def waste_pct(self) -> float:
+        """Padded-flops waste percentage — the BENCH_pr3 headline."""
+        return 100.0 * (1.0 - self.efficiency) if self.padded_flops else 0.0
+
+    @property
+    def critical_path(self) -> dict:
+        """Where a request's life went, by phase (seconds)."""
+        return {
+            "queue_wait_sim_s": self.queue_wait_sim,
+            "plan_build_wall_s": self.plan_build_wall,
+            "execute_sim_s": self.execute_sim,
+        }
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything :func:`analyze_trace` extracts from one trace."""
+
+    events: int = 0
+    occupancy: list[TrackOccupancy] = field(default_factory=list)
+    groups: dict[str, GroupReport] = field(default_factory=dict)
+    bottlenecks: list[tuple] = field(default_factory=list)  # (name, cat, calls, total)
+
+    def group(self, name: str) -> GroupReport:
+        return self.groups[name]
+
+    def waste_by_group(self) -> dict[str, float]:
+        """group -> padded-waste %, the acceptance-criteria view."""
+        return {g: r.waste_pct for g, r in sorted(self.groups.items())}
+
+
+def analyze_trace(events, top: int = 10) -> TraceAnalysis:
+    """Aggregate a trace (Tracer, event list, or Chrome dict) into a
+    :class:`TraceAnalysis`."""
+    if hasattr(events, "snapshot"):
+        events = events.snapshot()
+    elif isinstance(events, dict):
+        from .export import trace_events_from_chrome
+
+        events = trace_events_from_chrome(events)
+    events = [e for e in events if isinstance(e, TraceEvent)]
+    analysis = TraceAnalysis(events=len(events))
+
+    # -- per-stream occupancy (simulated spans on device tracks) --------
+    windows: dict[str, tuple[float, float]] = {}
+    busy: dict[tuple[str, str], tuple[int, float]] = {}
+    for ev in events:
+        if ev.phase != SPAN or ev.clock != SIM:
+            continue
+        lo, hi = windows.get(ev.track.process, (ev.start, ev.end))
+        windows[ev.track.process] = (min(lo, ev.start), max(hi, ev.end))
+        if ev.track.thread.startswith("stream"):
+            n, t = busy.get((ev.track.process, ev.track.thread), (0, 0.0))
+            busy[(ev.track.process, ev.track.thread)] = (n + 1, t + ev.duration)
+    for (process, thread), (spans, total) in sorted(busy.items()):
+        lo, hi = windows[process]
+        analysis.occupancy.append(
+            TrackOccupancy(process, thread, spans, total, hi - lo)
+        )
+
+    # -- per-group aggregates -------------------------------------------
+    def group_for(ev) -> GroupReport:
+        g = _group_of(ev.track.process)
+        if g not in analysis.groups:
+            analysis.groups[g] = GroupReport(g)
+        return analysis.groups[g]
+
+    hot: dict[tuple[str, str], tuple[int, float]] = {}
+    for ev in events:
+        if ev.phase == SPAN and ev.cat == "dispatch":
+            rep = group_for(ev)
+            rep.batches += 1
+            rep.requests += int(ev.args.get("size", 0))
+            rep.useful_flops += float(ev.args.get("useful_flops", 0.0))
+            rep.padded_flops += float(ev.args.get("padded_flops", 0.0))
+            rep.queue_wait_sim += float(ev.args.get("queue_wait_sim", 0.0))
+            rep.execute_sim += float(ev.args.get("sim_elapsed", 0.0))
+        elif ev.phase == SPAN and ev.cat == "plan":
+            rep = group_for(ev)
+            rep.plan_builds += 1
+            rep.plan_build_wall += ev.duration
+        elif ev.phase == INSTANT and ev.cat == "plan-cache":
+            rep = group_for(ev)
+            if ev.name == "plan-cache-hit":
+                rep.cache_hits += 1
+            elif ev.name == "plan-cache-miss":
+                rep.cache_misses += 1
+            elif ev.name == "plan-cache-evict":
+                rep.cache_evictions += int(ev.args.get("count", 1))
+        if ev.phase == SPAN and ev.clock == SIM:
+            n, t = hot.get((ev.name, ev.cat), (0, 0.0))
+            hot[(ev.name, ev.cat)] = (n + 1, t + ev.duration)
+
+    ranked = sorted(hot.items(), key=lambda kv: -kv[1][1])
+    analysis.bottlenecks = [
+        (name, cat, calls, total) for (name, cat), (calls, total) in ranked[:top]
+    ]
+    return analysis
+
+
+def format_trace_report(analysis: TraceAnalysis, top: int = 10) -> str:
+    """Render the full bottleneck report as aligned text tables."""
+    # Imported here: repro.bench pulls in the figure harness (and through
+    # it the whole driver stack), which itself imports observability.
+    from ..bench.report import format_table
+
+    blocks: list[str] = [f"trace: {analysis.events} events"]
+
+    if analysis.occupancy:
+        rows = [
+            [o.process, o.thread, o.spans, o.busy * 1e3, o.occupancy * 100]
+            for o in analysis.occupancy
+        ]
+        blocks.append(
+            "== stream occupancy ==\n"
+            + format_table(["device", "stream", "spans", "busy_ms", "occupancy_%"], rows)
+        )
+
+    groups = [g for g in sorted(analysis.groups.values(), key=lambda r: r.group)
+              if g.batches or g.plan_builds or g.cache_hits or g.cache_misses]
+    if groups:
+        rows = [
+            [
+                g.group or "-", g.batches, g.requests,
+                g.queue_wait_sim * 1e3, g.plan_build_wall * 1e3, g.execute_sim * 1e3,
+            ]
+            for g in groups
+        ]
+        blocks.append(
+            "== critical path (per group) ==\n"
+            + format_table(
+                ["group", "batches", "requests", "queue_wait_sim_ms",
+                 "plan_build_wall_ms", "execute_sim_ms"],
+                rows,
+            )
+        )
+        rows = [
+            [
+                g.group or "-", g.useful_flops / 1e9, g.padded_flops / 1e9,
+                g.waste_pct, g.cache_hits, g.cache_misses, g.cache_evictions,
+            ]
+            for g in groups
+        ]
+        blocks.append(
+            "== padded flops + plan cache (per group) ==\n"
+            + format_table(
+                ["group", "useful_Gflop", "padded_Gflop", "waste_%",
+                 "cache_hits", "cache_misses", "evictions"],
+                rows,
+            )
+        )
+
+    if analysis.bottlenecks:
+        grand = sum(t for _, _, _, t in analysis.bottlenecks) or 1.0
+        rows = [
+            [name, cat, calls, total * 1e3, 100.0 * total / grand]
+            for name, cat, calls, total in analysis.bottlenecks[:top]
+        ]
+        blocks.append(
+            f"== top {min(top, len(rows))} bottlenecks (simulated time) ==\n"
+            + format_table(["name", "cat", "calls", "total_ms", "share_%"], rows)
+        )
+    return "\n\n".join(blocks)

@@ -32,6 +32,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..errors import ArgumentError, ServingError
+from ..observability.trace import Track, current_tracer
 from .request import Request
 
 __all__ = [
@@ -186,6 +187,9 @@ class Batcher:
         self.max_wait = float(max_wait)
         self.deadline_margin = float(deadline_margin)
         self._pending: list[Request] = []
+        # Trace row for window-close events; the owning server points
+        # this at its queue track so events group under the server.
+        self.trace_track = Track("serving", "queue")
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -250,6 +254,27 @@ class Batcher:
         self._validate(picks, urgent)
         chosen = set(picks)
         batch = [self._pending[i] for i in sorted(chosen)]
+        tracer = current_tracer()
+        if tracer:
+            urgent_req = self._pending[urgent]
+            if force:
+                reason = "force"
+            elif len(self._pending) >= self.max_batch:
+                reason = "full"
+            elif (
+                urgent_req.deadline is not None
+                and urgent_req.effective_deadline(self.max_wait)
+                < urgent_req.arrival + self.max_wait
+            ):
+                reason = "deadline"
+            else:
+                reason = "max-wait"
+            tracer.instant(
+                "window-close", self.trace_track, cat="serving",
+                args={"reason": reason, "size": len(batch),
+                      "pending_left": len(self._pending) - len(chosen),
+                      "waited": max(now - urgent_req.arrival, 0.0)},
+            )
         self._pending = [r for i, r in enumerate(self._pending) if i not in chosen]
         return batch
 

@@ -31,6 +31,7 @@ from ..device.device import Device
 from ..device.topology import DeviceGroup
 from ..distributions import generate_sizes
 from ..errors import ArgumentError
+from ..observability.trace import activate, current_tracer
 from .server import BatchServer
 
 __all__ = ["closed_loop", "run_serve_bench", "check_acceptance", "BENCH_POLICIES"]
@@ -70,12 +71,27 @@ def _bench_matrices(sizes, dtype=np.float64) -> list[np.ndarray]:
 
 
 def _make_server(policy: str, device_count: int, max_batch: int, max_wait: float) -> BatchServer:
-    """A fresh timing-mode server (own devices, own shared plan cache)."""
+    """A fresh timing-mode server (own devices, own shared plan cache).
+
+    When a tracer is active the policy name prefixes the device names
+    and the server's trace process (``greedy-window:dev0``,
+    ``greedy-window:serving``), so one merged bench trace keeps each
+    policy's tracks — and the trace report's per-group numbers — apart.
+    """
+    label = policy
+    prefix = f"{policy}:" if current_tracer() else None
     if device_count > 1:
-        group = DeviceGroup.simulated(device_count, execute_numerics=False)
+        group = DeviceGroup.simulated(
+            device_count, execute_numerics=False, name_prefix=prefix
+        )
         target = {"devices": group}
     else:
-        target = {"device": Device(execute_numerics=False)}
+        target = {
+            "device": Device(
+                execute_numerics=False,
+                name=None if prefix is None else f"{prefix}dev0",
+            )
+        }
     if policy == "per-request":
         policy, max_batch = "fifo", 1
     return BatchServer(
@@ -84,6 +100,7 @@ def _make_server(policy: str, device_count: int, max_batch: int, max_wait: float
         max_wait=max_wait,
         plan_cache=PlanCache(max_plans=64),
         options=PotrfOptions(),
+        name=f"{label}:serving",
         **target,
     )
 
@@ -98,6 +115,7 @@ def run_serve_bench(
     device_count: int = 1,
     policies=BENCH_POLICIES,
     max_wait: float = 2e-3,
+    tracer=None,
 ) -> dict:
     """Run every policy over one fixed-seed stream; return the report.
 
@@ -105,6 +123,11 @@ def run_serve_bench(
     acceptance-criteria comparisons: size-aware throughput speedup over
     per-request dispatch (simulated matrices/s) and padded-flops waste
     relative to FIFO.
+
+    ``tracer`` (a :class:`~repro.observability.trace.Tracer`) records
+    one merged end-to-end trace across every policy run; each policy's
+    tracks carry a ``{policy}:`` process prefix so the trace report can
+    break the numbers out per group.
     """
     sizes = generate_sizes(distribution, requests, max_size, seed=seed)
     matrices = _bench_matrices(sizes)
@@ -122,9 +145,10 @@ def run_serve_bench(
         "policies": {},
     }
     for policy in policies:
-        server = _make_server(policy, device_count, max_batch, max_wait)
-        responses = closed_loop(server, matrices, concurrency=concurrency)
-        server.shutdown(drain=True)
+        with activate(tracer if tracer is not None else current_tracer()):
+            server = _make_server(policy, device_count, max_batch, max_wait)
+            responses = closed_loop(server, matrices, concurrency=concurrency)
+            server.shutdown(drain=True)
         snap = server.metrics.snapshot()
         snap["served"] = len(responses)
         report["policies"][policy] = snap

@@ -5,6 +5,17 @@ from here.  Two clocks coexist: the *wall* clock times the serving tier
 itself (queueing, windowing), while the *simulated* clock times the
 modeled hardware — latency percentiles are tracked on both.
 
+Since the observability subsystem landed, :class:`ServerMetrics` is a
+facade over one :class:`~repro.observability.registry.MetricsRegistry`:
+request outcomes are a labelled counter, latencies and queue depths are
+:class:`~repro.observability.registry.Summary` metrics (the one home of
+the percentile code this module used to duplicate), batch sizes feed a
+Prometheus-shaped histogram, and :meth:`ServerMetrics.expose` renders
+the whole tier — driver :class:`~repro.core.driver.LaunchStats`
+included — in the Prometheus text format.  ``percentile`` and
+``latency_summary`` are re-exported from the registry module for
+backward compatibility.
+
 Batching efficiency is measured in *padded flops*: a launch covering
 sizes ``n_i`` with maximum ``m`` is charged ``count * potrf_flops(m)``
 padded flops against ``sum(potrf_flops(n_i))`` useful ones — the cost a
@@ -22,31 +33,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.driver import LaunchStats
+from ..observability.registry import MetricsRegistry, latency_summary, percentile
 from .. import flops as _flops
 
 __all__ = ["BatchRecord", "ServerMetrics", "latency_summary", "percentile"]
 
-
-def percentile(values, q: float) -> float:
-    """Linear-interpolated percentile (``q`` in [0, 100]); 0.0 if empty."""
-    if len(values) == 0:
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
-
-
-def latency_summary(values) -> dict:
-    """The p50/p95/p99 block the acceptance criteria ask for."""
-    arr = np.asarray(list(values), dtype=np.float64)
-    if arr.size == 0:
-        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
-    return {
-        "count": int(arr.size),
-        "mean": float(arr.mean()),
-        "p50": percentile(arr, 50),
-        "p95": percentile(arr, 95),
-        "p99": percentile(arr, 99),
-        "max": float(arr.max()),
-    }
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 
 @dataclass(frozen=True)
@@ -68,63 +60,110 @@ class BatchRecord:
 
 
 class ServerMetrics:
-    """Thread-safe accumulator for one server's lifetime.
+    """Registry-backed accumulator for one server's lifetime.
 
-    The worker thread records; any thread may :meth:`snapshot`.  Raw
-    per-request latencies are kept (serving runs here are bench-sized);
-    a production tier would reservoir-sample instead.
+    The worker thread records; any thread may :meth:`snapshot` (the
+    JSON-ready dict the bench reports embed) or :meth:`expose` (the
+    Prometheus text format).  Raw per-request latencies live in
+    registry summaries (serving runs here are bench-sized; a production
+    tier would reservoir-sample).  Per-batch :class:`BatchRecord` rows
+    are kept as data — exact batch-size histograms and padded-flops
+    sums come from them.
     """
 
-    def __init__(self):
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.failed = 0
-        self.cancelled = 0
-        self.deadline_misses = 0
+        r = self.registry
+        self._requests = r.counter(
+            "serving_requests_total", "requests by outcome", labels=("outcome",)
+        )
+        self._sim_busy = r.counter(
+            "serving_sim_busy_seconds_total", "simulated device-busy seconds"
+        )
+        self._flops = r.counter(
+            "serving_batch_flops_total", "potrf flops by accounting", labels=("kind",)
+        )
+        self._latency = r.summary(
+            "serving_latency_seconds", "request latency by clock", labels=("clock",)
+        )
+        self._queue_wait = r.summary(
+            "serving_queue_wait_seconds", "wall time queued before dispatch"
+        )
+        self._queue_depth = r.summary(
+            "serving_queue_depth", "queue depth sampled at each admission"
+        )
+        self._batch_sizes = r.histogram(
+            "serving_batch_size", "requests per dispatched batch", buckets=_BATCH_BUCKETS
+        )
         self.batches: list[BatchRecord] = []
-        self.queue_depths: list[int] = []
-        self.latencies_wall: list[float] = []
-        self.latencies_sim: list[float] = []
-        self.queue_waits_wall: list[float] = []
-        self.sim_busy = 0.0
         self.launch_stats = LaunchStats()
         self.wall_started: float | None = None
         self.wall_stopped: float | None = None
 
+    # -- counter views (back-compat attribute API) ----------------------
+    def _outcome(self, outcome: str) -> int:
+        return int(self._requests.value(outcome=outcome))
+
+    @property
+    def submitted(self) -> int:
+        return self._outcome("submitted")
+
+    @property
+    def rejected(self) -> int:
+        return self._outcome("rejected")
+
+    @property
+    def completed(self) -> int:
+        return self._outcome("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._outcome("failed")
+
+    @property
+    def cancelled(self) -> int:
+        return self._outcome("cancelled")
+
+    @property
+    def deadline_misses(self) -> int:
+        return self._outcome("deadline_missed")
+
+    @property
+    def sim_busy(self) -> float:
+        return self._sim_busy.value()
+
     # -- recording hooks (called by the server) -------------------------
     def record_submit(self, queue_depth: int) -> None:
-        with self._lock:
-            self.submitted += 1
-            self.queue_depths.append(int(queue_depth))
+        self._requests.inc(outcome="submitted")
+        self._queue_depth.observe(int(queue_depth))
 
     def record_reject(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._requests.inc(outcome="rejected")
 
     def record_cancelled(self, count: int) -> None:
-        with self._lock:
-            self.cancelled += int(count)
+        self._requests.inc(int(count), outcome="cancelled")
 
     def record_failure(self, count: int) -> None:
-        with self._lock:
-            self.failed += int(count)
+        self._requests.inc(int(count), outcome="failed")
 
     def record_batch(self, record: BatchRecord, responses, launch_stats=None) -> None:
         """Fold one dispatched batch and its per-request outcomes in."""
         with self._lock:
             self.batches.append(record)
-            self.sim_busy += record.sim_elapsed
             if launch_stats is not None:
                 self.launch_stats.merge(launch_stats)
-            for resp in responses:
-                self.completed += 1
-                self.latencies_wall.append(resp.latency)
-                self.latencies_sim.append(resp.latency_sim)
-                self.queue_waits_wall.append(resp.queue_wait)
-                if resp.deadline_missed:
-                    self.deadline_misses += 1
+        self._sim_busy.inc(record.sim_elapsed)
+        self._flops.inc(record.useful_flops, kind="useful")
+        self._flops.inc(record.padded_flops, kind="padded")
+        self._batch_sizes.observe(record.size)
+        for resp in responses:
+            self._requests.inc(outcome="completed")
+            self._latency.observe(resp.latency, clock="wall")
+            self._latency.observe(resp.latency_sim, clock="sim")
+            self._queue_wait.observe(resp.queue_wait)
+            if resp.deadline_missed:
+                self._requests.inc(outcome="deadline_missed")
 
     # -- derived views ---------------------------------------------------
     @staticmethod
@@ -143,61 +182,67 @@ class ServerMetrics:
                 hist[rec.size] = hist.get(rec.size, 0) + 1
             return dict(sorted(hist.items()))
 
+    def expose(self) -> str:
+        """Prometheus text exposition of the whole serving tier."""
+        with self._lock:
+            self.launch_stats.publish(self.registry, prefix="serving_driver")
+        return self.registry.expose()
+
     def snapshot(self) -> dict:
         """One JSON-ready dict with every headline number."""
         with self._lock:
-            useful = sum(b.useful_flops for b in self.batches)
-            padded = sum(b.padded_flops for b in self.batches)
+            batches = list(self.batches)
+            launch = self.launch_stats
             wall = None
             if self.wall_started is not None and self.wall_stopped is not None:
                 wall = self.wall_stopped - self.wall_started
-            sim_busy = self.sim_busy
-            completed = self.completed
-            hist: dict[int, int] = {}
-            for rec in self.batches:
-                hist[rec.size] = hist.get(rec.size, 0) + 1
-            return {
-                "requests": {
-                    "submitted": self.submitted,
-                    "completed": completed,
-                    "rejected": self.rejected,
-                    "failed": self.failed,
-                    "cancelled": self.cancelled,
-                    "deadline_misses": self.deadline_misses,
-                },
-                "throughput": {
-                    "batches": len(self.batches),
-                    "mean_batch_size": (completed / len(self.batches)) if self.batches else 0.0,
-                    "sim_busy_s": sim_busy,
-                    "matrices_per_sim_s": (completed / sim_busy) if sim_busy else 0.0,
-                    "useful_gflops_sim": (useful / sim_busy / 1e9) if sim_busy else 0.0,
-                    "wall_s": wall,
-                    "matrices_per_wall_s": (completed / wall) if wall else 0.0,
-                },
-                "latency_sim_s": latency_summary(self.latencies_sim),
-                "latency_wall_s": latency_summary(self.latencies_wall),
-                "queue": {
-                    "max_depth": max(self.queue_depths, default=0),
-                    "mean_depth": float(np.mean(self.queue_depths)) if self.queue_depths else 0.0,
-                    "mean_wait_wall_s": (
-                        float(np.mean(self.queue_waits_wall)) if self.queue_waits_wall else 0.0
-                    ),
-                },
-                "batch_size_histogram": {str(k): v for k, v in sorted(hist.items())},
-                "batching": {
-                    "useful_flops": useful,
-                    "padded_flops": padded,
-                    "wasted_flops": padded - useful,
-                    "efficiency": (useful / padded) if padded else 0.0,
-                },
-                "plan_cache": {
-                    "hits": self.launch_stats.plan_cache_hits,
-                    "misses": self.launch_stats.plan_cache_misses,
-                },
-                "launches": {
-                    "executed": self.launch_stats.executed_launches,
-                    "plan_nodes": self.launch_stats.plan_nodes,
-                    "batches": self.launch_stats.batches,
-                },
-            }
-
+        useful = sum(b.useful_flops for b in batches)
+        padded = sum(b.padded_flops for b in batches)
+        sim_busy = self.sim_busy
+        completed = self.completed
+        hist: dict[int, int] = {}
+        for rec in batches:
+            hist[rec.size] = hist.get(rec.size, 0) + 1
+        depths = self._queue_depth.values()
+        return {
+            "requests": {
+                "submitted": self.submitted,
+                "completed": completed,
+                "rejected": self.rejected,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "deadline_misses": self.deadline_misses,
+            },
+            "throughput": {
+                "batches": len(batches),
+                "mean_batch_size": (completed / len(batches)) if batches else 0.0,
+                "sim_busy_s": sim_busy,
+                "matrices_per_sim_s": (completed / sim_busy) if sim_busy else 0.0,
+                "useful_gflops_sim": (useful / sim_busy / 1e9) if sim_busy else 0.0,
+                "wall_s": wall,
+                "matrices_per_wall_s": (completed / wall) if wall else 0.0,
+            },
+            "latency_sim_s": self._latency.summary(clock="sim"),
+            "latency_wall_s": self._latency.summary(clock="wall"),
+            "queue": {
+                "max_depth": int(self._queue_depth.max()),
+                "mean_depth": float(np.mean(depths)) if depths else 0.0,
+                "mean_wait_wall_s": self._queue_wait.mean(),
+            },
+            "batch_size_histogram": {str(k): v for k, v in sorted(hist.items())},
+            "batching": {
+                "useful_flops": useful,
+                "padded_flops": padded,
+                "wasted_flops": padded - useful,
+                "efficiency": (useful / padded) if padded else 0.0,
+            },
+            "plan_cache": {
+                "hits": launch.plan_cache_hits,
+                "misses": launch.plan_cache_misses,
+            },
+            "launches": {
+                "executed": launch.executed_launches,
+                "plan_nodes": launch.plan_nodes,
+                "batches": launch.batches,
+            },
+        }

@@ -41,6 +41,7 @@ from ..device.device import Device
 from ..device.topology import DeviceGroup
 from ..errors import AdmissionError, ArgumentError, ServingError
 from ..extensions.solve import potrs_vbatched
+from ..observability.trace import Track, current_tracer
 from .batcher import Batcher, BatchingPolicy
 from .metrics import BatchRecord, ServerMetrics
 from .request import Request, RequestFuture, Response
@@ -80,6 +81,10 @@ class BatchServer:
         one across servers, or ``None`` to plan every dispatch afresh.
     clock:
         Wall-clock source (monotonic seconds); injectable for tests.
+    name:
+        Trace process label for this server's queue/dispatch tracks;
+        defaults to ``"{policy}:serving"`` so a multi-policy bench
+        trace groups each server with its (prefix-named) devices.
     """
 
     def __init__(
@@ -96,6 +101,7 @@ class BatchServer:
         options: PotrfOptions | None = None,
         plan_cache: PlanCache | str | None = "auto",
         clock=time.monotonic,
+        name: str | None = None,
     ):
         if admission not in _ADMISSIONS:
             raise ArgumentError(7, f"bad admission {admission!r} (use one of {_ADMISSIONS})")
@@ -116,6 +122,9 @@ class BatchServer:
         self._batcher = Batcher(
             policy, max_batch=max_batch, max_wait=max_wait, deadline_margin=deadline_margin
         )
+        self.name = name if name is not None else f"{self._batcher.policy.name}:serving"
+        self.queue_track = Track(self.name, "queue")
+        self._batcher.trace_track = self.queue_track
         self._cond = threading.Condition()
         self._dispatch_lock = threading.Lock()
         self._in_flight = 0
@@ -173,6 +182,16 @@ class BatchServer:
             self._next_req_id += 1
             self._batcher.add(request)
             self.metrics.record_submit(len(self._batcher))
+            tracer = current_tracer()
+            if tracer:
+                tracer.instant(
+                    "request-admitted", self.queue_track, cat="serving",
+                    args={"req_id": request.req_id, "n": request.n,
+                          "queue_depth": len(self._batcher)},
+                )
+                tracer.counter(
+                    "queue_depth", self.queue_track, {"pending": len(self._batcher)}
+                )
             self._cond.notify_all()
             return request.future
 
@@ -327,76 +346,94 @@ class BatchServer:
                     raise
 
     def _dispatch_inner(self, requests: list[Request]) -> None:
-        dispatched_wall = self.clock()
-        batch_id = self._next_batch_id
-        self._next_batch_id += 1
-        # Largest-first within the launch — the paper's implicit-sorting
-        # order, and a canonical size vector for the plan-cache key.
-        order = sorted(
-            range(len(requests)), key=lambda i: (-requests[i].n, requests[i].req_id)
-        )
-        reqs = [requests[i] for i in order]
-        max_n = max(r.n for r in reqs)
-
-        batch = VBatch.from_host(self.device, [r.matrix for r in reqs])
-        try:
-            result = run_potrf_vbatched(
-                self.device,
-                batch,
-                max_n,
-                self.options,
-                devices=self.group,
-                plan_cache=self.plan_cache,
+        tracer = current_tracer()
+        with tracer.span(
+            "dispatch", Track(self.name, "dispatch"), cat="dispatch"
+        ) as span_args:
+            dispatched_wall = self.clock()
+            dispatched_sim = self._sim_now() if tracer else 0.0
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            # Largest-first within the launch — the paper's implicit-sorting
+            # order, and a canonical size vector for the plan-cache key.
+            order = sorted(
+                range(len(requests)), key=lambda i: (-requests[i].n, requests[i].req_id)
             )
-            factors: list[np.ndarray | None] = [None] * len(reqs)
-            solutions: list[np.ndarray | None] = [None] * len(reqs)
-            solve = None
-            if self.device.execute_numerics:
-                factors = batch.download_matrices()
-            rhs = [None if r.op != "posv" else np.array(r.rhs, copy=True) for r in reqs]
-            if any(b is not None for b in rhs):
-                solve = potrs_vbatched(self.device, batch, rhs)
+            reqs = [requests[i] for i in order]
+            max_n = max(r.n for r in reqs)
+
+            batch = VBatch.from_host(self.device, [r.matrix for r in reqs])
+            try:
+                result = run_potrf_vbatched(
+                    self.device,
+                    batch,
+                    max_n,
+                    self.options,
+                    devices=self.group,
+                    plan_cache=self.plan_cache,
+                )
+                factors: list[np.ndarray | None] = [None] * len(reqs)
+                solutions: list[np.ndarray | None] = [None] * len(reqs)
+                solve = None
                 if self.device.execute_numerics:
-                    solutions = rhs
-        finally:
-            batch.free()
+                    factors = batch.download_matrices()
+                rhs = [None if r.op != "posv" else np.array(r.rhs, copy=True) for r in reqs]
+                if any(b is not None for b in rhs):
+                    solve = potrs_vbatched(self.device, batch, rhs)
+                    if self.device.execute_numerics:
+                        solutions = rhs
+            finally:
+                batch.free()
 
-        sim_elapsed = result.elapsed + (solve.elapsed if solve is not None else 0.0)
-        completed_wall = self.clock()
-        completed_sim = self._sim_now()
-        useful, padded = ServerMetrics.padded_flops_for(
-            [r.n for r in reqs], reqs[0].precision
-        )
-        responses = []
-        for i, req in enumerate(reqs):
-            info = int(result.infos[i])
-            resp = Response(
-                req_id=req.req_id,
-                op=req.op,
-                info=info,
-                factor=factors[i],
-                # A failed factorization's "solution" is meaningless.
-                solution=solutions[i] if info == 0 else None,
-                batch_id=batch_id,
-                batch_size=len(reqs),
-                batch_max_n=max_n,
-                arrival=req.arrival,
-                dispatched=dispatched_wall,
-                completed=completed_wall,
-                latency_sim=completed_sim - req.arrival_sim,
-                service_sim=sim_elapsed,
-                deadline_missed=req.deadline is not None and completed_wall > req.deadline,
+            sim_elapsed = result.elapsed + (solve.elapsed if solve is not None else 0.0)
+            completed_wall = self.clock()
+            completed_sim = self._sim_now()
+            useful, padded = ServerMetrics.padded_flops_for(
+                [r.n for r in reqs], reqs[0].precision
             )
-            responses.append(resp)
-        record = BatchRecord(
-            batch_id=batch_id,
-            size=len(reqs),
-            max_n=max_n,
-            useful_flops=useful,
-            padded_flops=padded,
-            sim_elapsed=sim_elapsed,
-            devices_used=result.launch_stats.devices_used,
-        )
-        self.metrics.record_batch(record, responses, result.launch_stats)
-        for req, resp in zip(reqs, responses):
-            req.future.set_result(resp)
+            responses = []
+            for i, req in enumerate(reqs):
+                info = int(result.infos[i])
+                resp = Response(
+                    req_id=req.req_id,
+                    op=req.op,
+                    info=info,
+                    factor=factors[i],
+                    # A failed factorization's "solution" is meaningless.
+                    solution=solutions[i] if info == 0 else None,
+                    batch_id=batch_id,
+                    batch_size=len(reqs),
+                    batch_max_n=max_n,
+                    arrival=req.arrival,
+                    dispatched=dispatched_wall,
+                    completed=completed_wall,
+                    latency_sim=completed_sim - req.arrival_sim,
+                    service_sim=sim_elapsed,
+                    deadline_missed=req.deadline is not None
+                    and completed_wall > req.deadline,
+                )
+                responses.append(resp)
+            record = BatchRecord(
+                batch_id=batch_id,
+                size=len(reqs),
+                max_n=max_n,
+                useful_flops=useful,
+                padded_flops=padded,
+                sim_elapsed=sim_elapsed,
+                devices_used=result.launch_stats.devices_used,
+            )
+            self.metrics.record_batch(record, responses, result.launch_stats)
+            if tracer:
+                span_args.update(
+                    batch_id=batch_id,
+                    size=len(reqs),
+                    max_n=max_n,
+                    useful_flops=useful,
+                    padded_flops=padded,
+                    sim_elapsed=sim_elapsed,
+                    queue_wait_sim=sum(
+                        max(dispatched_sim - r.arrival_sim, 0.0) for r in reqs
+                    ),
+                )
+            for req, resp in zip(reqs, responses):
+                req.future.set_result(resp)

@@ -68,7 +68,7 @@ class TestPlanExecutor:
         stats = PlanExecutor(dev).execute(pb.build())
         r1, r2 = dev.launches[-2:]
         assert r2.start < r1.end
-        assert stats.streams_used == 3  # default + two created lazily
+        assert stats.streams_used == 2  # only streams that ran launches count
 
     def test_cross_stream_dep_becomes_event_wait(self):
         dev = Device(execute_numerics=False)

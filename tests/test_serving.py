@@ -329,3 +329,33 @@ class TestDeadlinesAndMetrics:
         server.pump(force=True)
         snap = server.metrics.snapshot()
         assert 0.0 < snap["batching"]["efficiency"] < 0.6  # heavy padding waste
+
+
+class TestMetricsExposition:
+    """The registry-backed ServerMetrics renders Prometheus text."""
+
+    def test_expose_covers_requests_latency_and_driver(self):
+        server = BatchServer(Device(execute_numerics=False), policy="fifo", max_batch=4)
+        server.submit_many([np.zeros((16, 16)) for _ in range(4)])
+        server.pump(force=True)
+        server.shutdown()
+        text = server.metrics.expose()
+        assert 'serving_requests_total{outcome="completed"} 4' in text
+        assert 'serving_requests_total{outcome="submitted"} 4' in text
+        assert "# TYPE serving_latency_seconds summary" in text
+        assert 'serving_latency_seconds{clock="sim",quantile="0.5"}' in text
+        assert "serving_batch_size_bucket" in text
+        # LaunchStats rides along under its own prefix.
+        assert "serving_driver_executed_launches" in text
+
+    def test_shared_registry_can_be_injected(self):
+        from repro.observability import MetricsRegistry
+        from repro.serving.metrics import ServerMetrics
+
+        registry = MetricsRegistry()
+        metrics = ServerMetrics(registry=registry)
+        metrics.record_submit(queue_depth=1)
+        assert metrics.registry is registry
+        assert registry.counter(
+            "serving_requests_total", labels=("outcome",)
+        ).value(outcome="submitted") == 1

@@ -1,0 +1,231 @@
+"""Tests for trace export (Chrome/Perfetto JSON, JSONL) and the
+trace-driven bottleneck report, including the acceptance-criteria
+checks: one track per device stream plus a serving-queue track, and
+trace-report padded-waste numbers that match the serving metrics.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.observability import (
+    Tracer,
+    Track,
+    analyze_trace,
+    format_trace_report,
+    load_chrome_trace,
+    to_chrome_trace,
+    trace_events_from_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.serving.loadgen import run_serve_bench
+
+
+def _synthetic_tracer() -> Tracer:
+    """A hand-built trace with one serving group and one device."""
+    clock = iter(range(1, 200))
+    tr = Tracer(wall_clock=lambda: float(next(clock)))
+    with tr.span(
+        "dispatch", Track("g:serving", "dispatch"), cat="dispatch",
+        args={"size": 3, "useful_flops": 60.0, "padded_flops": 100.0,
+              "queue_wait_sim": 0.5, "sim_elapsed": 2.0},
+    ):
+        tr.add_span("plan-build", Track("g:dev0", "planner"), 10.0, 11.0,
+                    cat="plan", clock="wall")
+        tr.instant("plan-cache-miss", Track("g:dev0", "planner"), cat="plan-cache")
+        tr.instant("plan-cache-hit", Track("g:dev0", "planner"), cat="plan-cache")
+        tr.instant("plan-cache-evict", Track("g:dev0", "planner"),
+                   cat="plan-cache", args={"count": 2})
+        tr.add_span("potf2", Track("g:dev0", "stream0"), 0.0, 1.0, cat="potf2")
+        tr.add_span("potf2", Track("g:dev0", "stream1"), 0.5, 2.0, cat="potf2")
+        tr.add_span("wait", Track("g:dev0", "stream1"), 2.0, 2.25, cat="wait")
+    tr.instant("request-admitted", Track("g:serving", "queue"), cat="serving")
+    tr.counter("queue_depth", Track("g:serving", "queue"), {"pending": 4})
+    return tr
+
+
+class TestAnalyzeTrace:
+    def test_occupancy_per_stream(self):
+        an = analyze_trace(_synthetic_tracer())
+        occ = {(o.process, o.thread): o for o in an.occupancy}
+        # Device window spans sim 0.0..2.25 across all its sim spans.
+        s0 = occ[("g:dev0", "stream0")]
+        assert s0.busy == pytest.approx(1.0)
+        assert s0.window == pytest.approx(2.25)
+        assert s0.occupancy == pytest.approx(1.0 / 2.25)
+        s1 = occ[("g:dev0", "stream1")]
+        assert s1.spans == 2 and s1.busy == pytest.approx(1.75)
+
+    def test_group_aggregation(self):
+        an = analyze_trace(_synthetic_tracer())
+        g = an.group("g")
+        assert g.batches == 1 and g.requests == 3
+        assert g.useful_flops == 60.0 and g.padded_flops == 100.0
+        assert g.waste_pct == pytest.approx(40.0)
+        assert g.efficiency == pytest.approx(0.6)
+        assert g.queue_wait_sim == 0.5 and g.execute_sim == 2.0
+        assert g.plan_builds == 1 and g.plan_build_wall == pytest.approx(1.0)
+        assert g.cache_hits == 1 and g.cache_misses == 1 and g.cache_evictions == 2
+        assert set(g.critical_path) == {
+            "queue_wait_sim_s", "plan_build_wall_s", "execute_sim_s"
+        }
+
+    def test_bottleneck_ranking_and_top(self):
+        an = analyze_trace(_synthetic_tracer(), top=1)
+        assert len(an.bottlenecks) == 1
+        name, cat, calls, total = an.bottlenecks[0]
+        assert (name, cat, calls) == ("potf2", "potf2", 2)
+        assert total == pytest.approx(2.5)
+
+    def test_waste_by_group(self):
+        assert analyze_trace(_synthetic_tracer()).waste_by_group() == {
+            "g": pytest.approx(40.0)
+        }
+
+    def test_accepts_chrome_dict(self):
+        data = to_chrome_trace(_synthetic_tracer())
+        an = analyze_trace(data)
+        assert an.group("g").waste_pct == pytest.approx(40.0)
+
+    def test_format_report_renders_all_tables(self):
+        text = format_trace_report(analyze_trace(_synthetic_tracer()))
+        assert "stream occupancy" in text
+        assert "critical path" in text
+        assert "padded flops + plan cache" in text
+        assert "bottlenecks" in text
+
+
+class TestChromeExport:
+    def test_track_table_is_stable_and_named(self):
+        data = to_chrome_trace(_synthetic_tracer())
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        processes = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        threads = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert processes == {"g:dev0", "g:serving"}
+        assert {"stream0", "stream1", "queue"} <= threads
+
+    def test_timestamps_normalized_per_clock(self):
+        data = to_chrome_trace(_synthetic_tracer())
+        spans = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        sim_ts = [e["ts"] for e in spans if e["args"]["clock"] == "sim"]
+        wall_ts = [e["ts"] for e in spans if e["args"]["clock"] == "wall"]
+        assert min(sim_ts) == 0.0 and min(wall_ts) == 0.0
+        assert all(e["dur"] >= 0 for e in spans)
+
+    def test_validate_passes_on_exporter_output(self):
+        assert validate_chrome_trace(to_chrome_trace(_synthetic_tracer())) == []
+
+    def test_validate_rejects_bad_shapes(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+        bad = {"traceEvents": [{"ph": "X", "name": "k", "ts": 0, "pid": 1, "tid": 1}]}
+        problems = validate_chrome_trace(bad)
+        assert any("dur" in p for p in problems)
+        assert any("process_name" in p for p in problems)
+        weird = {"traceEvents": [{"ph": "Q", "name": "k", "ts": 0, "pid": 1, "tid": 1}]}
+        assert any("unsupported phase" in p for p in validate_chrome_trace(weird))
+
+    def test_write_load_roundtrip(self, tmp_path):
+        tr = _synthetic_tracer()
+        path = write_chrome_trace(tr, tmp_path / "t.json")
+        data = load_chrome_trace(path)
+        events = trace_events_from_chrome(data)
+        spans = [e for e in events if e.phase == "span"]
+        assert len(spans) == len(tr.spans())
+        # Round-tripped analysis agrees with the in-memory one.
+        assert analyze_trace(events).group("g").waste_pct == pytest.approx(40.0)
+
+    def test_load_rejects_invalid_file(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+        with pytest.raises(ValueError):
+            load_chrome_trace(p)
+
+    def test_jsonl_log(self, tmp_path):
+        tr = _synthetic_tracer()
+        path = write_trace_jsonl(tr, tmp_path / "t.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == len(tr.snapshot())
+        assert {"phase", "name", "process", "thread", "clock", "start"} <= set(lines[0])
+
+
+class TestServeBenchTraceEndToEnd:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        tracer = Tracer()
+        report = run_serve_bench(
+            requests=90, max_size=64, max_batch=16, concurrency=24, tracer=tracer
+        )
+        return tracer, report
+
+    def test_one_track_per_stream_plus_queue_track(self, traced_run):
+        tracer, _ = traced_run
+        data = to_chrome_trace(tracer)
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        by_process: dict[str, set] = {}
+        pid_name = {e["pid"]: e["args"]["name"] for e in meta
+                    if e["name"] == "process_name"}
+        for e in meta:
+            if e["name"] == "thread_name":
+                by_process.setdefault(pid_name[e["pid"]], set()).add(e["args"]["name"])
+        for policy in ("per-request", "fifo", "size-bucket", "greedy-window"):
+            assert "stream0" in by_process[f"{policy}:dev0"]
+            assert "queue" in by_process[f"{policy}:serving"]
+
+    def test_report_waste_matches_serving_metrics(self, traced_run):
+        tracer, report = traced_run
+        an = analyze_trace(tracer)
+        for policy, snap in report["policies"].items():
+            batching = snap["batching"]
+            g = an.group(policy)
+            assert g.useful_flops == pytest.approx(batching["useful_flops"], rel=1e-12)
+            assert g.padded_flops == pytest.approx(batching["padded_flops"], rel=1e-12)
+            assert g.requests == snap["requests"]["completed"]
+            assert g.batches == snap["throughput"]["batches"]
+            want = 100.0 * (1.0 - batching["efficiency"])
+            assert g.waste_pct == pytest.approx(want, rel=1e-12)
+
+    def test_cache_traffic_matches_snapshot(self, traced_run):
+        tracer, report = traced_run
+        an = analyze_trace(tracer)
+        for policy, snap in report["policies"].items():
+            g = an.group(policy)
+            assert g.cache_hits == snap["plan_cache"]["hits"]
+            assert g.cache_misses == snap["plan_cache"]["misses"]
+
+    def test_window_close_and_admission_events_present(self, traced_run):
+        tracer, _ = traced_run
+        events = tracer.snapshot()
+        closes = [e for e in events if e.name == "window-close"]
+        admits = [e for e in events if e.name == "request-admitted"]
+        assert closes and admits
+        assert {e.args["reason"] for e in closes} <= {
+            "force", "full", "deadline", "max-wait"
+        }
+        assert all(e.track.thread == "queue" for e in closes + admits)
+
+
+class TestTraceCli:
+    def test_serve_bench_trace_then_report(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        log = tmp_path / "trace.jsonl"
+        assert main([
+            "serve-bench", "-r", "60", "-n", "48", "--max-batch", "8",
+            "--concurrency", "16", "--trace", str(trace),
+            "--trace-jsonl", str(log),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out and "event log written to" in out
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+        assert log.read_text().count("\n") > 0
+        assert main(["trace-report", str(trace), "--top", "3"]) == 0
+        report_out = capsys.readouterr().out
+        assert "stream occupancy" in report_out
+        assert "padded flops + plan cache" in report_out
+
+    def test_trace_report_missing_file(self, capsys, tmp_path):
+        assert main(["trace-report", str(tmp_path / "nope.json")]) == 2
+        assert "trace-report" in capsys.readouterr().err
