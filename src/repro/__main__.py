@@ -66,6 +66,7 @@ def _cmd_tune(args) -> int:
 def _cmd_profile(args) -> int:
     from .bench import export_chrome_trace, format_profile
     from .core import PlanCache, PotrfOptions, VBatch, potrf_vbatched
+    from .core.optimizer import OPTIMIZER_COUNTERS
     from .device import Device
     from .distributions import generate_sizes
     from .observability import MetricsRegistry
@@ -78,7 +79,9 @@ def _cmd_profile(args) -> int:
     registry = MetricsRegistry()
     stats = None
     for _ in range(max(1, args.repeat)):
-        result = potrf_vbatched(device, batch, PotrfOptions(), plan_cache=cache)
+        result = potrf_vbatched(
+            device, batch, PotrfOptions(optimize=args.optimize), plan_cache=cache
+        )
         if stats is None:
             stats = result.launch_stats
         else:
@@ -93,7 +96,18 @@ def _cmd_profile(args) -> int:
           f"{vals['plan_cache_evictions']:.0f} evictions over "
           f"{vals['driver_batches']:.0f} batches "
           f"({vals['plan_cache_hit_ratio'] * 100:.0f}% hit rate, "
-          f"{vals['plan_cache_size']:.0f} cached)\n")
+          f"{vals['plan_cache_size']:.0f} cached)")
+    if args.optimize != "none":
+        for counter_name, meta_key, help_text in OPTIMIZER_COUNTERS:
+            registry.counter(counter_name, help_text).inc(
+                int(getattr(stats, f"opt_{meta_key}"))
+            )
+        vals = registry.as_dict()
+        print(f"plan optimizer [{args.optimize}]: "
+              f"{vals['plan_opt_barriers_elided']:.0f} barriers elided, "
+              f"{vals['plan_opt_launches_merged']:.0f} launches merged, "
+              f"{vals['plan_opt_launches_pruned']:.0f} launches pruned")
+    print()
     print(format_profile(device.timeline))
     if args.trace:
         path = export_chrome_trace(device.timeline, args.trace)
@@ -126,6 +140,7 @@ def _cmd_serve_bench(args) -> int:
         seed=args.seed,
         device_count=args.devices,
         tracer=tracer,
+        optimize=args.optimize,
         **config,
     )
 
@@ -224,6 +239,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=2,
                    help="factorization repeats (shows plan-cache effectiveness)")
     p.add_argument("--trace", help="write a Chrome trace JSON here")
+    p.add_argument("--optimize", default="none",
+                   help='plan-optimizer level: "none", "all", or +-joined pass names')
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("serve-bench", help="benchmark the batch-serving subsystem")
@@ -240,6 +257,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write the JSON report here (e.g. BENCH_pr3.json)")
     p.add_argument("--trace", help="write a Chrome/Perfetto trace of the whole run here")
     p.add_argument("--trace-jsonl", help="write the structured event log (JSONL) here")
+    p.add_argument("--optimize", default="none",
+                   help='plan-optimizer level: "none", "all", or +-joined pass names')
     p.set_defaults(fn=_cmd_serve_bench)
 
     p = sub.add_parser("trace-report", help="bottleneck report from a recorded trace")

@@ -201,6 +201,7 @@ def fig7_crossover(
     nmax_values: tuple[int, ...] = (128, 192, 256, 320, 384, 448, 512, 640, 768, 896, 1024),
     batch_count: int = 800,
     seed: int = 0,
+    optimize: str = "none",
 ) -> FigureResult:
     """Fused vs separated vs the combined switch (paper Fig 7)."""
     prec = Precision(precision)
@@ -216,12 +217,15 @@ def fig7_crossover(
         for approach in ("fused", "separated"):
             try:
                 rows[approach].append(
-                    _run_gflops(sizes, prec, nmax, PotrfOptions(approach=approach))
+                    _run_gflops(
+                        sizes, prec, nmax,
+                        PotrfOptions(approach=approach, optimize=optimize),
+                    )
                 )
             except (LaunchError, DeviceOutOfMemory):
                 rows[approach].append(float("nan"))
         rows["switch"].append(
-            _run_gflops(sizes, prec, nmax, PotrfOptions(approach="auto"))
+            _run_gflops(sizes, prec, nmax, PotrfOptions(approach="auto", optimize=optimize))
         )
     for label in ("fused", "separated", "switch"):
         fig.add(label, rows[label])

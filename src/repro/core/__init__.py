@@ -16,6 +16,7 @@ from .interface import (
 )
 from .crossover import CrossoverPolicy
 from .driver import LaunchStats
+from .optimizer import optimize_plan, resolve_passes
 from .plan import (
     AuxLaunch,
     Barrier,
@@ -40,4 +41,6 @@ __all__ = [
     "KernelLaunch",
     "AuxLaunch",
     "Barrier",
+    "optimize_plan",
+    "resolve_passes",
 ]

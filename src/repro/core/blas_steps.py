@@ -110,10 +110,11 @@ class BlasStepDriver:
                             )
                         else:
                             tasks.append(GemmTask(m=m_i, n=jb, k=offset))
-                    pb.launch(
-                        VbatchedGemmKernel(tasks, batch.precision, self.tiling, label="panel_update"),
-                        tag="gemm",
+                    update = VbatchedGemmKernel(
+                        tasks, batch.precision, self.tiling, label="panel_update"
                     )
+                    update.matrix_indices = tuple(range(len(tasks)))
+                    pb.launch(update, tag="gemm")
                     stats.gemm_launches += 1
 
                 # 2) Diagonal tile: generic global-memory potf2.

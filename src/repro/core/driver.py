@@ -20,7 +20,7 @@ Two scaling hooks ride on the split:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from ..errors import ArgumentError, BatchNumericalError
 from .batch import VBatch
 from .crossover import CrossoverPolicy
 from .fused import FusedDriver
+from .optimizer import optimize_plan, resolve_passes
 from .plan import PlanCache
 from .separated import SeparatedDriver
 
@@ -54,8 +55,15 @@ class PotrfOptions:
     syrk_mode: str = "vbatched"
     crossover_size: int | None = None
     on_error: str = "info"
+    #: Plan-optimizer level: "none", "all", a pass name, or a
+    #: "+"-joined combination (see :mod:`repro.core.optimizer`).
+    optimize: str = "none"
 
     def __post_init__(self):
+        try:
+            resolve_passes(self.optimize)
+        except ValueError as exc:
+            raise ArgumentError(9, str(exc)) from None
         if self.approach not in ("auto", "fused", "separated"):
             raise ArgumentError(1, f"bad approach {self.approach!r}")
         if self.etm not in ("classic", "aggressive"):
@@ -110,6 +118,9 @@ class LaunchStats:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     batches: int = 0
+    opt_barriers_elided: int = 0
+    opt_launches_merged: int = 0
+    opt_launches_pruned: int = 0
     devices_used: int = 1
 
     def keys(self):
@@ -203,10 +214,15 @@ def plan_potrf(
 ):
     """Produce (or fetch from cache) the launch plan for one batch."""
     approach = approach or resolve_approach(batch, max_n, options)
-    build = lambda: make_planner(device, approach, options).plan(batch, max_n)  # noqa: E731
+
+    def build():
+        plan = make_planner(device, approach, options).plan(batch, max_n)
+        return optimize_plan(plan, options.optimize)
+
     if plan_cache is None:
         return build(), None
-    key = plan_cache.key_for(device, batch, max_n, approach, options)
+    key = plan_cache.key_for(device, batch, max_n, approach, options,
+                             optimize=options.optimize)
     before = plan_cache.planner_calls
     plan = plan_cache.get_or_build(key, batch, build)
     return plan, plan_cache.planner_calls == before
@@ -220,6 +236,7 @@ def stats_from_execution(plan, exec_stats, cache_hit: bool | None) -> LaunchStat
     outcome of this run's plan lookup.
     """
     run = plan.run_stats
+    opt = plan.meta.get("optimizer", {})
     return LaunchStats(
         steps=getattr(run, "steps", 0),
         aux_launches=exec_stats.count("aux"),
@@ -238,6 +255,9 @@ def stats_from_execution(plan, exec_stats, cache_hit: bool | None) -> LaunchStat
         plan_cache_hits=1 if cache_hit else 0,
         plan_cache_misses=1 if cache_hit is False else 0,
         batches=1,
+        opt_barriers_elided=int(opt.get("barriers_elided", 0)),
+        opt_launches_merged=int(opt.get("launches_merged", 0)),
+        opt_launches_pruned=int(opt.get("launches_pruned", 0)),
     )
 
 
@@ -249,16 +269,21 @@ def run_potrf_vbatched(
     *,
     devices=None,
     plan_cache: PlanCache | None = None,
+    optimize: str | None = None,
 ) -> PotrfResult:
     """Execute the factorization and collect the result record.
 
     ``devices`` (a :class:`~repro.device.topology.DeviceGroup` or a
     sequence of devices) shards the batch across the group and runs the
     per-shard plans concurrently; ``plan_cache`` re-serves previously
-    built plans for batches with identical size vectors.
+    built plans for batches with identical size vectors; ``optimize``
+    overrides ``options.optimize`` (a plan-optimizer level, see
+    :mod:`repro.core.optimizer`).
     """
     from ..device.executor import PlanExecutor
 
+    if optimize is not None and optimize != options.optimize:
+        options = replace(options, optimize=optimize)
     if max_n < batch.max_size_host:
         raise ArgumentError(3, f"max_n={max_n} smaller than largest matrix in batch")
     approach = resolve_approach(batch, max_n, options)

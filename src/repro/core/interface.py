@@ -37,6 +37,7 @@ def potrf_vbatched_max(
     *,
     devices=None,
     plan_cache=None,
+    optimize: str | None = None,
 ) -> PotrfResult:
     """Cholesky-factorize a variable-size batch, trusting ``max_n``.
 
@@ -47,12 +48,20 @@ def potrf_vbatched_max(
     ``devices`` shards the batch across a
     :class:`~repro.device.topology.DeviceGroup` (or device sequence);
     ``plan_cache`` (a :class:`~repro.core.plan.PlanCache`) re-serves
-    launch plans across calls with identical size vectors.
+    launch plans across calls with identical size vectors; ``optimize``
+    selects the :mod:`~repro.core.optimizer` pass level (overriding
+    ``options.optimize``).
     """
     if max_n <= 0:
         raise ArgumentError(3, f"max_n must be positive, got {max_n}")
     return run_potrf_vbatched(
-        device, batch, max_n, options or PotrfOptions(), devices=devices, plan_cache=plan_cache
+        device,
+        batch,
+        max_n,
+        options or PotrfOptions(),
+        devices=devices,
+        plan_cache=plan_cache,
+        optimize=optimize,
     )
 
 
@@ -63,6 +72,7 @@ def potrf_vbatched(
     *,
     devices=None,
     plan_cache=None,
+    optimize: str | None = None,
 ) -> PotrfResult:
     """LAPACK-like interface: the max size is reduced on the device.
 
@@ -74,7 +84,13 @@ def potrf_vbatched(
     if max_n <= 0:
         raise ArgumentError(2, "batch contains only empty matrices")
     return potrf_vbatched_max(
-        device, batch, max_n, options, devices=devices, plan_cache=plan_cache
+        device,
+        batch,
+        max_n,
+        options,
+        devices=devices,
+        plan_cache=plan_cache,
+        optimize=optimize,
     )
 
 

@@ -129,7 +129,9 @@ def plan_partial_potrf(
             else:
                 tasks.append(SyrkTask(n=trail, k=k))
         if any(t.n > 0 for t in tasks):
-            pb.launch(VbatchedSyrkKernel(tasks, batch.precision), tag="syrk")
+            schur = VbatchedSyrkKernel(tasks, batch.precision)
+            schur.matrix_indices = tuple(range(len(tasks)))
+            pb.launch(schur, tag="syrk")
             stats["syrk"] = 1
     except BaseException:
         pb.abandon()

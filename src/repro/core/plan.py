@@ -316,8 +316,23 @@ class PlanCache:
             return self.hits / total if total else 0.0
 
     @staticmethod
-    def key_for(device, batch, max_n: int, label: str, options_key) -> tuple:
-        return (id(device), label, int(max_n), options_key, batch_fingerprint(batch))
+    def key_for(device, batch, max_n: int, label: str, options_key,
+                optimize: str = "none", streams: int | None = None) -> tuple:
+        """Cache key for one (device, batch-shape, planner, options) combo.
+
+        ``optimize`` (the plan-optimizer level) and ``streams`` (the
+        device's hardware queue count, which bounds the optimizer's
+        stream rebalancing) are part of the key: an optimized plan and
+        an unoptimized plan for the same ``batch_fingerprint`` are
+        different DAGs and must never collide.  ``id(device)`` stays the
+        leading element — :meth:`evict` matches on it.
+        """
+        if streams is None:
+            streams = int(getattr(getattr(device, "spec", None), "hardware_queues", 0) or 0)
+        return (
+            id(device), label, int(max_n), options_key,
+            str(optimize), int(streams), batch_fingerprint(batch),
+        )
 
     def get(self, key: tuple, batch=None) -> LaunchPlan | None:
         with self._lock:

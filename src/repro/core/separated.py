@@ -191,17 +191,18 @@ class SeparatedDriver:
                         # cuBLAS-style alternative: one kernel per matrix,
                         # round-robin across logical streams, joined by a
                         # host barrier before the next step's aux launch.
-                        live = [t for t in tasks if t.n > 0]
-                        for i, task in enumerate(live):
+                        live = [(i, t) for i, t in enumerate(tasks) if t.n > 0]
+                        for slot, (i, task) in enumerate(live):
                             kernel = VbatchedSyrkKernel([task], batch.precision, self.tiling)
                             kernel.name = f"streamed_syrk:{kernel._info.name}"
-                            pb.launch(kernel, stream=1 + i % self.syrk_streams, tag="syrk")
+                            kernel.matrix_indices = (i,)
+                            pb.launch(kernel, stream=1 + slot % self.syrk_streams, tag="syrk")
                         stats.syrk_launches += len(live)
                         pb.barrier()
                     else:
-                        pb.launch(
-                            VbatchedSyrkKernel(tasks, batch.precision, self.tiling), tag="syrk"
-                        )
+                        kernel = VbatchedSyrkKernel(tasks, batch.precision, self.tiling)
+                        kernel.matrix_indices = tuple(range(len(tasks)))
+                        pb.launch(kernel, tag="syrk")
                         stats.syrk_launches += 1
         except BaseException:
             pb.abandon()

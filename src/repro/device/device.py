@@ -164,21 +164,23 @@ class Device:
     # ------------------------------------------------------------------
     # kernel launch
     # ------------------------------------------------------------------
-    def launch(self, kernel: Kernel, stream: Stream | None = None) -> LaunchRecord:
-        """Launch a kernel asynchronously on ``stream`` (default stream)."""
+    def launch(
+        self, kernel: Kernel, stream: Stream | None = None,
+        run_numerics: bool | None = None,
+    ) -> LaunchRecord:
+        """Launch a kernel asynchronously on ``stream`` (default stream).
+
+        ``run_numerics=False`` commits the launch to the simulated clock
+        but defers the functional plane to the caller (the plan
+        executor's thread-pool path runs ``kernel.run_numerics()``
+        itself); ``None`` follows ``self.execute_numerics``.
+        """
         stream = stream or self.default_stream
-        config = kernel.launch_config()
-        occ = self.spec.occupancy(
-            config.threads_per_block,
-            config.shared_mem_per_block,
-            config.regs_per_thread,
-        )
-        info = precision_info(kernel.precision)
-        works = kernel.block_works()
-        counts = np.fromiter((w.count for w in works), dtype=np.int64, count=len(works))
-        total_blocks = int(counts.sum())
-        durations = self._block_durations(works, occ, info, kernel, config, total_blocks)
-        schedule = self.scheduler.makespan(durations, counts, occ.concurrent_blocks)
+        cached = getattr(kernel, "_schedule_cache", None)
+        if cached is not None and cached[0] is self and cached[1] is self.calibration:
+            occ, schedule, total_blocks = cached[2], cached[3], cached[4]
+        else:
+            occ, schedule, total_blocks = self.prepare_launch(kernel)
 
         # Host-side issue cost; the host then runs ahead (async launch).
         issue_done = self.host_time + self.spec.kernel_launch_overhead
@@ -195,16 +197,40 @@ class Device:
         stream.ready_time = end
 
         self.timeline.record(start, end, f"kernel:{kernel.name}", schedule.utilization)
-        record = LaunchRecord(kernel.name, start, end, schedule, occ, int(counts.sum()))
+        record = LaunchRecord(kernel.name, start, end, schedule, occ, total_blocks)
         self.launches.append(record)
 
-        if self.execute_numerics:
+        if self.execute_numerics and run_numerics is not False:
             kernel.run_numerics()
         return record
 
     # ------------------------------------------------------------------
     # cost model
     # ------------------------------------------------------------------
+    def prepare_launch(self, kernel: Kernel):
+        """Resolve a launch's cost-model inputs without touching clocks.
+
+        Returns ``(occupancy, schedule, total_blocks)`` — everything
+        :meth:`launch` needs besides the live stream state.  Pure with
+        respect to device time, so the plan optimizer can evaluate (and
+        cache) it at plan time; ``kernel._schedule_cache`` holds
+        ``(device, calibration, occ, schedule, total_blocks)`` and is
+        honoured by :meth:`launch` while device and calibration are
+        unchanged.
+        """
+        config = kernel.launch_config()
+        occ = self.spec.occupancy(
+            config.threads_per_block,
+            config.shared_mem_per_block,
+            config.regs_per_thread,
+        )
+        info = precision_info(kernel.precision)
+        works = kernel.block_works()
+        counts = np.fromiter((w.count for w in works), dtype=np.int64, count=len(works))
+        total_blocks = int(counts.sum())
+        durations = self._block_durations(works, occ, info, kernel, config, total_blocks)
+        schedule = self.scheduler.makespan(durations, counts, occ.concurrent_blocks)
+        return occ, schedule, total_blocks
     def _block_durations(
         self,
         works: list[BlockWork],

@@ -28,7 +28,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from ..errors import PlanError
+from ..errors import PlanError, PlanExecutionError
 from ..observability.trace import Track, current_tracer, propagating
 
 __all__ = ["ExecutionStats", "PlanExecutor", "execute_concurrently"]
@@ -54,6 +54,7 @@ class ExecutionStats:
     streams_used: int = 0
     event_waits: int = 0
     events_recorded: int = 0
+    parallel_numerics: int = 0
 
     def count(self, tag: str) -> int:
         return self.by_tag.get(tag, 0)
@@ -88,10 +89,21 @@ class PlanExecutor:
     logical id gets a fresh :class:`~repro.device.stream.Stream` per
     execution (matching the per-run stream sets the eager drivers used),
     created lazily on first use.
+
+    When the plan optimizer recorded independent launch runs in
+    ``plan.meta["optimizer"]["parallel_groups"]`` and the device
+    executes numerics, the executor fans each group's ``run_numerics``
+    calls out to a thread pool (``max_workers``, capped by the device
+    spec's ``hardware_queues``) and joins them before the first
+    dependent node.  Group members touch disjoint matrices by
+    construction, so the results are bit-identical to serial execution;
+    the simulated clock always advances serially in node order.
     """
 
-    def __init__(self, device):
+    def __init__(self, device, max_workers: int | None = None):
         self.device = device
+        queues = int(getattr(getattr(device, "spec", None), "hardware_queues", 1) or 1)
+        self.max_workers = queues if max_workers is None else min(int(max_workers), queues)
 
     def execute(self, plan) -> ExecutionStats:
         from ..core.plan import AuxLaunch, Barrier, KernelLaunch
@@ -105,6 +117,24 @@ class PlanExecutor:
         tracer = current_tracer()
         streams = {0: device.default_stream}
         nodes = plan.nodes
+
+        # Parallel-numerics bookkeeping (optimizer-annotated plans only).
+        group_of: dict[int, int] = {}
+        group_last: dict[int, int] = {}
+        if device.execute_numerics and self.max_workers > 1:
+            for gid, members in enumerate(
+                plan.meta.get("optimizer", {}).get("parallel_groups", ())
+            ):
+                if len(members) > 1:
+                    for index in members:
+                        group_of[index] = gid
+                    group_last[gid] = max(members)
+        pool = None
+        pending: list = []
+
+        def drain():
+            while pending:
+                pending.pop(0).result()
         # A node needs an event only when a *later, other-stream* node
         # depends on it; same-stream order is the queue's job.
         needs_event = {
@@ -117,58 +147,79 @@ class PlanExecutor:
         stats = ExecutionStats()
         used_streams: set[int] = set()
 
-        for node in nodes:
-            if isinstance(node, Barrier):
-                barrier_from = device.host_time
-                scope = node.streams if node.streams is not None else sorted(streams)
-                for sid in scope:
-                    stream = streams.get(sid)
-                    if stream is not None:
-                        stream.synchronize()
-                device.synchronize()
-                stats.barriers += 1
+        try:
+            for node in nodes:
+                if isinstance(node, Barrier):
+                    drain()
+                    barrier_from = device.host_time
+                    scope = node.streams if node.streams is not None else sorted(streams)
+                    for sid in scope:
+                        stream = streams.get(sid)
+                        if stream is not None:
+                            stream.synchronize()
+                    device.synchronize()
+                    stats.barriers += 1
+                    if tracer:
+                        tracer.add_span(
+                            "barrier", Track.for_host(device),
+                            barrier_from, device.host_time, cat="barrier",
+                            args={"node": node.index},
+                        )
+                    continue
+                if not isinstance(node, KernelLaunch):  # pragma: no cover - guarded by validate()
+                    raise PlanError(f"unknown plan node type: {type(node).__name__}")
+                stream = streams.get(node.stream)
+                if stream is None:
+                    stream = streams[node.stream] = device.create_stream()
+                for dep in node.deps:
+                    if nodes[dep].stream != node.stream:
+                        blocked_from = stream.ready_time
+                        stream.wait_event(events[dep])
+                        stats.event_waits += 1
+                        if tracer and stream.ready_time > blocked_from:
+                            tracer.add_span(
+                                "wait", Track.for_stream(device, node.stream),
+                                blocked_from, stream.ready_time, cat="wait",
+                                args={"node": node.index, "on": dep},
+                            )
+                gid = group_of.get(node.index)
+                if gid is None:
+                    # A group's numerics may only overlap nodes proven
+                    # independent of it (its own members and floating
+                    # aux launches); anything else joins first.
+                    if pending and not isinstance(node, AuxLaunch):
+                        drain()
+                    record = device.launch(node.kernel, stream=stream)
+                else:
+                    if pool is None:
+                        pool = ThreadPoolExecutor(max_workers=self.max_workers)
+                    record = device.launch(node.kernel, stream=stream, run_numerics=False)
+                    pending.append(pool.submit(node.kernel.run_numerics))
+                    stats.parallel_numerics += 1
+                    if node.index == group_last[gid]:
+                        drain()
+                stats.launches += 1
+                used_streams.add(node.stream)
+                if isinstance(node, AuxLaunch):
+                    stats.aux_launches += 1
+                stats.by_tag[node.tag] = stats.by_tag.get(node.tag, 0) + 1
+                if node.index in needs_event:
+                    events[node.index] = stream.record_event()
+                    stats.events_recorded += 1
                 if tracer:
                     tracer.add_span(
-                        "barrier", Track.for_host(device),
-                        barrier_from, device.host_time, cat="barrier",
-                        args={"node": node.index},
+                        record.kernel_name, Track.for_stream(device, node.stream),
+                        record.start, record.end, cat=node.tag,
+                        args={
+                            "node": node.index,
+                            "blocks": record.blocks,
+                            "utilization": round(record.schedule.utilization, 4),
+                        },
                     )
-                continue
-            if not isinstance(node, KernelLaunch):  # pragma: no cover - guarded by validate()
-                raise PlanError(f"unknown plan node type: {type(node).__name__}")
-            stream = streams.get(node.stream)
-            if stream is None:
-                stream = streams[node.stream] = device.create_stream()
-            for dep in node.deps:
-                if nodes[dep].stream != node.stream:
-                    blocked_from = stream.ready_time
-                    stream.wait_event(events[dep])
-                    stats.event_waits += 1
-                    if tracer and stream.ready_time > blocked_from:
-                        tracer.add_span(
-                            "wait", Track.for_stream(device, node.stream),
-                            blocked_from, stream.ready_time, cat="wait",
-                            args={"node": node.index, "on": dep},
-                        )
-            record = device.launch(node.kernel, stream=stream)
-            stats.launches += 1
-            used_streams.add(node.stream)
-            if isinstance(node, AuxLaunch):
-                stats.aux_launches += 1
-            stats.by_tag[node.tag] = stats.by_tag.get(node.tag, 0) + 1
-            if node.index in needs_event:
-                events[node.index] = stream.record_event()
-                stats.events_recorded += 1
-            if tracer:
-                tracer.add_span(
-                    record.kernel_name, Track.for_stream(device, node.stream),
-                    record.start, record.end, cat=node.tag,
-                    args={
-                        "node": node.index,
-                        "blocks": record.blocks,
-                        "utilization": round(record.schedule.utilization, 4),
-                    },
-                )
+            drain()
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
 
         stats.streams_used = len(used_streams)
         return stats
@@ -182,7 +233,16 @@ def execute_concurrently(plans, max_workers: int | None = None) -> list[Executio
     order of ``plans``.  Each worker runs under a copy of the caller's
     context, so an active tracer (and its open span) propagates into
     the per-device threads and shard kernel spans nest correctly.
+
+    A failing plan raises :class:`~repro.errors.PlanExecutionError`
+    carrying the plan's index and device name (the first failure in
+    plan order; the original exception is chained), after every other
+    plan has finished — no shard is abandoned mid-flight.
     """
+
+    def _fail(index: int, exc: BaseException):
+        device = plans[index].device
+        raise PlanExecutionError(index, getattr(device, "name", "device"), exc) from exc
 
     plans = list(plans)
     devices = [id(p.device) for p in plans]
@@ -191,9 +251,23 @@ def execute_concurrently(plans, max_workers: int | None = None) -> list[Executio
     if not plans:
         return []
     if len(plans) == 1:
-        return [PlanExecutor(plans[0].device).execute(plans[0])]
+        try:
+            return [PlanExecutor(plans[0].device).execute(plans[0])]
+        except Exception as exc:
+            _fail(0, exc)
     with ThreadPoolExecutor(max_workers=max_workers or len(plans)) as pool:
         futures = [
             pool.submit(propagating(PlanExecutor(p.device).execute), p) for p in plans
         ]
-        return [f.result() for f in futures]
+        results = []
+        first_failure = None
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if first_failure is None:
+                    first_failure = (index, exc)
+                results.append(None)
+        if first_failure is not None:
+            _fail(*first_failure)
+        return results

@@ -113,6 +113,11 @@ class Kernel(abc.ABC):
     #: (the fused kernel), ~6 when every dependent step round-trips
     #: through global memory (generic unblocked potf2/trsm kernels).
     serial_latency_scale: float = 1.0
+    #: Batch indices of the matrices this launch reads/writes, set by
+    #: planners that know the mapping (streamed syrk, trsm sweeps, ...).
+    #: ``None`` means "unknown" and the plan optimizer must assume the
+    #: launch may touch the whole batch.
+    matrix_indices: tuple | None = None
 
     def __init__(self):
         if self.etm_mode not in _ETM_MODES:

@@ -63,6 +63,10 @@ class DeviceSpec:
     pcie_bandwidth: float  # bytes/s, effective per direction
     pcie_latency: float  # seconds per transfer
     kernel_launch_overhead: float  # seconds per kernel launch
+    #: Independent hardware work queues (Kepler Hyper-Q exposes 32).
+    #: Bounds how many streams the plan optimizer spreads launches over
+    #: and how many worker threads the executor uses for numerics.
+    hardware_queues: int = 32
 
     def peak_flops(self, info: PrecisionInfo) -> float:
         """Peak arithmetic rate for a precision (FMA counted as 2 flops).

@@ -188,7 +188,21 @@ def run_potrf_sharded(
     for dev, _, _, _, _ in shards:
         dev.synchronize()
     starts = {id(dev): dev.host_time for dev, _, _, _, _ in shards}
-    exec_stats = execute_concurrently([plan for _, _, _, plan, _ in shards])
+    try:
+        exec_stats = execute_concurrently([plan for _, _, _, plan, _ in shards])
+    except BaseException:
+        # A failing shard would otherwise leak every shard's plan and
+        # device memory; release what this call materialized before
+        # re-raising the (plan-indexed) failure.
+        for _, _, shard_batch, plan, _ in shards:
+            if plan_cache is None:
+                plan.close()
+                shard_batch.free()
+            elif plan.batch_ref is not shard_batch:
+                shard_batch.free()
+            else:
+                plan.owns_batch = True
+        raise
 
     elapsed = 0.0
     infos = np.zeros(batch.batch_count, dtype=np.int64)

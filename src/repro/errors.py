@@ -21,6 +21,7 @@ __all__ = [
     "DeviceOutOfMemory",
     "LaunchError",
     "PlanError",
+    "PlanExecutionError",
     "ServingError",
     "StreamError",
 ]
@@ -98,6 +99,24 @@ class StreamError(DeviceError):
 class PlanError(ReproError):
     """A malformed launch plan, or invalid plan lifecycle usage
     (executing a closed plan, executing on the wrong device, ...)."""
+
+
+class PlanExecutionError(PlanError):
+    """A plan failed while executing inside ``execute_concurrently``.
+
+    Wraps the first per-plan failure with enough context to find the
+    offending shard: the plan's position in the submitted list and the
+    device it was bound to.  The original exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, plan_index: int, device_name: str, cause: BaseException):
+        self.plan_index = int(plan_index)
+        self.device_name = str(device_name)
+        super().__init__(
+            f"plan[{plan_index}] on device {device_name!r} failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
 
 
 class ServingError(ReproError):

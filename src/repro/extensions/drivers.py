@@ -53,20 +53,29 @@ def posv_vbatched(
     *,
     devices=None,
     plan_cache=None,
+    optimize: str | None = None,
 ) -> SolveResult:
     """Solve ``A_i x = b_i`` for SPD batches: POTRF then POTRS.
 
     Matrices are overwritten with their factors, ``rhs`` with the
     solutions.  Raises :class:`BatchNumericalError` if any matrix is
     not positive definite (solutions would be meaningless).  The factor
-    step accepts the same ``devices``/``plan_cache`` scaling hooks as
-    :func:`~repro.core.interface.potrf_vbatched`; the substitution runs
-    on the factors gathered back on ``device``.
+    step accepts the same ``devices``/``plan_cache``/``optimize``
+    scaling hooks as :func:`~repro.core.interface.potrf_vbatched`; the
+    substitution runs on the factors gathered back on ``device``.
     """
     _check_rhs(batch, rhs)
     opts = options or PotrfOptions()
     max_n = compute_max_size(device, batch)
-    fact = run_potrf_vbatched(device, batch, max_n, opts, devices=devices, plan_cache=plan_cache)
+    fact = run_potrf_vbatched(
+        device,
+        batch,
+        max_n,
+        opts,
+        devices=devices,
+        plan_cache=plan_cache,
+        optimize=optimize,
+    )
     if fact.failed_count and device.execute_numerics:
         failing = {int(i): int(v) for i, v in enumerate(fact.infos) if v != 0}
         raise BatchNumericalError(failing, f"posv_vbatched[{batch.precision.value}]")

@@ -62,10 +62,15 @@ def vbatched_trsm_panel(
     live = [it for it in items if it.jb > 0]
     if not live:
         return 0
+    # Positions in `items` are batch indices; annotate every launch so
+    # the plan optimizer knows which matrices each one touches.
+    live_indices = tuple(i for i, it in enumerate(items) if it.jb > 0)
 
     launches = 0
     trtri_tasks = [TrtriTask(it.jb, it.l11, it.inv_ws) for it in live]
-    device.launch(VbatchedTrtriDiagKernel(trtri_tasks, precision, ib))
+    trtri = VbatchedTrtriDiagKernel(trtri_tasks, precision, ib)
+    trtri.matrix_indices = live_indices
+    device.launch(trtri)
     launches += 1
 
     max_jb = max(it.jb for it in live)
@@ -93,7 +98,9 @@ def vbatched_trsm_panel(
                         beta=1.0,
                     )
                 )
-            device.launch(VbatchedGemmKernel(tasks, precision, tiling, label="trsm_update"))
+            update = VbatchedGemmKernel(tasks, precision, tiling, label="trsm_update")
+            update.matrix_indices = live_indices
+            device.launch(update)
             launches += 1
 
         # Solve step: multiply by the inverted diagonal block.
@@ -115,6 +122,8 @@ def vbatched_trsm_panel(
                     beta=0.0,
                 )
             )
-        device.launch(VbatchedGemmKernel(tasks, precision, tiling, label="trsm_solve"))
+        solve = VbatchedGemmKernel(tasks, precision, tiling, label="trsm_solve")
+        solve.matrix_indices = live_indices
+        device.launch(solve)
         launches += 1
     return launches

@@ -70,7 +70,13 @@ def _bench_matrices(sizes, dtype=np.float64) -> list[np.ndarray]:
     return [np.zeros((int(n), int(n)), dtype=dtype) for n in sizes]
 
 
-def _make_server(policy: str, device_count: int, max_batch: int, max_wait: float) -> BatchServer:
+def _make_server(
+    policy: str,
+    device_count: int,
+    max_batch: int,
+    max_wait: float,
+    optimize: str = "none",
+) -> BatchServer:
     """A fresh timing-mode server (own devices, own shared plan cache).
 
     When a tracer is active the policy name prefixes the device names
@@ -99,7 +105,7 @@ def _make_server(policy: str, device_count: int, max_batch: int, max_wait: float
         max_batch=max_batch,
         max_wait=max_wait,
         plan_cache=PlanCache(max_plans=64),
-        options=PotrfOptions(),
+        options=PotrfOptions(optimize=optimize),
         name=f"{label}:serving",
         **target,
     )
@@ -116,6 +122,7 @@ def run_serve_bench(
     policies=BENCH_POLICIES,
     max_wait: float = 2e-3,
     tracer=None,
+    optimize: str = "none",
 ) -> dict:
     """Run every policy over one fixed-seed stream; return the report.
 
@@ -140,13 +147,14 @@ def run_serve_bench(
             "max_batch": int(max_batch),
             "concurrency": int(concurrency),
             "device_count": int(device_count),
+            "optimize": str(optimize),
             "loop": "closed",
         },
         "policies": {},
     }
     for policy in policies:
         with activate(tracer if tracer is not None else current_tracer()):
-            server = _make_server(policy, device_count, max_batch, max_wait)
+            server = _make_server(policy, device_count, max_batch, max_wait, optimize)
             responses = closed_loop(server, matrices, concurrency=concurrency)
             server.shutdown(drain=True)
         snap = server.metrics.snapshot()

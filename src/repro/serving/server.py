@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import replace
 
 import numpy as np
 
@@ -75,6 +76,9 @@ class BatchServer:
         ``"reject"`` raises :class:`~repro.errors.AdmissionError`.
     options:
         :class:`~repro.core.driver.PotrfOptions` for every dispatch.
+    optimize:
+        Plan-optimizer pass level for every dispatch (overrides
+        ``options.optimize``); see :mod:`repro.core.optimizer`.
     plan_cache:
         ``"auto"`` (default) creates a private thread-safe
         :class:`~repro.core.plan.PlanCache`; pass an instance to share
@@ -99,6 +103,7 @@ class BatchServer:
         queue_limit: int = 1024,
         admission: str = "block",
         options: PotrfOptions | None = None,
+        optimize: str | None = None,
         plan_cache: PlanCache | str | None = "auto",
         clock=time.monotonic,
         name: str | None = None,
@@ -114,6 +119,8 @@ class BatchServer:
             self.device = device if device is not None else Device()
             self.group = None
         self.options = options or PotrfOptions()
+        if optimize is not None and optimize != self.options.optimize:
+            self.options = replace(self.options, optimize=optimize)
         self.plan_cache = PlanCache() if plan_cache == "auto" else plan_cache
         self.queue_limit = int(queue_limit)
         self.admission = admission

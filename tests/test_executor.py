@@ -206,3 +206,100 @@ def test_numerics_plan_writes_factors():
     for i, a0 in enumerate(mats):
         L = np.tril(batch.matrix_view(i))
         assert np.linalg.norm(L @ L.T - a0) / np.linalg.norm(a0) < 1e-13
+
+
+class _FailingKernel(_ToyKernel):
+    name = "failing"
+
+    def run_numerics(self):
+        raise ValueError("synthetic numerics failure")
+
+
+class TestPlanExecutionError:
+    """Satellite (b): concurrent failures carry plan index + device id."""
+
+    def _plan(self, dev, kernel=None):
+        pb = PlanBuilder(dev)
+        pb.launch(kernel or _ToyKernel())
+        return pb.build()
+
+    def test_single_plan_failure_is_wrapped(self):
+        from repro.errors import PlanExecutionError
+
+        dev = Device()
+        plan = self._plan(dev, _FailingKernel())
+        with pytest.raises(PlanExecutionError) as exc_info:
+            execute_concurrently([plan])
+        err = exc_info.value
+        assert err.plan_index == 0
+        assert err.device_name == dev.name
+        assert isinstance(err.__cause__, ValueError)
+        assert "plan[0]" in str(err) and dev.name in str(err)
+
+    def test_first_failure_in_plan_order_after_all_finish(self):
+        from repro.errors import PlanExecutionError
+
+        devs = [Device() for _ in range(3)]
+        kernels = [_ToyKernel(), _FailingKernel(), _ToyKernel()]
+        plans = [self._plan(d, k) for d, k in zip(devs, kernels)]
+        with pytest.raises(PlanExecutionError) as exc_info:
+            execute_concurrently(plans)
+        err = exc_info.value
+        assert err.plan_index == 1
+        assert err.device_name == devs[1].name
+        # healthy shards were not abandoned mid-flight
+        assert kernels[0].ran and kernels[2].ran
+
+    def test_is_a_plan_error(self):
+        from repro.errors import PlanExecutionError
+
+        assert issubclass(PlanExecutionError, PlanError)
+
+
+class TestParallelNumerics:
+    """Optimizer-marked bucket groups run their numerics on a pool."""
+
+    def _grouped_plan(self, dev, count=3):
+        pb = PlanBuilder(dev)
+        kernels = [_ToyKernel() for _ in range(count)]
+        for i, k in enumerate(kernels):
+            pb.launch(k, stream=1 + i)
+        plan = pb.build()
+        plan.meta["optimizer"] = {"parallel_groups": [list(range(count))]}
+        return plan, kernels
+
+    def test_group_numerics_run_on_pool(self):
+        dev = Device()
+        plan, kernels = self._grouped_plan(dev)
+        stats = PlanExecutor(dev, max_workers=4).execute(plan)
+        assert stats.parallel_numerics == 3
+        assert all(k.ran for k in kernels)
+
+    def test_single_worker_stays_serial(self):
+        dev = Device()
+        plan, kernels = self._grouped_plan(dev)
+        stats = PlanExecutor(dev, max_workers=1).execute(plan)
+        assert stats.parallel_numerics == 0
+        assert all(k.ran for k in kernels)
+
+    def test_timing_mode_ignores_groups(self):
+        dev = Device(execute_numerics=False)
+        plan, kernels = self._grouped_plan(dev)
+        stats = PlanExecutor(dev).execute(plan)
+        assert stats.parallel_numerics == 0
+
+    def test_max_workers_capped_by_hardware_queues(self):
+        dev = Device()
+        ex = PlanExecutor(dev, max_workers=10_000)
+        assert ex.max_workers == dev.spec.hardware_queues
+
+    def test_group_failure_propagates(self):
+        dev = Device()
+        pb = PlanBuilder(dev)
+        kernels = [_ToyKernel(), _FailingKernel(), _ToyKernel()]
+        for i, k in enumerate(kernels):
+            pb.launch(k, stream=1 + i)
+        plan = pb.build()
+        plan.meta["optimizer"] = {"parallel_groups": [[0, 1, 2]]}
+        with pytest.raises(ValueError, match="synthetic numerics failure"):
+            PlanExecutor(dev, max_workers=4).execute(plan)
