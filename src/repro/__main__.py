@@ -11,6 +11,11 @@ Subcommands:
 * ``serve-bench`` — closed-loop load-generator benchmark of the batch
   server's windowing policies (writes ``BENCH_pr3.json``-style output;
   ``--trace`` records a Perfetto-loadable end-to-end trace);
+* ``fleet-bench`` — open-loop overload/chaos benchmark of the
+  multi-replica serving fleet: SLO classes, shedding, fault injection
+  and retries vs. a single-server baseline (writes
+  ``BENCH_pr6.json``-style output; the ``fleet-chaos-smoke`` CI job
+  runs it with ``--smoke --faults seeded``);
 * ``trace-report`` — occupancy / critical-path / padded-waste /
   bottleneck tables from a ``--trace`` file.
 """
@@ -187,6 +192,62 @@ def _cmd_serve_bench(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_fleet_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .serving import run_fleet_bench
+
+    report = run_fleet_bench(
+        requests=args.requests,
+        max_size=args.max_size,
+        distribution=args.distribution,
+        seed=args.seed,
+        replica_count=args.replicas,
+        max_batch=args.max_batch,
+        pattern=args.pattern,
+        overload=args.overload,
+        queue_limit=args.queue_limit,
+        fault_rate=args.fault_rate,
+        faults=args.faults,
+        smoke=args.smoke,
+    )
+
+    cfg, cap = report["config"], report["capacity"]
+    print(f"fleet-bench: {cfg['requests']} requests, {cfg['pattern']} arrivals, "
+          f"{cfg['replica_count']} replicas, {cfg['overload']}x overload, "
+          f"faults {cfg['faults']}, seed {cfg['seed']}")
+    print(f"capacity: {cap['per_replica_matrices_per_sim_s']:.0f} mat/sim_s per replica "
+          f"({cap['fleet_matrices_per_sim_s']:.0f} fleet)\n")
+    header = (
+        f"{'run':>10} {'class':>12} {'offered':>8} {'admit':>6} {'done':>6} "
+        f"{'shed':>5} {'fail':>5} {'cancel':>7} {'p50_ms':>8} {'p95_ms':>8}"
+    )
+    print(header)
+    for run_name, run in report["runs"].items():
+        for cls, rec in run["classes"].items():
+            lat = rec["latency_s"]
+            print(
+                f"{run_name:>10} {cls:>12} {rec['offered']:>8} {rec['admitted']:>6} "
+                f"{rec['completed']:>6} {rec['shed']:>5} {rec['failed']:>5} "
+                f"{rec['cancelled']:>7} {lat['p50'] * 1e3:>8.3f} {lat['p95'] * 1e3:>8.3f}"
+            )
+    overload = report["runs"]["overload"]
+    print(f"\noverload: shed ratio {overload['shed_ratio']:.2f}, "
+          f"retries {sum(overload['fleet']['retries'].values())}, "
+          f"faults injected {overload.get('faults', {}).get('injected', 0)}")
+
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {path}")
+
+    failures = report["acceptance"]["failures"]
+    for failure in failures:
+        print(f"ACCEPTANCE FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace_report(args) -> int:
     from .observability import analyze_trace, format_trace_report, load_chrome_trace
 
@@ -260,6 +321,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--optimize", default="none",
                    help='plan-optimizer level: "none", "all", or +-joined pass names')
     p.set_defaults(fn=_cmd_serve_bench)
+
+    p = sub.add_parser("fleet-bench", help="overload/chaos benchmark of the serving fleet")
+    p.add_argument("-r", "--requests", type=int, default=600)
+    p.add_argument("-n", "--max-size", type=int, default=128)
+    p.add_argument("-d", "--distribution", default="uniform")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replicas", type=int, default=3)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--pattern", default="bursty",
+                   choices=["poisson", "bursty", "diurnal", "heavy-tail"],
+                   help="open-loop arrival trace shape")
+    p.add_argument("--overload", type=float, default=2.0,
+                   help="offered load as a multiple of measured fleet capacity")
+    p.add_argument("--queue-limit", type=int, default=128,
+                   help="router backlog bound; shed levels are fractions of it")
+    p.add_argument("--fault-rate", type=float, default=0.08)
+    p.add_argument("--faults", default="seeded", choices=["seeded", "off"])
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny fixed load for CI (shrinks the workload)")
+    p.add_argument("-o", "--output", help="write the JSON report here (e.g. BENCH_pr6.json)")
+    p.set_defaults(fn=_cmd_fleet_bench)
 
     p = sub.add_parser("trace-report", help="bottleneck report from a recorded trace")
     p.add_argument("trace", help="Chrome-trace JSON written by serve-bench --trace")

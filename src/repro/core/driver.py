@@ -135,7 +135,20 @@ class LaunchStats:
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.keys()}
 
-    def merge(self, other: "LaunchStats") -> None:
+    #: Counters describing the *logical* batch (what was asked for), as
+    #: opposed to physical execution work.  A retried batch re-executes
+    #: launches but is still the same batch with the same plan-cache
+    #: lookup story; keyed merges add these once per key.
+    LOGICAL_FIELDS = (
+        "steps",
+        "plan_nodes",
+        "plan_builds",
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "batches",
+    )
+
+    def merge(self, other: "LaunchStats", key=None) -> None:
         """Accumulate another run's counters into this one.
 
         Counter fields add and ``devices_used`` (the accumulator's own
@@ -143,8 +156,23 @@ class LaunchStats:
         across merged runs, but a fresh accumulator (``batches == 0``)
         adopts the first merged value — so ``LaunchStats()`` is a merge
         identity and repeated merges associate.
+
+        ``key`` (hashable) makes merges *idempotent per logical batch*:
+        the first merge under a key adds everything, every later merge
+        under the same key — a partially-failed sharded run retried on
+        another replica — adds only the physical execution counters
+        (launches, barriers, event traffic) and skips
+        :data:`LOGICAL_FIELDS`, so ``batches`` and the plan-cache
+        hit/miss totals count each logical batch exactly once.
         """
-        if other.batches or self.batches == 0:
+        retry = False
+        if key is not None:
+            seen = getattr(self, "_merge_keys", None)
+            if seen is None:
+                seen = self._merge_keys = set()
+            retry = key in seen
+            seen.add(key)
+        if not retry and (other.batches or self.batches == 0):
             self.plan_cache_hit = (
                 other.plan_cache_hit
                 if self.batches == 0
@@ -152,6 +180,8 @@ class LaunchStats:
             )
         for f in fields(self):
             if f.name in ("plan_cache_hit", "devices_used"):
+                continue
+            if retry and f.name in self.LOGICAL_FIELDS:
                 continue
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 

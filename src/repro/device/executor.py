@@ -59,6 +59,26 @@ class ExecutionStats:
     def count(self, tag: str) -> int:
         return self.by_tag.get(tag, 0)
 
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another execution's counts into this one.
+
+        Plain sums with a zero identity — ``streams_used`` included,
+        since merged executions ran on distinct stream sets (different
+        shards/devices or a re-execution's fresh streams).  The serving
+        fleet folds the ``partial`` shard stats a
+        :class:`~repro.errors.PlanExecutionError` carries through here
+        before retrying the batch elsewhere.
+        """
+        self.launches += other.launches
+        self.aux_launches += other.aux_launches
+        self.barriers += other.barriers
+        self.streams_used += other.streams_used
+        self.event_waits += other.event_waits
+        self.events_recorded += other.events_recorded
+        self.parallel_numerics += other.parallel_numerics
+        for tag, count in other.by_tag.items():
+            self.by_tag[tag] = self.by_tag.get(tag, 0) + count
+
     @property
     def kernel_launches(self) -> int:
         """Compute launches, i.e. everything that is not metadata."""
@@ -240,9 +260,11 @@ def execute_concurrently(plans, max_workers: int | None = None) -> list[Executio
     plan has finished — no shard is abandoned mid-flight.
     """
 
-    def _fail(index: int, exc: BaseException):
+    def _fail(index: int, exc: BaseException, partial=None):
         device = plans[index].device
-        raise PlanExecutionError(index, getattr(device, "name", "device"), exc) from exc
+        raise PlanExecutionError(
+            index, getattr(device, "name", "device"), exc, partial=partial
+        ) from exc
 
     plans = list(plans)
     devices = [id(p.device) for p in plans]
@@ -269,5 +291,8 @@ def execute_concurrently(plans, max_workers: int | None = None) -> list[Executio
                     first_failure = (index, exc)
                 results.append(None)
         if first_failure is not None:
-            _fail(*first_failure)
+            # The error carries the surviving shards' stats so a
+            # retrying caller can account work already done (and merge
+            # the retry idempotently — see LaunchStats.merge(key=...)).
+            _fail(*first_failure, partial=results)
         return results

@@ -190,10 +190,23 @@ def run_potrf_sharded(
     starts = {id(dev): dev.host_time for dev, _, _, _, _ in shards}
     try:
         exec_stats = execute_concurrently([plan for _, _, _, plan, _ in shards])
-    except BaseException:
+    except BaseException as exc:
         # A failing shard would otherwise leak every shard's plan and
         # device memory; release what this call materialized before
         # re-raising the (plan-indexed) failure.
+        partial = getattr(exc, "partial", None)
+        if partial:
+            # Fold the shards that *did* finish into one LaunchStats and
+            # leave it on the error: a retrying caller (the serving
+            # fleet) accounts attempt-1 work once, then merges the
+            # retry under the same key without double-counting.
+            salvaged = LaunchStats(devices_used=0)
+            for (dev, _, _, plan, cache_hit), es in zip(shards, partial):
+                if es is None:
+                    continue
+                salvaged.merge(stats_from_execution(plan, es, cache_hit))
+                salvaged.devices_used += 1
+            exc.partial_launch_stats = salvaged
         for _, _, shard_batch, plan, _ in shards:
             if plan_cache is None:
                 plan.close()

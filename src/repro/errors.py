@@ -17,11 +17,18 @@ __all__ = [
     "AdmissionError",
     "ArgumentError",
     "BatchNumericalError",
+    "DeadlineUnmeetableError",
     "DeviceError",
     "DeviceOutOfMemory",
+    "FleetError",
     "LaunchError",
+    "OverloadShedError",
     "PlanError",
     "PlanExecutionError",
+    "QuotaExceededError",
+    "ReplicaUnavailableError",
+    "RequestCancelled",
+    "RetriesExhaustedError",
     "ServingError",
     "StreamError",
 ]
@@ -108,11 +115,24 @@ class PlanExecutionError(PlanError):
     offending shard: the plan's position in the submitted list and the
     device it was bound to.  The original exception is chained as
     ``__cause__``.
+
+    ``partial`` carries the per-plan
+    :class:`~repro.device.executor.ExecutionStats` of the shards that
+    *did* finish (``None`` for the failed/abandoned ones) so a retrying
+    caller — the serving fleet — can account the work the first attempt
+    really did without double-counting the batch when the retry lands.
     """
 
-    def __init__(self, plan_index: int, device_name: str, cause: BaseException):
+    def __init__(
+        self,
+        plan_index: int,
+        device_name: str,
+        cause: BaseException,
+        partial: list | None = None,
+    ):
         self.plan_index = int(plan_index)
         self.device_name = str(device_name)
+        self.partial = list(partial) if partial is not None else []
         super().__init__(
             f"plan[{plan_index}] on device {device_name!r} failed: "
             f"{type(cause).__name__}: {cause}"
@@ -128,3 +148,67 @@ class AdmissionError(ServingError):
     """A request was refused at the server's front door: the bounded
     queue is full under the ``reject`` admission policy, or the server
     has stopped accepting work."""
+
+
+class RequestCancelled(ServingError):
+    """A request was cancelled before it was served — by the client
+    (timeout/explicit cancel propagated through the batcher) or by a
+    non-drain shutdown racing its dispatch."""
+
+
+class FleetError(ServingError):
+    """Base class for multi-replica serving-fleet failures."""
+
+
+class QuotaExceededError(AdmissionError):
+    """A tenant submitted past its outstanding-request quota."""
+
+    def __init__(self, tenant: str, quota: int):
+        self.tenant = str(tenant)
+        self.quota = int(quota)
+        super().__init__(f"tenant {tenant!r} is at its quota of {quota} outstanding requests")
+
+
+class OverloadShedError(AdmissionError):
+    """The router shed this request to protect higher classes: the
+    fleet is over the shed threshold for the request's SLO class."""
+
+    def __init__(self, slo: str, depth: int, limit: int):
+        self.slo = str(slo)
+        self.depth = int(depth)
+        self.limit = int(limit)
+        super().__init__(
+            f"{slo} request shed under overload (router depth {depth} >= shed level {limit})"
+        )
+
+
+class DeadlineUnmeetableError(AdmissionError):
+    """Deadline-aware admission refused a request whose deadline the
+    current backlog makes unmeetable — rejecting now beats serving a
+    guaranteed miss later."""
+
+    def __init__(self, deadline: float, estimate: float):
+        self.deadline = float(deadline)
+        self.estimate = float(estimate)
+        super().__init__(
+            f"deadline {deadline * 1e3:.1f} ms unmeetable: backlog delay estimate "
+            f"{estimate * 1e3:.1f} ms"
+        )
+
+
+class RetriesExhaustedError(FleetError):
+    """Every retry attempt of a faulted request failed; the last
+    underlying failure is chained as ``__cause__`` and kept as
+    ``last_error``."""
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        self.attempts = int(attempts)
+        self.last_error = last_error
+        super().__init__(
+            f"request failed after {attempts} attempts: "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+
+
+class ReplicaUnavailableError(FleetError):
+    """No healthy replica was available to (re)dispatch a request."""

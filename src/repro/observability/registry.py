@@ -141,6 +141,15 @@ class Counter(Metric):
         with self._lock:
             return cell[0]
 
+    def items(self) -> list[tuple[tuple, float]]:
+        """Every labelled child as ``((name, value) pairs, total)`` —
+        the iteration surface fleet snapshots aggregate over."""
+        with self._lock:
+            return [
+                (tuple(zip(self.label_names, key)), cell[0])
+                for key, cell in sorted(self._children.items())
+            ]
+
     def _expose_children(self) -> list[str]:
         return [
             f"{self.name}{_fmt_labels(self.label_names, key)} {cell[0]:g}"

@@ -31,9 +31,23 @@ from .batcher import (
     SizeBucketPolicy,
     make_policy,
 )
-from .loadgen import BENCH_POLICIES, check_acceptance, closed_loop, run_serve_bench
+from .faults import FAULT_KINDS, FaultEvent, FaultInjector, ReplicaHealth, RetryPolicy
+from .fleet import FleetMetrics, Replica, build_fleet
+from .loadgen import (
+    ARRIVAL_PATTERNS,
+    BENCH_POLICIES,
+    VirtualClock,
+    arrival_trace,
+    check_acceptance,
+    check_fleet_acceptance,
+    closed_loop,
+    open_loop,
+    run_fleet_bench,
+    run_serve_bench,
+)
 from .metrics import BatchRecord, ServerMetrics, latency_summary, percentile
 from .request import Request, RequestFuture, Response
+from .router import DEFAULT_SLOS, FleetRouter, SLOClass, Ticket
 from .server import BatchServer
 
 __all__ = [
@@ -41,15 +55,33 @@ __all__ = [
     "Batcher",
     "BatchingPolicy",
     "BatchRecord",
+    "DEFAULT_SLOS",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
     "FifoPolicy",
+    "FleetMetrics",
+    "FleetRouter",
     "GreedyWindowPolicy",
+    "Replica",
+    "ReplicaHealth",
+    "RetryPolicy",
+    "SLOClass",
     "SizeBucketPolicy",
+    "Ticket",
     "POLICIES",
+    "ARRIVAL_PATTERNS",
     "BENCH_POLICIES",
+    "VirtualClock",
+    "arrival_trace",
+    "check_fleet_acceptance",
+    "open_loop",
+    "run_fleet_bench",
     "Request",
     "RequestFuture",
     "Response",
     "ServerMetrics",
+    "build_fleet",
     "check_acceptance",
     "closed_loop",
     "latency_summary",

@@ -202,6 +202,15 @@ class Batcher:
     def add(self, request: Request) -> None:
         self._pending.append(request)
 
+    def remove(self, req_id: int) -> Request | None:
+        """Pull one pending request out of the queue by id (cancellation
+        path); returns it, or ``None`` if it is no longer pending —
+        already batched, served, or never queued here."""
+        for i, req in enumerate(self._pending):
+            if req.req_id == req_id:
+                return self._pending.pop(i)
+        return None
+
     def urgent_index(self) -> int | None:
         """The request the next batch must contain: soonest effective
         deadline, ties broken by arrival then id (FIFO among equals)."""

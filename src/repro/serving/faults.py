@@ -1,0 +1,249 @@
+"""Deterministic fault injection, retry policy, and replica health.
+
+A serving fleet is only as good as its failure story, and a failure
+story is only testable if failures are *reproducible*.  This module
+supplies the three pieces the :class:`~repro.serving.router.FleetRouter`
+composes:
+
+* :class:`FaultInjector` — a seeded schedule of modeled faults, hooked
+  into :class:`~repro.serving.server.BatchServer` dispatch.  Each
+  dispatched batch is hashed ``(seed, server name, batch id)`` into its
+  own RNG stream, so whether batch 17 on replica ``r2`` faults — and
+  how — is a pure function of the seed, independent of host timing,
+  thread interleaving, or how many other replicas exist.  Three fault
+  kinds mirror the real hazards of long-running vbatched work:
+
+  - ``"device-oom"`` raises :class:`~repro.errors.DeviceOutOfMemory`
+    (the paper's padding baseline dies exactly this way on the K40c);
+  - ``"shard-failure"`` raises
+    :class:`~repro.errors.PlanExecutionError` — the typed error the
+    PR5 ``execute_concurrently`` path produces when one shard of a
+    multi-device launch dies;
+  - ``"stall"`` returns extra simulated service seconds (a slow device:
+    thermal throttling, a contended PCIe link) — no exception, just a
+    batch that takes far longer than it should.
+
+* :class:`RetryPolicy` — bounded retry with exponential backoff and a
+  typed retryable-error classification (device faults and shard
+  failures retry; argument and numerical errors never do — a non-SPD
+  matrix is non-SPD on every replica).
+
+* :class:`ReplicaHealth` — a per-replica circuit breaker: consecutive
+  failures (or stall-slow dispatches) eject the replica for a cooldown;
+  the first success after re-entry closes the circuit.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import (
+    ArgumentError,
+    DeviceError,
+    DeviceOutOfMemory,
+    LaunchError,
+    PlanExecutionError,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "ReplicaHealth",
+    "RetryPolicy",
+]
+
+FAULT_KINDS = ("device-oom", "shard-failure", "stall")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as the injector's log remembers it."""
+
+    server: str
+    batch_id: int
+    kind: str
+    batch_size: int
+    stall_s: float = 0.0
+
+
+class FaultInjector:
+    """Seeded, per-dispatch fault schedule.
+
+    Parameters
+    ----------
+    rate:
+        Probability that any given dispatched batch faults.
+    kinds:
+        Fault kinds to draw from (uniformly), a subset of
+        :data:`FAULT_KINDS`.
+    seed:
+        Schedule seed; two injectors with equal seeds produce identical
+        fault decisions for equal ``(server, batch_id)`` pairs.
+    stall_s:
+        Simulated seconds a ``"stall"`` fault adds to its batch.
+    max_faults:
+        Optional cap on total injections (first-come across servers);
+        ``None`` is unlimited.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.08,
+        kinds=FAULT_KINDS,
+        seed: int = 0,
+        stall_s: float = 0.05,
+        max_faults: int | None = None,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ArgumentError(1, f"fault rate must be in [0, 1], got {rate}")
+        kinds = tuple(kinds)
+        unknown = [k for k in kinds if k not in FAULT_KINDS]
+        if unknown:
+            raise ArgumentError(2, f"unknown fault kinds {unknown}; known: {FAULT_KINDS}")
+        if not kinds:
+            raise ArgumentError(2, "need at least one fault kind")
+        if stall_s < 0:
+            raise ArgumentError(4, f"stall_s cannot be negative, got {stall_s}")
+        self.rate = float(rate)
+        self.kinds = kinds
+        self.seed = int(seed)
+        self.stall_s = float(stall_s)
+        self.max_faults = max_faults
+        self.events: list[FaultEvent] = []
+        self._lock = threading.Lock()
+
+    def _rng(self, server: str, batch_id: int) -> np.random.Generator:
+        """One RNG stream per (seed, server, batch) — crc32 keeps the
+        server-name hash stable across processes (``hash()`` is not)."""
+        return np.random.default_rng(
+            [self.seed, zlib.crc32(str(server).encode()), int(batch_id)]
+        )
+
+    def peek(self, server: str, batch_id: int) -> str | None:
+        """The fault kind this (server, batch) pair draws — without
+        injecting or logging.  Ignores ``max_faults``."""
+        rng = self._rng(server, batch_id)
+        if rng.random() >= self.rate:
+            return None
+        return self.kinds[int(rng.integers(len(self.kinds)))]
+
+    def on_dispatch(self, server: str, batch_id: int, sizes) -> float:
+        """The :class:`~repro.serving.server.BatchServer` dispatch hook.
+
+        Returns stall seconds to surcharge the batch's simulated
+        service time (usually ``0.0``); raises the modeled error for
+        ``device-oom`` / ``shard-failure`` draws.
+        """
+        kind = self.peek(server, batch_id)
+        if kind is None:
+            return 0.0
+        with self._lock:
+            if self.max_faults is not None and len(self.events) >= self.max_faults:
+                return 0.0
+            event = FaultEvent(
+                server=str(server),
+                batch_id=int(batch_id),
+                kind=kind,
+                batch_size=len(sizes),
+                stall_s=self.stall_s if kind == "stall" else 0.0,
+            )
+            self.events.append(event)
+        if kind == "device-oom":
+            requested = int(sum(int(n) * int(n) for n in sizes)) * 8
+            raise DeviceOutOfMemory(requested, free=0, total=requested // 2)
+        if kind == "shard-failure":
+            shard = int(self._rng(server, batch_id).integers(max(len(sizes), 1)))
+            raise PlanExecutionError(
+                shard, f"{server}:dev{shard}", LaunchError("injected shard failure")
+            )
+        return self.stall_s
+
+    def injected(self, kind: str | None = None) -> int:
+        """How many faults have been injected (optionally by kind)."""
+        with self._lock:
+            if kind is None:
+                return len(self.events)
+            return sum(1 for e in self.events if e.kind == kind)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for faulted batches.
+
+    ``max_retries`` counts *re*-dispatches: a request is attempted at
+    most ``max_retries + 1`` times.  ``backoff * factor ** (attempt-1)``
+    is the delay before retry attempt ``attempt`` (1-based), on the
+    router's clock.  Only :meth:`retryable` errors re-dispatch — a
+    deterministic failure (bad argument, non-SPD matrix) terminates
+    immediately no matter the budget.
+    """
+
+    max_retries: int = 3
+    backoff: float = 2e-3
+    backoff_factor: float = 2.0
+    retry_on: tuple = (DeviceError, PlanExecutionError)
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ArgumentError(1, f"max_retries cannot be negative, got {self.max_retries}")
+        if self.backoff < 0:
+            raise ArgumentError(2, f"backoff cannot be negative, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ArgumentError(
+                3, f"backoff_factor must be >= 1.0, got {self.backoff_factor}"
+            )
+
+    def retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retry_on)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before (1-based) retry ``attempt``."""
+        return self.backoff * self.backoff_factor ** max(int(attempt) - 1, 0)
+
+
+@dataclass
+class ReplicaHealth:
+    """Circuit breaker for one replica.
+
+    ``record_failure`` counts consecutive hard faults (and
+    ``record_slow`` stall-slow dispatches); at ``failure_threshold``
+    the replica is *ejected* until ``now + cooldown``.  After the
+    cooldown it is half-open: eligible for routing again, and the next
+    success resets the breaker while the next failure re-ejects it.
+    """
+
+    failure_threshold: int = 2
+    cooldown: float = 0.25
+    consecutive_failures: int = 0
+    ejected_until: float = field(default=float("-inf"))
+    ejections: int = 0
+    failures: int = 0
+    slow_dispatches: int = 0
+
+    def healthy(self, now: float) -> bool:
+        return now >= self.ejected_until
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> bool:
+        """Count one hard fault; returns True if this ejected the replica."""
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self.ejected_until = now + self.cooldown
+            self.ejections += 1
+            self.consecutive_failures = 0
+            return True
+        return False
+
+    def record_slow(self, now: float) -> bool:
+        """Count one stall-slow dispatch; slowness trips the same breaker
+        as hard faults (a stalling device is a failing device)."""
+        self.slow_dispatches += 1
+        return self.record_failure(now)

@@ -43,7 +43,13 @@ _BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """One dispatched batch, as the metrics remember it."""
+    """One dispatched batch, as the metrics remember it.
+
+    ``launch_stats`` keeps the batch's own
+    :class:`~repro.core.driver.LaunchStats` (not the server's running
+    merge) so a fleet router can account one dispatch attempt exactly
+    once when batches are retried across replicas.
+    """
 
     batch_id: int
     size: int
@@ -52,6 +58,7 @@ class BatchRecord:
     padded_flops: float
     sim_elapsed: float
     devices_used: int = 1
+    launch_stats: LaunchStats | None = None
 
     @property
     def efficiency(self) -> float:

@@ -43,11 +43,28 @@ class RequestFuture:
         self._response: Response | None = None
         self._exception: BaseException | None = None
         self._done = False
+        self._callbacks: list = []
+        #: Stamped by the server at admission; lets a router cancel by id.
+        self.req_id: int | None = None
 
     def done(self) -> bool:
         """Whether the request has been resolved (response or error)."""
         with self._cond:
             return self._done
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once the future resolves.
+
+        Runs immediately (on the calling thread) if already resolved,
+        else on the resolving thread — the hook the fleet router uses to
+        chain retry/complete handling without one thread per request.
+        Callback exceptions propagate to the resolver; keep them cheap.
+        """
+        with self._cond:
+            if not self._done:
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def result(self, timeout: float | None = None) -> "Response":
         """Block until resolved; returns the response or raises the error."""
@@ -79,7 +96,10 @@ class RequestFuture:
             self._response = response
             self._exception = error
             self._done = True
+            callbacks, self._callbacks = self._callbacks, []
             self._cond.notify_all()
+        for fn in callbacks:
+            fn(self)
 
 
 @dataclass

@@ -40,7 +40,7 @@ from ..core.driver import PotrfOptions, run_potrf_vbatched
 from ..core.plan import PlanCache
 from ..device.device import Device
 from ..device.topology import DeviceGroup
-from ..errors import AdmissionError, ArgumentError, ServingError
+from ..errors import AdmissionError, ArgumentError, RequestCancelled, ServingError
 from ..extensions.solve import potrs_vbatched
 from ..observability.trace import Track, current_tracer
 from .batcher import Batcher, BatchingPolicy
@@ -83,6 +83,12 @@ class BatchServer:
         ``"auto"`` (default) creates a private thread-safe
         :class:`~repro.core.plan.PlanCache`; pass an instance to share
         one across servers, or ``None`` to plan every dispatch afresh.
+    fault_injector:
+        Optional :class:`~repro.serving.faults.FaultInjector`; consulted
+        once per dispatched batch.  It may raise (a modeled device OOM /
+        shard failure — the batch's futures then carry that typed error)
+        or return stall seconds added to the batch's simulated service
+        time.  ``None`` (the default) costs nothing.
     clock:
         Wall-clock source (monotonic seconds); injectable for tests.
     name:
@@ -105,6 +111,7 @@ class BatchServer:
         options: PotrfOptions | None = None,
         optimize: str | None = None,
         plan_cache: PlanCache | str | None = "auto",
+        fault_injector=None,
         clock=time.monotonic,
         name: str | None = None,
     ):
@@ -122,6 +129,7 @@ class BatchServer:
         if optimize is not None and optimize != self.options.optimize:
             self.options = replace(self.options, optimize=optimize)
         self.plan_cache = PlanCache() if plan_cache == "auto" else plan_cache
+        self.fault_injector = fault_injector
         self.queue_limit = int(queue_limit)
         self.admission = admission
         self.clock = clock
@@ -140,6 +148,7 @@ class BatchServer:
         self._worker: threading.Thread | None = None
         self._next_req_id = 0
         self._next_batch_id = 0
+        self._cancel_flags: set[int] = set()
         self.metrics.wall_started = self.clock()
 
     # ------------------------------------------------------------------
@@ -187,6 +196,9 @@ class BatchServer:
                 arrival_sim=self._sim_now(),
             )
             self._next_req_id += 1
+            # The future carries its request id so a router can target
+            # BatchServer.cancel without holding the Request itself.
+            request.future.req_id = request.req_id
             self._batcher.add(request)
             self.metrics.record_submit(len(self._batcher))
             tracer = current_tracer()
@@ -213,6 +225,27 @@ class BatchServer:
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._batcher)
+
+    def cancel(self, req_id: int) -> str:
+        """Cancel one queued request; returns the propagation outcome.
+
+        ``"cancelled"`` — the request was still in the batcher queue; it
+        is removed and its future resolves with
+        :class:`~repro.errors.RequestCancelled`.  ``"in-flight"`` — the
+        request already left the queue; a cancel flag is left behind so
+        a dispatch that has not yet launched drops it (dispatch-level
+        propagation), while a dispatch already running completes and the
+        caller discards the result.
+        """
+        with self._cond:
+            req = self._batcher.remove(int(req_id))
+            if req is None:
+                self._cancel_flags.add(int(req_id))
+                return "in-flight"
+            self._cond.notify_all()
+        req.future.set_exception(RequestCancelled(f"request {req_id} cancelled while queued"))
+        self.metrics.record_cancelled(1)
+        return "cancelled"
 
     # ------------------------------------------------------------------
     # worker loop / synchronous pumping
@@ -339,9 +372,37 @@ class BatchServer:
         devs = self.group.devices if self.group is not None else [self.device]
         return max(d.host_time for d in devs)
 
+    def _drop_cancelled(self, requests: list[Request]) -> list[Request]:
+        """Honor cancel flags set after the batch left the queue.
+
+        Flagged requests are dropped from the batch and resolved with
+        :class:`~repro.errors.RequestCancelled` — the last point on the
+        batcher → dispatch path where cancellation can still win.  A
+        flag whose request already resolved is never consumed; callers
+        (the fleet router) check ``future.done()`` before flagging, so
+        stale flags stay rare.
+        """
+        with self._cond:
+            if not self._cancel_flags:
+                return requests
+            dropped = [r for r in requests if r.req_id in self._cancel_flags]
+            self._cancel_flags.difference_update(r.req_id for r in dropped)
+        for req in dropped:
+            req.future.set_exception(
+                RequestCancelled(f"request {req.req_id} cancelled before launch")
+            )
+        if dropped:
+            self.metrics.record_cancelled(len(dropped))
+            gone = {id(r) for r in dropped}
+            return [r for r in requests if id(r) not in gone]
+        return requests
+
     def _dispatch(self, requests: list[Request], reraise: bool = True) -> None:
         """Run one aggregated batch end-to-end and resolve its futures."""
         with self._dispatch_lock:
+            requests = self._drop_cancelled(requests)
+            if not requests:
+                return
             try:
                 self._dispatch_inner(requests)
             except Exception as exc:  # resolve futures before propagating
@@ -369,6 +430,15 @@ class BatchServer:
             reqs = [requests[i] for i in order]
             max_n = max(r.n for r in reqs)
 
+            # Fault-injection point: before any device work, so an
+            # injected OOM/shard failure models a launch that never
+            # lands, while a stall surcharges the batch's service time.
+            stall_s = 0.0
+            if self.fault_injector is not None:
+                stall_s = self.fault_injector.on_dispatch(
+                    self.name, batch_id, [r.n for r in reqs]
+                )
+
             batch = VBatch.from_host(self.device, [r.matrix for r in reqs])
             try:
                 result = run_potrf_vbatched(
@@ -393,6 +463,7 @@ class BatchServer:
                 batch.free()
 
             sim_elapsed = result.elapsed + (solve.elapsed if solve is not None else 0.0)
+            sim_elapsed += stall_s
             completed_wall = self.clock()
             completed_sim = self._sim_now()
             useful, padded = ServerMetrics.padded_flops_for(
@@ -428,6 +499,7 @@ class BatchServer:
                 padded_flops=padded,
                 sim_elapsed=sim_elapsed,
                 devices_used=result.launch_stats.devices_used,
+                launch_stats=result.launch_stats,
             )
             self.metrics.record_batch(record, responses, result.launch_stats)
             if tracer:

@@ -96,6 +96,29 @@ class TestServeBenchCommand:
         assert main(["serve-bench", "--smoke", "--devices", "2"]) == 0
 
 
+class TestFleetBenchCommand:
+    def test_smoke_passes_the_chaos_gate(self, capsys, tmp_path):
+        report_path = tmp_path / "fleet.json"
+        assert main([
+            "fleet-bench", "--smoke", "--faults", "seeded", "-o", str(report_path)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shed ratio" in out and "faults injected" in out
+        report = json.loads(report_path.read_text())
+        assert report["acceptance"]["pass"] is True
+        assert set(report["runs"]) == {"unloaded", "overload", "baseline"}
+        overload = report["runs"]["overload"]
+        assert overload["faults"]["injected"] > 0
+        assert overload["shed_ratio"] > 0.0
+        assert all(run["hung"] == 0 for run in report["runs"].values())
+
+    def test_smoke_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["fleet-bench", "--smoke", "-o", str(a)]) == 0
+        assert main(["fleet-bench", "--smoke", "-o", str(b)]) == 0
+        assert json.loads(a.read_text()) == json.loads(b.read_text())
+
+
 class TestEnergyCommand:
     def test_energy_bucket(self, capsys):
         assert main(["energy", "--low", "64", "--high", "128", "-b", "300"]) == 0

@@ -1,0 +1,187 @@
+"""Fault injection, retry policy, replica health (repro.serving.faults).
+
+Determinism is the contract under test: the injector's schedule must be
+a pure function of ``(seed, server, batch_id)``, because the chaos CI
+job replays it and asserts the fleet loses nothing.  The matrix test at
+the bottom pins the documented terminal state for every fault kind
+crossed with every retry stance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ArgumentError,
+    BatchNumericalError,
+    DeviceOutOfMemory,
+    PlanExecutionError,
+    RetriesExhaustedError,
+)
+from repro.serving import FAULT_KINDS, FaultInjector, FleetRouter, ReplicaHealth, RetryPolicy
+
+
+class TestFaultInjectorDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector(rate=0.3, seed=42)
+        b = FaultInjector(rate=0.3, seed=42)
+        grid = [(f"r{i}", j) for i in range(4) for j in range(50)]
+        assert [a.peek(s, k) for s, k in grid] == [b.peek(s, k) for s, k in grid]
+
+    def test_different_seeds_diverge(self):
+        a = FaultInjector(rate=0.3, seed=1)
+        b = FaultInjector(rate=0.3, seed=2)
+        grid = [("r0", j) for j in range(200)]
+        assert [a.peek(s, k) for s, k in grid] != [b.peek(s, k) for s, k in grid]
+
+    def test_replicas_fault_independently(self):
+        inj = FaultInjector(rate=0.5, seed=7)
+        per_server = [
+            [inj.peek(name, j) for j in range(100)] for name in ("fleet:r0", "fleet:r1")
+        ]
+        assert per_server[0] != per_server[1]
+
+    def test_peek_matches_on_dispatch(self):
+        inj = FaultInjector(rate=1.0, kinds=("stall",), seed=0, stall_s=0.25)
+        assert inj.peek("s", 3) == "stall"
+        assert inj.on_dispatch("s", 3, [8, 8]) == 0.25
+        assert inj.injected("stall") == 1
+        assert inj.events[0].batch_size == 2
+
+    def test_rate_zero_never_fires(self):
+        inj = FaultInjector(rate=0.0, seed=0)
+        assert all(inj.peek("s", j) is None for j in range(100))
+        assert inj.on_dispatch("s", 0, [4]) == 0.0
+        assert inj.injected() == 0
+
+
+class TestFaultInjectorBehaviour:
+    def test_device_oom_raises_typed_error(self):
+        inj = FaultInjector(rate=1.0, kinds=("device-oom",), seed=0)
+        with pytest.raises(DeviceOutOfMemory):
+            inj.on_dispatch("s", 0, [16, 16])
+
+    def test_shard_failure_carries_plan_index_and_device(self):
+        inj = FaultInjector(rate=1.0, kinds=("shard-failure",), seed=0)
+        with pytest.raises(PlanExecutionError) as err:
+            inj.on_dispatch("fleet:r1", 5, [16, 16, 16])
+        assert 0 <= err.value.plan_index < 3
+        assert err.value.device_name.startswith("fleet:r1:dev")
+
+    def test_max_faults_caps_the_schedule(self):
+        inj = FaultInjector(rate=1.0, kinds=("stall",), seed=0, max_faults=2, stall_s=0.1)
+        stalls = [inj.on_dispatch("s", j, [4]) for j in range(10)]
+        assert stalls.count(0.1) == 2 and inj.injected() == 2
+
+    def test_validation(self):
+        with pytest.raises(ArgumentError):
+            FaultInjector(rate=1.5)
+        with pytest.raises(ArgumentError):
+            FaultInjector(kinds=("nope",))
+        with pytest.raises(ArgumentError):
+            FaultInjector(kinds=())
+        with pytest.raises(ArgumentError):
+            FaultInjector(stall_s=-1.0)
+
+
+class TestRetryPolicy:
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.retryable(DeviceOutOfMemory(10, 0, 5))
+        assert policy.retryable(PlanExecutionError(0, "d", ValueError("x")))
+        assert not policy.retryable(ArgumentError(1, "bad"))
+        assert not policy.retryable(BatchNumericalError({0: 3}, "potrf"))
+
+    def test_delay_grows_exponentially(self):
+        policy = RetryPolicy(backoff=1e-3, backoff_factor=2.0)
+        assert policy.delay(1) == pytest.approx(1e-3)
+        assert policy.delay(2) == pytest.approx(2e-3)
+        assert policy.delay(3) == pytest.approx(4e-3)
+
+    def test_validation(self):
+        with pytest.raises(ArgumentError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ArgumentError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(ArgumentError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestReplicaHealth:
+    def test_threshold_ejects_and_cooldown_recovers(self):
+        health = ReplicaHealth(failure_threshold=2, cooldown=1.0)
+        assert not health.record_failure(now=0.0)
+        assert health.healthy(0.0)
+        assert health.record_failure(now=0.0)  # second consecutive -> eject
+        assert not health.healthy(0.5)
+        assert health.healthy(1.0)  # half-open after the cooldown
+        assert health.ejections == 1 and health.failures == 2
+
+    def test_success_closes_the_breaker(self):
+        health = ReplicaHealth(failure_threshold=2, cooldown=1.0)
+        health.record_failure(0.0)
+        health.record_success()
+        assert not health.record_failure(0.0)  # streak reset: not ejected
+
+    def test_slow_dispatches_trip_the_same_breaker(self):
+        health = ReplicaHealth(failure_threshold=2, cooldown=1.0)
+        health.record_slow(0.0)
+        assert health.record_slow(0.0)
+        assert health.slow_dispatches == 2 and not health.healthy(0.5)
+
+
+class TestFaultRetryMatrix:
+    """Fault kind x retry stance -> documented terminal state.
+
+    With ``max_faults=1`` the injector fires exactly once, so a policy
+    with retry budget always lands the retry on a clean dispatch and the
+    request completes; without a budget, raising kinds must terminate in
+    :class:`RetriesExhaustedError` after exactly one attempt.  ``stall``
+    never raises, so it completes under every policy.
+    """
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    @pytest.mark.parametrize("retries", [0, 3])
+    def test_terminal_state(self, kind, retries):
+        injector = FaultInjector(rate=1.0, kinds=(kind,), seed=3, max_faults=1)
+        router = FleetRouter(
+            replica_count=2,
+            max_batch=4,
+            fault_injector=injector,
+            retry=RetryPolicy(max_retries=retries, backoff=1e-4),
+            execute_numerics=False,
+        )
+        tickets = [router.submit(np.zeros((16, 16))) for _ in range(4)]
+        assert router.drain()
+        router.shutdown()
+        assert injector.injected(kind) == 1
+        raising = kind in ("device-oom", "shard-failure")
+        if not raising or retries > 0:
+            # Stalls never fail a batch; raising faults retry cleanly.
+            assert all(t.outcome == "completed" for t in tickets)
+        else:
+            # No retry budget: the faulted batch terminates typed, never hangs.
+            assert all(t.outcome == "failed" for t in tickets)
+            for t in tickets:
+                with pytest.raises(RetriesExhaustedError) as err:
+                    t.future.result(timeout=0)
+                assert err.value.attempts == 1
+
+    def test_exhausted_retries_chain_the_last_fault(self):
+        # Unlimited schedule on a single replica: every attempt faults.
+        injector = FaultInjector(rate=1.0, kinds=("device-oom",), seed=0)
+        router = FleetRouter(
+            replica_count=1,
+            max_batch=4,
+            fault_injector=injector,
+            retry=RetryPolicy(max_retries=2, backoff=1e-4),
+            execute_numerics=False,
+        )
+        ticket = router.submit(np.zeros((16, 16)))
+        assert router.drain()
+        router.shutdown()
+        assert ticket.outcome == "failed"
+        with pytest.raises(RetriesExhaustedError) as err:
+            ticket.future.result(timeout=0)
+        assert err.value.attempts == 3  # 1 try + 2 retries
+        assert isinstance(err.value.last_error, DeviceOutOfMemory)
+        assert router.metrics.outcome("failed") == 1

@@ -84,6 +84,70 @@ class TestMergeEdgeCases:
             s["nope"]
 
 
+class TestKeyedIdempotentMerge:
+    """The retry-accounting contract (``merge(..., key=)``): a batch
+    retried on another replica adds its physical execution work again
+    but counts as ONE logical batch — no double-counted ``batches``,
+    plan-cache hits, or steps in fleet-wide totals."""
+
+    def _attempt(self):
+        return _stats(
+            steps=3, executed_launches=5, barriers=2, plan_nodes=4,
+            plan_builds=1, plan_cache_misses=1, batches=1,
+        )
+
+    def test_same_key_counts_logical_fields_once(self):
+        acc = _stats()
+        key = ("fleet:r0", frozenset({1, 2, 3}))
+        acc.merge(self._attempt(), key=key)   # failed attempt
+        acc.merge(self._attempt(), key=key)   # retry of the same batch
+        assert acc.batches == 1
+        assert acc.steps == 3
+        assert (acc.plan_nodes, acc.plan_builds, acc.plan_cache_misses) == (4, 1, 1)
+        # Physical work really happened twice and must say so.
+        assert acc.executed_launches == 10
+        assert acc.barriers == 4
+
+    def test_distinct_keys_add_everything(self):
+        acc = _stats()
+        acc.merge(self._attempt(), key=("r0", frozenset({1})))
+        acc.merge(self._attempt(), key=("r1", frozenset({2})))
+        assert acc.batches == 2
+        assert acc.steps == 6
+        assert acc.executed_launches == 10
+
+    def test_retry_does_not_disturb_the_hit_fold(self):
+        acc = _stats()
+        key = ("r0", frozenset({7}))
+        acc.merge(
+            _stats(batches=1, plan_cache_hit=True, plan_cache_hits=1), key=key
+        )
+        # The retry missed the (warm) fold question entirely: same batch.
+        acc.merge(
+            _stats(batches=1, plan_cache_hit=False, plan_cache_misses=1), key=key
+        )
+        assert acc.plan_cache_hit is True
+        assert (acc.plan_cache_hits, acc.plan_cache_misses) == (1, 0)
+
+    def test_unkeyed_merges_are_unaffected(self):
+        keyed = _stats()
+        keyed.merge(self._attempt(), key=("r0", frozenset({1})))
+        plain = _stats()
+        plain.merge(self._attempt())
+        assert plain.as_dict() == keyed.as_dict()
+        # And interleaving unkeyed merges never consults the key set.
+        keyed.merge(self._attempt())
+        assert keyed.batches == 2
+
+    def test_three_attempts_one_batch(self):
+        acc = _stats()
+        key = ("r2", frozenset({4, 5}))
+        for _ in range(3):
+            acc.merge(self._attempt(), key=key)
+        assert acc.batches == 1
+        assert acc.executed_launches == 15
+
+
 class TestDriverPopulatesCacheCounters:
     def _run(self, cache):
         dev = Device(execute_numerics=False)
