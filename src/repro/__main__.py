@@ -248,6 +248,62 @@ def _cmd_fleet_bench(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_hetero_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .bench.hetero import run_hetero_bench
+
+    report = run_hetero_bench(
+        batch_count=args.batch,
+        max_size=args.max_size,
+        seed=args.seed,
+        precision=args.precision,
+        members=args.members,
+        chunks_per_member=args.chunks_per_member,
+        smoke=args.smoke,
+    )
+
+    cfg = report["config"]
+    base = report["baseline_1dev_s"]
+    print(f"hetero-bench: {cfg['batch_count']} matrices, uniform sizes <= "
+          f"{cfg['max_size']}, seed {cfg['seed']}, precision {cfg['precision']}")
+    print(f"1-device baseline: fused {base['fused'] * 1e3:.4f} ms, "
+          f"separated {base['separated'] * 1e3:.4f} ms (T1 = {base['t1'] * 1e3:.4f} ms)\n")
+
+    for placement, rows in report["scaling"].items():
+        print(f"homogeneous k40c scaling, {placement} placement:")
+        print(f"{'devices':>8} {'elapsed_ms':>11} {'speedup':>8} {'chunks':>7} "
+              f"{'steals':>7} {'approaches':>24}")
+        for n, row in rows.items():
+            print(f"{n:>8} {row['elapsed_s'] * 1e3:>11.4f} {row['speedup']:>7.2f}x "
+                  f"{row['chunks']:>7} {row['work_steals']:>7} {row['approaches']:>24}")
+        print()
+
+    mixed = report["mixed"]
+    print(f"mixed group {mixed['members']}: {mixed['elapsed_s'] * 1e3:.4f} ms "
+          f"({mixed['work_steals']} steals)")
+    for name, t in mixed["solos_s"].items():
+        marker = "  <- best solo" if name == mixed["best_solo"] else ""
+        print(f"  solo {name:>12}: {t * 1e3:>9.4f} ms{marker}")
+    print(f"  speedup vs best solo: {mixed['speedup_vs_best_solo']:.2f}x")
+    print("  placement:")
+    for d in mixed["placement"]:
+        stolen = f"  (stolen from {d['stolen_from']})" if "stolen_from" in d else ""
+        print(f"    chunk {d['chunk']}: {d['count']:>4} matrices, max_n {d['max_n']:>4} "
+              f"-> {d['member']} [{d['approach']}] est {d['est_s'] * 1e3:.4f} ms{stolen}")
+
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {path}")
+
+    failures = report["acceptance"]["failures"]
+    for failure in failures:
+        print(f"ACCEPTANCE FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace_report(args) -> int:
     from .observability import analyze_trace, format_trace_report, load_chrome_trace
 
@@ -342,6 +398,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tiny fixed load for CI (shrinks the workload)")
     p.add_argument("-o", "--output", help="write the JSON report here (e.g. BENCH_pr6.json)")
     p.set_defaults(fn=_cmd_fleet_bench)
+
+    p = sub.add_parser("hetero-bench",
+                       help="heterogeneous-group scaling and placement benchmark")
+    p.add_argument("-b", "--batch", type=int, default=400)
+    p.add_argument("-n", "--max-size", type=int, default=256)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("-p", "--precision", default="d", choices="sdcz")
+    p.add_argument("--members", default="k40c+k20x+titan-black+cpu",
+                   help='mixed-group member spec, e.g. "k40c*2+k20x+cpu:8"')
+    p.add_argument("--chunks-per-member", type=int, default=1,
+                   help="placement granularity (1 = one stratum per member)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI sweep: only the points the acceptance gate asserts")
+    p.add_argument("-o", "--output", help="write the JSON report here (e.g. BENCH_pr7.json)")
+    p.set_defaults(fn=_cmd_hetero_bench)
 
     p = sub.add_parser("trace-report", help="bottleneck report from a recorded trace")
     p.add_argument("trace", help="Chrome-trace JSON written by serve-bench --trace")

@@ -8,9 +8,12 @@ oscillations").
 
 Two flavors live here:
 
-* :func:`run_cpu_percore` — the *modeled* baseline: per-matrix task
-  times from the MKL model, scheduled by the simulated
-  :class:`~repro.cpu.CoreScheduler` (what the figure harness plots).
+* :func:`run_cpu_percore` — the *modeled* baseline: a
+  :class:`~repro.device.member.CpuMember` (per-matrix task times from
+  the MKL model, scheduled by the simulated
+  :class:`~repro.cpu.CoreScheduler`) — the same backend a
+  :class:`~repro.device.hetero.HeteroGroup` places buckets on, pinned
+  to the paper's full-machine contention so the figures are unchanged.
 * :func:`run_cpu_percore_measured` — a *real* ``concurrent.futures``
   pool factorizing actual SPD matrices on this machine.  Dynamic
   scheduling is the pool's shared work queue (a worker takes the next
@@ -28,7 +31,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 import numpy as np
 
 from .. import flops as _flops
-from ..cpu import CoreScheduler, CpuSpec, MklModel, SANDY_BRIDGE_2X8
+from ..cpu import CpuSpec, MklModel, SANDY_BRIDGE_2X8
+from ..device.member import CpuMember
 from ..hostblas import make_spd_batch, potrf
 from ..types import Precision
 from .result import BaselineResult
@@ -53,13 +57,19 @@ def run_cpu_percore(
     prec = Precision(precision)
     mkl = mkl or MklModel(spec)
 
-    active = cores or spec.total_cores
-    task_times = np.fromiter(
-        (mkl.contended_potrf_time(int(n), prec, active) for n in sizes),
-        dtype=np.float64,
-        count=sizes.size,
+    # The paper's baseline charges full-machine contention no matter
+    # how many matrices are in flight; ``contention_cores`` pins the
+    # member to that convention (a HeteroGroup member would instead
+    # scale contention with the bucket it was handed).
+    member = CpuMember(
+        spec,
+        cores=cores,
+        mkl=mkl,
+        scheduling=scheduling,
+        contention_cores=cores or spec.total_cores,
+        name="cpu-baseline",
     )
-    run = CoreScheduler(spec).run(task_times, scheduling, cores=cores)
+    run = member.schedule(sizes, prec)
     return BaselineResult(
         label=f"cpu-1core-{scheduling}",
         elapsed=run.makespan,

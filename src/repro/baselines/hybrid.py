@@ -20,6 +20,7 @@ import numpy as np
 
 from .. import flops as _flops
 from ..cpu import MklModel
+from ..device.member import CpuMember
 from ..hostblas import potrf as host_potrf
 from ..kernels.syrk import SyrkTask, VbatchedSyrkKernel
 from ..types import Precision, precision_info
@@ -49,9 +50,12 @@ def run_hybrid(
     info = precision_info(prec)
     mkl = mkl or MklModel()
     elem = info.bytes_per_element
+    # One CPU core drives the hybrid loop; model it as a compute
+    # member so the panel-time formula lives with the other backend
+    # cost models (the numbers are the member's, unchanged).
+    cpu = CpuMember(spec=mkl.spec, cores=1, mkl=mkl, name="hybrid:cpu")
 
     t0 = device.synchronize()
-    cpu_busy = 0.0
     for i in range(batch.batch_count):
         n = int(batch.sizes_host[i])
         if n == 0:
@@ -69,10 +73,9 @@ def run_hybrid(
             panel_flops = _flops.potf2_flops(jb, prec) + _flops.trsm_flops(
                 m - jb, jb, "right", prec
             )
-            cpu_time = panel_flops / mkl.sequential_rate(max(jb, 8), prec) \
-                + mkl.constants.call_overhead
+            cpu_time = cpu.panel_time(jb, panel_flops, prec)
             device.host_time += cpu_time
-            cpu_busy += cpu_time
+            cpu.advance(cpu_time)
             device._transfer(panel_bytes, "hybrid:panel_h2d", None)
             n_trail = m - jb
             if n_trail > 0:
@@ -87,7 +90,7 @@ def run_hybrid(
 
     elapsed = device.synchronize() - t0
     busy = np.zeros(16)
-    busy[0] = cpu_busy  # one core drives the hybrid loop
+    busy[0] = cpu.synchronize()  # one core drives the hybrid loop
     return BaselineResult(
         label="magma-hybrid",
         elapsed=elapsed,

@@ -121,6 +121,10 @@ class LaunchStats:
     opt_barriers_elided: int = 0
     opt_launches_merged: int = 0
     opt_launches_pruned: int = 0
+    #: Heterogeneous-group accounting: chunks executed across members
+    #: and how many of them were work-stolen (zero on homogeneous runs).
+    chunks: int = 0
+    work_steals: int = 0
     devices_used: int = 1
 
     def keys(self):
@@ -205,6 +209,11 @@ class PotrfResult:
     infos: np.ndarray
     launch_stats: LaunchStats = field(default_factory=LaunchStats)
     max_n: int = 0
+    #: Heterogeneous runs only: the chunk->member decision table (dicts
+    #: with member/approach/estimates) and per-member
+    #: :class:`~repro.device.executor.MemberStats`; ``None`` otherwise.
+    placement: list | None = None
+    member_stats: list | None = None
 
     @property
     def gflops(self) -> float:
@@ -303,9 +312,12 @@ def run_potrf_vbatched(
 ) -> PotrfResult:
     """Execute the factorization and collect the result record.
 
-    ``devices`` (a :class:`~repro.device.topology.DeviceGroup` or a
-    sequence of devices) shards the batch across the group and runs the
-    per-shard plans concurrently; ``plan_cache`` re-serves previously
+    ``devices`` (a :class:`~repro.device.topology.DeviceGroup`, a
+    :class:`~repro.device.hetero.HeteroGroup` or a sequence of devices)
+    shards the batch across the group and runs the per-shard plans
+    concurrently — a heterogeneous group additionally places each size
+    stratum on the member its calibrated cost model prefers and
+    rebalances by work-stealing; ``plan_cache`` re-serves previously
     built plans for batches with identical size vectors; ``optimize``
     overrides ``options.optimize`` (a plan-optimizer level, see
     :mod:`repro.core.optimizer`).
@@ -319,8 +331,15 @@ def run_potrf_vbatched(
     approach = resolve_approach(batch, max_n, options)
 
     if devices is not None:
+        from ..device.hetero import HeteroGroup, run_potrf_hetero
         from ..device.topology import DeviceGroup, run_potrf_sharded
 
+        if isinstance(devices, HeteroGroup):
+            result = run_potrf_hetero(devices, batch, max_n, options, plan_cache)
+            if options.on_error == "raise" and result.failed_count:
+                failing = {int(i): int(v) for i, v in enumerate(result.infos) if v != 0}
+                raise BatchNumericalError(failing, f"potrf_vbatched[{batch.precision.value}]")
+            return result
         group = devices if isinstance(devices, DeviceGroup) else DeviceGroup(devices)
         if len(group) > 1:
             result = run_potrf_sharded(group, batch, max_n, options, approach, plan_cache)

@@ -17,8 +17,10 @@ from .kernel import BlockWork, Kernel, LaunchConfig
 from .scheduler import BlockScheduler
 from .stream import Stream
 from .device import Device
-from .executor import ExecutionStats, PlanExecutor, execute_concurrently
+from .executor import ExecutionStats, MemberStats, PlanExecutor, execute_concurrently
 from .topology import DeviceGroup, partition_sizes
+from .member import ChunkRun, ComputeMember, CpuMember, GpuMember, MemberCapabilities
+from .hetero import HeteroGroup, parse_members, run_potrf_hetero
 
 __all__ = [
     "DeviceSpec",
@@ -44,4 +46,13 @@ __all__ = [
     "execute_concurrently",
     "DeviceGroup",
     "partition_sizes",
+    "MemberStats",
+    "ChunkRun",
+    "ComputeMember",
+    "CpuMember",
+    "GpuMember",
+    "MemberCapabilities",
+    "HeteroGroup",
+    "parse_members",
+    "run_potrf_hetero",
 ]

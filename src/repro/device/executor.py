@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from ..errors import PlanError, PlanExecutionError
 from ..observability.trace import Track, current_tracer, propagating
 
-__all__ = ["ExecutionStats", "PlanExecutor", "execute_concurrently"]
+__all__ = ["ExecutionStats", "MemberStats", "PlanExecutor", "execute_concurrently"]
 
 
 @dataclass
@@ -100,6 +100,73 @@ class ExecutionStats:
         )
         for tag, count in sorted(self.by_tag.items()):
             by_tag.inc(count, tag=tag)
+
+
+@dataclass
+class MemberStats:
+    """Per-member execution accounting for one heterogeneous run.
+
+    One record per :class:`~repro.device.member.ComputeMember` in a
+    :class:`~repro.device.hetero.HeteroGroup`: how many chunks the
+    member executed (and how many of those it stole), the matrices and
+    flops it absorbed, its busy span on the simulated clock, and the
+    kernel launches it issued (GPU members; a CPU member launches
+    nothing).  ``merge`` folds repeated runs of the same member — the
+    serving layer accumulates these across dispatches.
+    """
+
+    name: str
+    kind: str = "gpu"
+    chunks: int = 0
+    steals: int = 0
+    matrices: int = 0
+    flops: float = 0.0
+    busy_s: float = 0.0
+    launches: int = 0
+
+    def record(self, run) -> None:
+        """Fold one :class:`~repro.device.member.ChunkRun` in."""
+        self.chunks += 1
+        self.steals += int(bool(run.stolen))
+        self.matrices += int(run.count)
+        self.flops += float(run.flops)
+        if run.launch_stats is not None:
+            self.launches += int(run.launch_stats.executed_launches)
+
+    def merge(self, other: "MemberStats") -> None:
+        self.chunks += other.chunks
+        self.steals += other.steals
+        self.matrices += other.matrices
+        self.flops += other.flops
+        self.busy_s += other.busy_s
+        self.launches += other.launches
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "chunks": self.chunks,
+            "steals": self.steals,
+            "matrices": self.matrices,
+            "flops": self.flops,
+            "busy_s": self.busy_s,
+            "launches": self.launches,
+        }
+
+    def publish(self, registry, prefix: str = "hetero") -> None:
+        """Export this member's placement outcome to a metrics registry."""
+        registry.counter(
+            f"{prefix}_chunks_total", "chunks executed per member", labels=("member", "kind")
+        ).inc(self.chunks, member=self.name, kind=self.kind)
+        registry.counter(
+            f"{prefix}_steals_total", "chunks work-stolen per member", labels=("member",)
+        ).inc(self.steals, member=self.name)
+        registry.counter(
+            f"{prefix}_matrices_total", "matrices placed per member", labels=("member",)
+        ).inc(self.matrices, member=self.name)
+        registry.gauge(
+            f"{prefix}_busy_seconds", "member busy span, last run", labels=("member",)
+        ).set(self.busy_s, member=self.name)
 
 
 class PlanExecutor:

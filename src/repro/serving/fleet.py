@@ -69,6 +69,8 @@ def build_fleet(
     replica_count: int,
     *,
     devices_per_replica: int = 1,
+    members: str | None = None,
+    placement: str = "size-stratified",
     policy: str = "greedy-window",
     max_batch: int = 32,
     max_wait: float = 2e-3,
@@ -88,9 +90,14 @@ def build_fleet(
     :class:`~repro.device.topology.DeviceGroup` of
     ``devices_per_replica`` devices (``devices_per_replica=1`` keeps a
     single device per replica) and its own admission queue; one shared
-    thread-safe plan cache serves them all.  ``fault_injector`` is
-    installed on every replica — the injector itself keys its schedule
-    on the replica name, so replicas fault independently.
+    thread-safe plan cache serves them all.  ``members`` (a
+    :func:`~repro.device.hetero.parse_members` spec string, e.g.
+    ``"k40c*2+cpu"``) gives every replica its own *heterogeneous*
+    :class:`~repro.device.hetero.HeteroGroup` instead — replicas may
+    mix unequal GPUs and the CPU backend, and each dispatch's placement
+    decisions land in the replica server's metrics.  ``fault_injector``
+    is installed on every replica — the injector itself keys its
+    schedule on the replica name, so replicas fault independently.
     """
     if replica_count <= 0:
         raise ArgumentError(1, f"replica_count must be positive, got {replica_count}")
@@ -105,7 +112,16 @@ def build_fleet(
         kwargs = {}
         if clock is not None:
             kwargs["clock"] = clock
-        if devices_per_replica > 1:
+        if members is not None:
+            from ..device.hetero import HeteroGroup
+
+            kwargs["devices"] = HeteroGroup.simulated(
+                members,
+                execute_numerics=execute_numerics,
+                placement=placement,
+                name_prefix=f"{rname}:",
+            )
+        elif devices_per_replica > 1:
             kwargs["devices"] = DeviceGroup.simulated(
                 devices_per_replica,
                 execute_numerics=execute_numerics,

@@ -105,6 +105,9 @@ class ServerMetrics:
         )
         self.batches: list[BatchRecord] = []
         self.launch_stats = LaunchStats()
+        #: Accumulated per-member placement outcomes (heterogeneous
+        #: groups only), keyed by member name.
+        self.member_stats: dict[str, object] = {}
         self.wall_started: float | None = None
         self.wall_stopped: float | None = None
 
@@ -172,6 +175,29 @@ class ServerMetrics:
             if resp.deadline_missed:
                 self._requests.inc(outcome="deadline_missed")
 
+    def record_placement(self, member_stats) -> None:
+        """Fold a heterogeneous dispatch's per-member outcomes in.
+
+        Each :class:`~repro.device.executor.MemberStats` is accumulated
+        under its member name and published to the registry
+        (``hetero_chunks_total{member,kind}``, ``hetero_steals_total``,
+        ``hetero_matrices_total``, ``hetero_busy_seconds``), so
+        placement decisions surface in both :meth:`snapshot` and the
+        Prometheus exposition.
+        """
+        if not member_stats:
+            return
+        with self._lock:
+            for ms in member_stats:
+                acc = self.member_stats.get(ms.name)
+                if acc is None:
+                    self.member_stats[ms.name] = acc = type(ms)(
+                        name=ms.name, kind=ms.kind
+                    )
+                acc.merge(ms)
+        for ms in member_stats:
+            ms.publish(self.registry)
+
     # -- derived views ---------------------------------------------------
     @staticmethod
     def padded_flops_for(sizes, precision) -> tuple[float, float]:
@@ -200,6 +226,9 @@ class ServerMetrics:
         with self._lock:
             batches = list(self.batches)
             launch = self.launch_stats
+            placement = {
+                name: ms.as_dict() for name, ms in sorted(self.member_stats.items())
+            }
             wall = None
             if self.wall_started is not None and self.wall_stopped is not None:
                 wall = self.wall_stopped - self.wall_started
@@ -252,4 +281,5 @@ class ServerMetrics:
                 "plan_nodes": launch.plan_nodes,
                 "batches": launch.batches,
             },
+            "placement": placement,
         }

@@ -39,6 +39,7 @@ from ..core.batch import VBatch
 from ..core.driver import PotrfOptions, run_potrf_vbatched
 from ..core.plan import PlanCache
 from ..device.device import Device
+from ..device.hetero import HeteroGroup
 from ..device.topology import DeviceGroup
 from ..errors import AdmissionError, ArgumentError, RequestCancelled, ServingError
 from ..extensions.solve import potrs_vbatched
@@ -120,8 +121,11 @@ class BatchServer:
         if queue_limit <= 0:
             raise ArgumentError(6, f"queue_limit must be positive, got {queue_limit}")
         if devices is not None:
-            self.group = devices if isinstance(devices, DeviceGroup) else DeviceGroup(devices)
-            self.device = self.group.devices[0]
+            if isinstance(devices, (DeviceGroup, HeteroGroup)):
+                self.group = devices
+            else:
+                self.group = DeviceGroup(devices)
+            self.device = self.group.staging_device
         else:
             self.device = device if device is not None else Device()
             self.group = None
@@ -368,9 +372,10 @@ class BatchServer:
     # dispatch
     # ------------------------------------------------------------------
     def _sim_now(self) -> float:
-        """Current simulated time (max over the dispatch devices)."""
-        devs = self.group.devices if self.group is not None else [self.device]
-        return max(d.host_time for d in devs)
+        """Current simulated time (max over the dispatch members)."""
+        if self.group is not None:
+            return self.group.sim_now()
+        return self.device.host_time
 
     def _drop_cancelled(self, requests: list[Request]) -> list[Request]:
         """Honor cancel flags set after the batch left the queue.
@@ -502,6 +507,8 @@ class BatchServer:
                 launch_stats=result.launch_stats,
             )
             self.metrics.record_batch(record, responses, result.launch_stats)
+            if result.member_stats is not None:
+                self.metrics.record_placement(result.member_stats)
             if tracer:
                 span_args.update(
                     batch_id=batch_id,

@@ -119,6 +119,33 @@ class TestFleetBenchCommand:
         assert json.loads(a.read_text()) == json.loads(b.read_text())
 
 
+class TestHeteroBenchCommand:
+    def test_smoke_passes_acceptance_and_writes_report(self, capsys, tmp_path):
+        report_path = tmp_path / "BENCH_pr7.json"
+        assert main(["hetero-bench", "--smoke", "-o", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "homogeneous k40c scaling" in out
+        assert "speedup vs best solo" in out
+        report = json.loads(report_path.read_text())
+        assert report["acceptance"]["failures"] == []
+        assert report["scaling"]["size-stratified"]["8"]["speedup"] >= 3.5
+        mixed = report["mixed"]
+        assert mixed["elapsed_s"] < mixed["solos_s"][mixed["best_solo"]]
+        assert sum(d["count"] for d in mixed["placement"]) == report["config"]["batch_count"]
+
+    def test_smoke_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["hetero-bench", "--smoke", "-o", str(a)]) == 0
+        assert main(["hetero-bench", "--smoke", "-o", str(b)]) == 0
+        assert json.loads(a.read_text()) == json.loads(b.read_text())
+
+    def test_members_spec_is_validated(self):
+        from repro.errors import ArgumentError
+
+        with pytest.raises(ArgumentError, match="unknown member"):
+            main(["hetero-bench", "--smoke", "--members", "warp9"])
+
+
 class TestEnergyCommand:
     def test_energy_bucket(self, capsys):
         assert main(["energy", "--low", "64", "--high", "128", "-b", "300"]) == 0

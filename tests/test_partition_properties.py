@@ -1,0 +1,118 @@
+"""Property-based invariants of the batch partitioners (all policies).
+
+Three families of facts, for every policy ``partition_sizes`` accepts:
+
+* **exact cover** — the pieces are a disjoint cover of the batch index
+  range, each piece in ascending index order;
+* **permutation invariance** — the sorting policies (``flops``,
+  ``size-stratified``, ``step-aware``) decide from the sorted-size
+  sequence only, so shuffling the input batch must reproduce the same
+  per-shard *size multisets* (the order-dependent policies,
+  ``round-robin``/``contiguous``, are exempt by design);
+* **stratification** — size-stratified shards have non-increasing
+  ``max_n`` down the shard list, and their sorted per-shard maxima are
+  elementwise no larger than the flops/LPT policy's (the step-count
+  reduction the heterogeneous scaling result rests on).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.device.topology import _POLICIES, partition_sizes
+from repro.types import Precision
+
+D = Precision.D
+
+SORTING_POLICIES = ("flops", "size-stratified", "step-aware")
+
+sizes_strategy = st.lists(
+    st.integers(min_value=1, max_value=256), min_size=1, max_size=120
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+shards_strategy = st.integers(min_value=1, max_value=8)
+
+
+class TestExactCover:
+    @settings(max_examples=60, deadline=None)
+    @given(sizes=sizes_strategy, n_shards=shards_strategy, policy=st.sampled_from(_POLICIES))
+    def test_pieces_cover_every_index_once(self, sizes, n_shards, policy):
+        parts = partition_sizes(sizes, D, n_shards, policy)
+        assert len(parts) == n_shards
+        merged = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(merged, np.arange(sizes.size))
+
+    @settings(max_examples=60, deadline=None)
+    @given(sizes=sizes_strategy, n_shards=shards_strategy, policy=st.sampled_from(_POLICIES))
+    def test_pieces_are_ascending(self, sizes, n_shards, policy):
+        for p in partition_sizes(sizes, D, n_shards, policy):
+            assert np.all(np.diff(p) > 0) or p.size <= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sizes=sizes_strategy,
+        n_shards=shards_strategy,
+        # "contiguous" splits by flops range and "step-aware" packs to a
+        # makespan bound — both may leave shards empty by design.
+        policy=st.sampled_from(("flops", "round-robin", "size-stratified")),
+    )
+    def test_no_shard_empty_while_another_overfull(self, sizes, n_shards, policy):
+        """With at least as many items as shards, nobody idles."""
+        parts = partition_sizes(sizes, D, n_shards, policy)
+        if sizes.size >= n_shards:
+            assert all(p.size >= 1 for p in parts)
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sizes=sizes_strategy,
+        n_shards=shards_strategy,
+        policy=st.sampled_from(SORTING_POLICIES),
+        perm_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_per_shard_size_multisets_survive_shuffling(
+        self, sizes, n_shards, policy, perm_seed
+    ):
+        perm = np.random.default_rng(perm_seed).permutation(sizes.size)
+        base = partition_sizes(sizes, D, n_shards, policy)
+        shuffled = partition_sizes(sizes[perm], D, n_shards, policy)
+        for s, (a, b) in enumerate(zip(base, shuffled)):
+            np.testing.assert_array_equal(
+                np.sort(sizes[a]), np.sort(sizes[perm][b]), err_msg=f"shard {s}"
+            )
+
+
+class TestStratification:
+    @settings(max_examples=60, deadline=None)
+    @given(sizes=sizes_strategy, n_shards=shards_strategy)
+    def test_stratified_max_n_non_increasing(self, sizes, n_shards):
+        parts = partition_sizes(sizes, D, n_shards, "size-stratified")
+        maxes = [int(sizes[p].max()) for p in parts if p.size]
+        assert maxes == sorted(maxes, reverse=True)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sizes=sizes_strategy, n_shards=shards_strategy)
+    def test_stratified_spreads_max_n_no_worse_than_flops(self, sizes, n_shards):
+        """LPT leaves a top-k matrix in each of the k busiest shards;
+        strata confine the large tail — sorted per-shard maxima must be
+        elementwise <= the flops policy's."""
+        strat = partition_sizes(sizes, D, n_shards, "size-stratified")
+        lpt = partition_sizes(sizes, D, n_shards, "flops")
+        m_strat = sorted((int(sizes[p].max()) for p in strat if p.size), reverse=True)
+        m_lpt = sorted((int(sizes[p].max()) for p in lpt if p.size), reverse=True)
+        assert len(m_strat) == len(m_lpt)
+        assert all(a <= b for a, b in zip(m_strat, m_lpt))
+
+    @settings(max_examples=40, deadline=None)
+    @given(sizes=sizes_strategy, n_shards=shards_strategy)
+    def test_step_aware_never_exceeds_whole_batch_cost_bound(self, sizes, n_shards):
+        """Binary-searched makespan bound: every step-aware shard's
+        modeled cost is at most the whole batch run as one shard."""
+        from repro import flops as _flops
+        from repro.device.topology import _default_shard_cost
+
+        work = np.array([_flops.potrf_flops(int(n), D) for n in sizes])
+        parts = partition_sizes(sizes, D, n_shards, "step-aware")
+        whole = _default_shard_cost(sizes, work)
+        for p in parts:
+            if p.size:
+                assert _default_shard_cost(sizes[p], work[p]) <= whole + 1e-12
