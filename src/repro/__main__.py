@@ -16,8 +16,14 @@ Subcommands:
   and retries vs. a single-server baseline (writes
   ``BENCH_pr6.json``-style output; the ``fleet-chaos-smoke`` CI job
   runs it with ``--smoke --faults seeded``);
+* ``hmatrix-bench`` — hierarchical-matrix (block low-rank) compression
+  demo driving mixed QR/SVD/POTRF batches through one cross-op batch
+  server, plus the shared-group vs op-segregated serving comparison
+  (writes ``BENCH_pr8.json``-style output; the ``mixedop-smoke`` CI
+  job runs it with ``--smoke``);
 * ``trace-report`` — occupancy / critical-path / padded-waste /
-  bottleneck tables from a ``--trace`` file.
+  bottleneck tables from a ``--trace`` file (including the
+  per-operation breakdown for mixed-op traces).
 """
 
 from __future__ import annotations
@@ -304,6 +310,60 @@ def _cmd_hetero_bench(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_hmatrix_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .apps import run_hmatrix_bench
+
+    report = run_hmatrix_bench(
+        n_points=args.points,
+        tol=args.tol,
+        requests=args.requests,
+        max_size=args.max_size,
+        device_count=args.devices,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+
+    cfg = report["config"]
+    comp = report["compression"]
+    print(f"hmatrix-bench: {cfg['n_points']} points, {comp['clusters']} clusters, "
+          f"tol {cfg['tol']:g}, seed {cfg['seed']}")
+    print(f"  tiles: {comp['tiles_compressed']} compressed (max rank "
+          f"{comp['max_rank']}), {comp['tiles_dense']} dense")
+    print(f"  compression ratio: {comp['compression_ratio']:.3f} "
+          f"(stored / dense entries)")
+    print(f"  max tile reconstruction error: {comp['max_rel_error']:.2e}")
+    print("  per-op serving batches:")
+    for op, row in comp["serving_ops"].items():
+        print(f"    {op:>6}: {row['batches']:>3} batches, {row['matrices']:>4} "
+              f"matrices, efficiency {row['efficiency']:.2f}")
+
+    mix = report["mixed_serving"]
+    shared, seg = mix["shared_cross_op"], mix["segregated"]
+    print(f"\nmixed serving, {cfg['requests']} requests "
+          f"(mix {mix['op_mix']}), {cfg['device_count']} devices:")
+    print(f"  shared cross-op : makespan {shared['makespan_sim_s'] * 1e3:9.3f} ms, "
+          f"{shared['matrices_per_sim_s']:9.0f} matrices/s, "
+          f"waste {shared['waste_pct']:.2f}%")
+    print(f"  op-segregated   : makespan {seg['makespan_sim_s'] * 1e3:9.3f} ms, "
+          f"{seg['matrices_per_sim_s']:9.0f} matrices/s, "
+          f"waste {seg['waste_pct']:.2f}%")
+    print(f"  throughput speedup: {mix['comparison']['throughput_speedup']:.2f}x")
+
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {path}")
+
+    failures = report["acceptance"]["failures"]
+    for failure in failures:
+        print(f"ACCEPTANCE FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace_report(args) -> int:
     from .observability import analyze_trace, format_trace_report, load_chrome_trace
 
@@ -413,6 +473,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI sweep: only the points the acceptance gate asserts")
     p.add_argument("-o", "--output", help="write the JSON report here (e.g. BENCH_pr7.json)")
     p.set_defaults(fn=_cmd_hetero_bench)
+
+    p = sub.add_parser("hmatrix-bench",
+                       help="hierarchical-matrix compression + mixed-op serving benchmark")
+    p.add_argument("--points", type=int, default=1024,
+                   help="kernel matrix order for the compression demo")
+    p.add_argument("--tol", type=float, default=1e-6,
+                   help="relative singular-value truncation threshold")
+    p.add_argument("-r", "--requests", type=int, default=5760,
+                   help="mixed QR/SVD/POTRF requests in the serving comparison")
+    p.add_argument("-n", "--max-size", type=int, default=96)
+    p.add_argument("-d", "--devices", type=int, default=3,
+                   help="simulated devices in the shared group (and segregated servers)")
+    p.add_argument("--max-batch", type=int, default=288)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized run: smaller kernel matrix and request stream")
+    p.add_argument("-o", "--output", help="write the JSON report here (e.g. BENCH_pr8.json)")
+    p.set_defaults(fn=_cmd_hmatrix_bench)
 
     p = sub.add_parser("trace-report", help="bottleneck report from a recorded trace")
     p.add_argument("trace", help="Chrome-trace JSON written by serve-bench --trace")

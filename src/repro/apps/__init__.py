@@ -1,0 +1,28 @@
+"""Demo applications built on the mixed-operation serving stack.
+
+Unlike :mod:`repro.bench` (which measures the library against the
+paper's figures), these are end-to-end *workloads*: real linear-algebra
+pipelines whose inner loops are ragged batches of small factorizations,
+driven through the :class:`~repro.serving.server.BatchServer` the way a
+production tier would submit them.
+
+* :mod:`repro.apps.hmatrix` — hierarchical-matrix (block low-rank)
+  compression of a kernel matrix: batched QR + truncated one-sided
+  Jacobi SVD on ragged tile batches, with Cholesky solve blocks on the
+  diagonal — the mixed QR/SVD/POTRF workload of ``python -m repro
+  hmatrix-bench``.
+"""
+
+from .hmatrix import (
+    HmatrixResult,
+    check_hmatrix_acceptance,
+    compress_kernel_matrix,
+    run_hmatrix_bench,
+)
+
+__all__ = [
+    "HmatrixResult",
+    "check_hmatrix_acceptance",
+    "compress_kernel_matrix",
+    "run_hmatrix_bench",
+]

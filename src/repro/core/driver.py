@@ -108,6 +108,12 @@ class LaunchStats:
     trsm_launches: int = 0
     syrk_launches: int = 0
     gemm_launches: int = 0
+    #: Mixed-operation tags: panel factorizations (getf2/geqr2 and the
+    #: SVD finalize), pivot row swaps, and Jacobi sweeps.  Zero for
+    #: POTRF runs, so POTRF merge/publish behaviour is unchanged.
+    panel_launches: int = 0
+    swap_launches: int = 0
+    sweep_launches: int = 0
     executed_launches: int = 0
     barriers: int = 0
     event_waits: int = 0
@@ -256,6 +262,9 @@ def plan_potrf(
 
     def build():
         plan = make_planner(device, approach, options).plan(batch, max_n)
+        # Every plan carries its operation tag; the executor stamps it
+        # on kernel spans so mixed-op traces attribute time per op.
+        plan.meta.setdefault("op", "potrf")
         return optimize_plan(plan, options.optimize)
 
     if plan_cache is None:
@@ -284,6 +293,9 @@ def stats_from_execution(plan, exec_stats, cache_hit: bool | None) -> LaunchStat
         trsm_launches=exec_stats.count("trsm"),
         syrk_launches=exec_stats.count("syrk"),
         gemm_launches=exec_stats.count("gemm"),
+        panel_launches=exec_stats.count("panel"),
+        swap_launches=exec_stats.count("swap"),
+        sweep_launches=exec_stats.count("sweep"),
         executed_launches=exec_stats.launches,
         barriers=exec_stats.barriers,
         event_waits=exec_stats.event_waits,

@@ -317,20 +317,26 @@ class PlanCache:
 
     @staticmethod
     def key_for(device, batch, max_n: int, label: str, options_key,
-                optimize: str = "none", streams: int | None = None) -> tuple:
-        """Cache key for one (device, batch-shape, planner, options) combo.
+                optimize: str = "none", streams: int | None = None,
+                op: str = "potrf") -> tuple:
+        """Cache key for one (device, op, batch-shape, planner, options) combo.
 
-        ``optimize`` (the plan-optimizer level) and ``streams`` (the
-        device's hardware queue count, which bounds the optimizer's
-        stream rebalancing) are part of the key: an optimized plan and
-        an unoptimized plan for the same ``batch_fingerprint`` are
-        different DAGs and must never collide.  ``id(device)`` stays the
-        leading element — :meth:`evict` matches on it.
+        ``op`` is the *operation tag* (potrf, geqrf, getrf, gesvj, ...)
+        and is a structural element of the key, distinct from ``label``
+        (the free-form planner/approach name): two operations planned
+        for identical (device, sizes, options) must never collide even
+        if a planner reuses a label string.  ``optimize`` (the
+        plan-optimizer level) and ``streams`` (the device's hardware
+        queue count, which bounds the optimizer's stream rebalancing)
+        are part of the key: an optimized plan and an unoptimized plan
+        for the same ``batch_fingerprint`` are different DAGs.
+        ``id(device)`` stays the leading element — :meth:`evict` matches
+        on it.
         """
         if streams is None:
             streams = int(getattr(getattr(device, "spec", None), "hardware_queues", 0) or 0)
         return (
-            id(device), label, int(max_n), options_key,
+            id(device), str(op), label, int(max_n), options_key,
             str(optimize), int(streams), batch_fingerprint(batch),
         )
 

@@ -204,6 +204,9 @@ class PlanExecutor:
         tracer = current_tracer()
         streams = {0: device.default_stream}
         nodes = plan.nodes
+        # Stamped on every kernel span so trace analysis can attribute
+        # stream time per operation in mixed-op (serving) traces.
+        plan_op = plan.meta.get("op")
 
         # Parallel-numerics bookkeeping (optimizer-annotated plans only).
         group_of: dict[int, int] = {}
@@ -294,14 +297,17 @@ class PlanExecutor:
                     events[node.index] = stream.record_event()
                     stats.events_recorded += 1
                 if tracer:
+                    span_args = {
+                        "node": node.index,
+                        "blocks": record.blocks,
+                        "utilization": round(record.schedule.utilization, 4),
+                    }
+                    if plan_op is not None:
+                        span_args["op"] = plan_op
                     tracer.add_span(
                         record.kernel_name, Track.for_stream(device, node.stream),
                         record.start, record.end, cat=node.tag,
-                        args={
-                            "node": node.index,
-                            "blocks": record.blocks,
-                            "utilization": round(record.schedule.utilization, 4),
-                        },
+                        args=span_args,
                     )
             drain()
         finally:

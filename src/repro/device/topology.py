@@ -168,6 +168,7 @@ def partition_sizes(
     policy: str = "flops",
     *,
     shard_cost=None,
+    routine: str = "potrf",
 ) -> list[np.ndarray]:
     """Split batch indices into ``n_shards`` per-device index arrays.
 
@@ -177,7 +178,8 @@ def partition_sizes(
     ``(shard_sizes, shard_flops) -> seconds`` callable) overrides the
     built-in cost model of the ``"step-aware"`` policy — a
     :class:`~repro.device.member.ComputeMember`'s calibrated estimate
-    slots in here.
+    slots in here.  ``routine`` selects the per-matrix flop model the
+    balancing policies weigh (the op tag of the batch being sharded).
     """
     if n_shards <= 0:
         raise ArgumentError(3, f"n_shards must be positive, got {n_shards}")
@@ -190,7 +192,8 @@ def partition_sizes(
     if policy == "round-robin":
         return [np.arange(count, dtype=np.int64)[s::n_shards] for s in range(n_shards)]
 
-    work = np.array([_flops.potrf_flops(int(n), precision) for n in sizes])
+    flops_of = _flops.routine_flops(routine)
+    work = np.array([flops_of(int(n), precision) for n in sizes])
     if policy == "contiguous":
         # Cut the prefix-flops curve at the equal-share levels.
         csum = np.cumsum(work)
@@ -273,8 +276,10 @@ class DeviceGroup:
     def __iter__(self):
         return iter(self.devices)
 
-    def partition_indices(self, sizes, precision) -> list[np.ndarray]:
-        return partition_sizes(sizes, precision, len(self.devices), self.partition)
+    def partition_indices(self, sizes, precision, routine: str = "potrf") -> list[np.ndarray]:
+        return partition_sizes(
+            sizes, precision, len(self.devices), self.partition, routine=routine
+        )
 
     def reset_clocks(self) -> None:
         for d in self.devices:

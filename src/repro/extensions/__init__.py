@@ -7,16 +7,22 @@ vbatched gemm kernel carries every trailing update and block-reflector
 application unchanged; only the thin panel kernels are new.
 """
 
-from .getrf import GetrfResult, getrf_vbatched
-from .geqrf import GeqrfResult, geqrf_vbatched
+from .getrf import GetrfResult, getrf_vbatched, plan_getrf
+from .geqrf import GeqrfResult, geqrf_vbatched, plan_geqrf
+from .gesvj import GesvjResult, gesvj_vbatched, plan_gesvj
 from .solve import PotrsResult, getrs_vbatched, potrs_vbatched
 from .drivers import SolveResult, gesv_vbatched, posv_vbatched
 
 __all__ = [
     "GetrfResult",
     "getrf_vbatched",
+    "plan_getrf",
     "GeqrfResult",
     "geqrf_vbatched",
+    "plan_geqrf",
+    "GesvjResult",
+    "gesvj_vbatched",
+    "plan_gesvj",
     "PotrsResult",
     "potrs_vbatched",
     "getrs_vbatched",

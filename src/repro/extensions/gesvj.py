@@ -1,0 +1,232 @@
+"""Vbatched one-sided Jacobi SVD (gesvj), plan/execute split.
+
+Hestenes' one-sided Jacobi is the batched-SVD method of choice on
+throughput hardware (and the kernel behind hierarchical-matrix
+compression pipelines): each matrix needs only column dot products and
+plane rotations, so one thread block per matrix sweeps to convergence
+without cross-block communication.
+
+The planner fixes the sweep budget at plan time — a static DAG whose
+timing depends only on the size vector (hence cacheable).  Each sweep
+is a convergence-reduce aux launch plus one rotation launch (per size
+window under implicit sorting); the functional plane skips matrices
+whose columns already converged, which never moves the simulated
+clock.  A finalize launch computes the singular values, normalizes
+``U`` in place and emits ``V^T``.
+
+Real precisions only (``s``/``d``): complex one-sided rotations are out
+of scope, matching the host reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import flops as _flops
+from ..core.batch import VBatch
+from ..core.plan import LaunchPlan, PlanBuilder
+from ..core.sorting import partition_windows, sorted_order
+from ..errors import ArgumentError
+from ..types import precision_info
+from .kernels import JacobiSweepKernel, OpRunStats, SvdConvergenceKernel, SvdFinalizeKernel
+
+__all__ = ["GesvjResult", "SvdState", "gesvj_vbatched", "plan_gesvj"]
+
+_WINDOW_MIN_COUNT = 256
+
+
+@dataclass
+class SvdState:
+    """Host-side working state shared by the SVD kernels of one plan.
+
+    ``v_store`` holds each matrix's accumulated rotation product ``V``;
+    after the finalize launch ``vt_store[i]`` is the sorted ``V^T`` and
+    ``sigma`` the descending singular values.  Bound to the plan like
+    the QR ``taus`` array: a cached plan re-fills the same storage.
+    """
+
+    sigma: np.ndarray
+    v_store: dict = field(default_factory=dict)
+    vt_store: dict = field(default_factory=dict)
+    converged: np.ndarray = None
+    sweeps_done: np.ndarray = None
+    tol: float = 1.0e-10
+
+    def reset(self, batch: VBatch) -> None:
+        """Re-arm for a (re-)execution: fresh ``V`` accumulators."""
+        info = precision_info(batch.precision)
+        self.sigma[...] = 0.0
+        self.vt_store.clear()
+        self.converged[...] = False
+        self.sweeps_done[...] = 0
+        for i in range(batch.batch_count):
+            n = int(batch.sizes_host[i])
+            self.v_store[i] = np.eye(n, dtype=info.dtype)
+
+
+class _SvdResetKernel(SvdConvergenceKernel):
+    """The sweep loop's prologue: zero flags, identity ``V`` accumulators.
+
+    Costed like the convergence reduce (metadata-sized traffic); its
+    functional plane re-arms the plan's host-side state so a cached
+    plan's re-execution starts from scratch.
+    """
+
+    def __init__(self, batch, state: SvdState):
+        super().__init__(batch.batch_count, batch.precision)
+        self.batch = batch
+        self.state = state
+        self.name = "svd_state_reset"
+
+    def run_numerics(self) -> None:
+        self.state.reset(self.batch)
+
+
+@dataclass
+class GesvjResult:
+    """Outcome of one vbatched SVD run.
+
+    Each batch matrix holds ``U`` in place after execution;
+    ``singular_values[i, :n_i]`` descends and ``vt[i]`` is the matching
+    right-factor transpose.
+    """
+
+    elapsed: float
+    total_flops: float
+    singular_values: np.ndarray  # (batch, max_n)
+    vt: dict
+    sweeps: int
+    launch_stats: object = field(default_factory=dict)
+    approach: str = "jacobi"
+    #: Heterogeneous runs only (see :class:`~repro.ops.driver.OpResult`).
+    placement: list | None = None
+    member_stats: list | None = None
+
+    @property
+    def gflops(self) -> float:
+        return _flops.gflops(self.total_flops, self.elapsed)
+
+
+def plan_gesvj(
+    device,
+    batch: VBatch,
+    max_n: int,
+    *,
+    sweeps: int | None = None,
+    tol: float = 1.0e-10,
+    sorting: bool = False,
+    panel_nb: int = 64,
+) -> LaunchPlan:
+    """Emit the Jacobi-SVD launch DAG (no device time passes).
+
+    ``sweeps`` fixes the rotation-sweep budget (default: the modeled
+    :func:`repro.flops.default_svd_sweeps` of ``max_n``); ``sorting``
+    splits each sweep into implicit-sorting size windows of width
+    ``panel_nb``.
+    """
+    if max_n < batch.max_size_host:
+        raise ArgumentError(3, f"max_n={max_n} smaller than largest matrix")
+    if batch.precision.value not in ("s", "d"):
+        raise ArgumentError(2, f"gesvj supports real precisions only, got {batch.precision.value}")
+    if sweeps is None:
+        sweeps = _flops.default_svd_sweeps(max_n)
+    if sweeps <= 0:
+        raise ArgumentError(5, f"sweeps must be positive, got {sweeps}")
+
+    k = batch.batch_count
+    sizes = batch.sizes_host
+    info = precision_info(batch.precision)
+    state = SvdState(
+        sigma=np.zeros((k, max_n), dtype=info.dtype),
+        converged=np.zeros(k, dtype=bool),
+        sweeps_done=np.zeros(k, dtype=np.int64),
+        tol=tol,
+    )
+    state.reset(batch)
+    stats = OpRunStats(steps=sweeps, sweeps=sweeps)
+    order = sorted_order(sizes) if sorting else None
+    pb = PlanBuilder(device, batch)
+    try:
+        flags_dev = pb.workspace((k,), np.int64)  # noqa: F841 — residency
+        sigma_dev = pb.workspace((k, max_n), info.dtype)  # noqa: F841 — residency
+
+        pb.aux(_SvdResetKernel(batch, state))
+        windows = (
+            partition_windows(sizes, order, 0, panel_nb, _WINDOW_MIN_COUNT)
+            if order is not None
+            else None
+        )
+        if windows is not None:
+            stats.window_launches_max = len(windows)
+        for sweep in range(sweeps):
+            pb.aux(SvdConvergenceKernel(k, batch.precision))
+            if windows is None:
+                with pb.tagged("sweep"):
+                    pb.launch(JacobiSweepKernel(batch, sweep, state, max_n))
+            else:
+                for win in windows:
+                    with pb.tagged("sweep"):
+                        pb.launch(
+                            JacobiSweepKernel(
+                                batch, sweep, state, win.max_m, indices=win.indices
+                            )
+                        )
+        with pb.tagged("panel"):
+            pb.launch(SvdFinalizeKernel(batch, state, max_n))
+    except BaseException:
+        pb.abandon()
+        raise
+    return pb.build(
+        run_stats=stats,
+        meta={
+            "op": "gesvj",
+            "planner": "jacobi",
+            "sweeps": sweeps,
+            "max_n": max_n,
+            "outputs": {
+                "singular_values": state.sigma,
+                "vt": state.vt_store,
+                "sweeps_done": state.sweeps_done,
+            },
+        },
+    )
+
+
+def gesvj_vbatched(
+    device,
+    batch: VBatch,
+    max_n: int | None = None,
+    *,
+    options=None,
+    devices=None,
+    plan_cache=None,
+    optimize: str | None = None,
+) -> GesvjResult:
+    """SVD every matrix in the batch: ``A_i = U_i diag(s_i) V_i^T``.
+
+    ``U`` replaces each matrix in place; the result carries the
+    descending singular values, per-matrix ``V^T`` and the sweep
+    budget.  Scaling hooks match the POTRF driver.
+    """
+    from ..ops.driver import run_op_vbatched
+    from ..ops.options import OpOptions
+
+    if options is None:
+        options = OpOptions()
+    result = run_op_vbatched(
+        device, batch, max_n, "gesvj", options,
+        devices=devices, plan_cache=plan_cache, optimize=optimize,
+    )
+    return GesvjResult(
+        elapsed=result.elapsed,
+        total_flops=result.total_flops,
+        singular_values=result.outputs["singular_values"],
+        vt=result.outputs["vt"],
+        sweeps=int(result.meta.get("sweeps", 0)),
+        launch_stats=result.launch_stats,
+        approach=result.approach,
+        placement=result.placement,
+        member_stats=result.member_stats,
+    )

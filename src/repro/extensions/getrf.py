@@ -1,9 +1,20 @@
-"""Vbatched LU factorization with partial pivoting (paper §V).
+"""Vbatched LU factorization with partial pivoting (paper §V), planned.
 
-Right-looking blocked sweep per ``NB`` panel: pivoted panel
-factorization, row interchanges, ``U12`` solve, and a trailing update
-that reuses :class:`~repro.kernels.gemm.VbatchedGemmKernel` "out of the
-box".  Returns per-matrix pivots and LAPACK info codes.
+The driver is a *pure planner*: :func:`plan_getrf` emits a
+:class:`~repro.core.plan.LaunchPlan`.  Two approaches:
+
+* **separated** — the right-looking blocked sweep per ``NB`` panel:
+  pivoted panel factorization, row interchanges, ``U12`` solve, and a
+  trailing update that reuses
+  :class:`~repro.kernels.gemm.VbatchedGemmKernel` "out of the box"
+  (its tasks carry the numerics as views).
+* **fused** — one whole-matrix ``getf2`` launch per implicit-sorting
+  size window: with the panel spanning every column there is nothing
+  left to swap, solve or update.
+
+:func:`getrf_vbatched` is the eager-shaped wrapper routed through the
+generic operation driver (``plan_cache=``, ``optimize=``, ``devices=``
+all apply).
 """
 
 from __future__ import annotations
@@ -14,12 +25,16 @@ import numpy as np
 
 from .. import flops as _flops
 from ..core.batch import VBatch
+from ..core.plan import LaunchPlan, PlanBuilder
+from ..core.sorting import partition_windows, sorted_order
 from ..errors import ArgumentError
-from ..kernels.aux import StepSizesKernel, compute_max_size
+from ..kernels.aux import StepSizesKernel
 from ..kernels.gemm import GemmTask, VbatchedGemmKernel
-from .kernels import LeftTrsmKernel, PanelGetf2Kernel, RowSwapKernel
+from .kernels import LeftTrsmKernel, OpRunStats, PanelGetf2Kernel, RowSwapKernel
 
-__all__ = ["GetrfResult", "getrf_vbatched"]
+__all__ = ["GetrfResult", "getrf_vbatched", "plan_getrf"]
+
+_WINDOW_MIN_COUNT = 256
 
 
 @dataclass
@@ -30,7 +45,11 @@ class GetrfResult:
     total_flops: float
     infos: np.ndarray
     ipivs: np.ndarray  # (batch, max_n), 1-based rows, 0 where unused
-    launch_stats: dict = field(default_factory=dict)
+    launch_stats: object = field(default_factory=dict)
+    approach: str = "separated"
+    #: Heterogeneous runs only (see :class:`~repro.ops.driver.OpResult`).
+    placement: list | None = None
+    member_stats: list | None = None
 
     @property
     def gflops(self) -> float:
@@ -41,11 +60,130 @@ class GetrfResult:
         return int(np.count_nonzero(self.infos))
 
 
+def plan_getrf(
+    device,
+    batch: VBatch,
+    max_n: int,
+    *,
+    panel_nb: int = 64,
+    approach: str = "separated",
+    sorting: bool = False,
+) -> LaunchPlan:
+    """Emit the LU launch DAG (no device time passes).
+
+    ``meta["outputs"]["ipivs"]`` is the host-mirrored pivot table the
+    panel kernels fill during execution (global 1-based rows).
+    """
+    if panel_nb <= 0:
+        raise ArgumentError(4, f"panel_nb must be positive, got {panel_nb}")
+    if max_n < batch.max_size_host:
+        raise ArgumentError(3, f"max_n={max_n} smaller than largest matrix")
+    if approach not in ("fused", "separated"):
+        raise ArgumentError(1, f"bad getrf approach {approach!r}")
+
+    k = batch.batch_count
+    sizes = batch.sizes_host
+    ipivs = np.zeros((k, max_n), dtype=np.int64)
+    numerics = device.execute_numerics
+    stats = OpRunStats()
+    pb = PlanBuilder(device, batch)
+    try:
+        ipivs_dev = pb.workspace((k, max_n), np.int64)  # noqa: F841 — residency
+        remaining_dev = pb.workspace((k,), np.int64)
+        panel_dev = pb.workspace((k,), np.int64)
+        stats_dev = pb.workspace((2,), np.int64)
+
+        if approach == "fused":
+            order = sorted_order(sizes) if sorting else None
+            stats.steps = 1
+            pb.aux(
+                StepSizesKernel(batch.sizes_dev, 0, max_n, remaining_dev, panel_dev, stats_dev)
+            )
+            jbs = sizes.astype(np.int64)
+            if order is None:
+                with pb.tagged("panel"):
+                    pb.launch(PanelGetf2Kernel(batch, 0, jbs, ipivs, max_n))
+            else:
+                windows = partition_windows(sizes, order, 0, panel_nb, _WINDOW_MIN_COUNT)
+                stats.window_launches_max = len(windows)
+                for win in windows:
+                    with pb.tagged("panel"):
+                        pb.launch(
+                            PanelGetf2Kernel(
+                                batch, 0, jbs, ipivs, win.max_m, indices=win.indices
+                            )
+                        )
+        else:
+            order = sorted_order(sizes) if sorting else np.arange(k, dtype=np.int64)
+            for s in range(-(-max_n // panel_nb)):
+                offset = s * panel_nb
+                pb.aux(
+                    StepSizesKernel(
+                        batch.sizes_dev, offset, panel_nb, remaining_dev, panel_dev, stats_dev
+                    )
+                )
+                max_rows = max_n - offset
+                stats.steps += 1
+                remaining = np.maximum(0, sizes - offset)
+                jbs = np.minimum(remaining, panel_nb)
+
+                with pb.tagged("panel"):
+                    pb.launch(PanelGetf2Kernel(batch, offset, jbs, ipivs, max_rows))
+                with pb.tagged("swap"):
+                    pb.launch(RowSwapKernel(batch, offset, jbs, ipivs, max_rows))
+                with pb.tagged("trsm"):
+                    pb.launch(
+                        LeftTrsmKernel(batch, offset, jbs, max_rows, uplo="l", diag="u")
+                    )
+
+                tasks = []
+                for i in order:
+                    i = int(i)
+                    jb = int(jbs[i])
+                    trail = int(remaining[i]) - jb
+                    if jb == 0 or trail <= 0:
+                        tasks.append(GemmTask(0, 0, 0))
+                        continue
+                    if numerics:
+                        a = batch.matrix_view(i)
+                        j1 = offset + jb
+                        tasks.append(
+                            GemmTask(
+                                m=trail, n=trail, k=jb,
+                                a=a[j1:, offset:j1], b=a[offset:j1, j1:], c=a[j1:, j1:],
+                                alpha=-1.0, beta=1.0,
+                            )
+                        )
+                    else:
+                        tasks.append(GemmTask(m=trail, n=trail, k=jb))
+                if any(t.m > 0 for t in tasks):
+                    with pb.tagged("gemm"):
+                        pb.launch(VbatchedGemmKernel(tasks, batch.precision, label="lu_update"))
+    except BaseException:
+        pb.abandon()
+        raise
+    return pb.build(
+        run_stats=stats,
+        meta={
+            "op": "getrf",
+            "planner": approach,
+            "panel_nb": panel_nb,
+            "max_n": max_n,
+            "outputs": {"ipivs": ipivs},
+        },
+    )
+
+
 def getrf_vbatched(
     device,
     batch: VBatch,
     max_n: int | None = None,
     panel_nb: int = 64,
+    *,
+    options=None,
+    devices=None,
+    plan_cache=None,
+    optimize: str | None = None,
 ) -> GetrfResult:
     """LU-factorize every matrix in the batch, in place.
 
@@ -54,75 +192,22 @@ def getrf_vbatched(
     pivot rows and info codes.  ``max_n`` defaults to a device-side
     reduction (the LAPACK-like interface path).
     """
-    if panel_nb <= 0:
-        raise ArgumentError(4, f"panel_nb must be positive, got {panel_nb}")
-    if max_n is None:
-        max_n = compute_max_size(device, batch)
-    if max_n < batch.max_size_host:
-        raise ArgumentError(3, f"max_n={max_n} smaller than largest matrix")
+    from ..ops.driver import run_op_vbatched
+    from ..ops.options import OpOptions
 
-    k = batch.batch_count
-    sizes = batch.sizes_host
-    ipivs = np.zeros((k, max_n), dtype=np.int64)
-    ipivs_dev = device.alloc((k, max_n), np.int64)  # device residency charge
-    remaining_dev = device.alloc((k,), np.int64)
-    panel_dev = device.alloc((k,), np.int64)
-    stats_dev = device.alloc((2,), np.int64)
-    stats = {"steps": 0, "panel": 0, "laswp": 0, "trsm": 0, "gemm": 0, "aux": 0}
-    numerics = device.execute_numerics
-
-    t0 = device.synchronize()
-    for s in range(-(-max_n // panel_nb)):
-        offset = s * panel_nb
-        device.launch(
-            StepSizesKernel(batch.sizes_dev, offset, panel_nb, remaining_dev, panel_dev, stats_dev)
-        )
-        stats["aux"] += 1
-        max_rows = max_n - offset
-        if max_rows <= 0:
-            break
-        stats["steps"] += 1
-        remaining = np.maximum(0, sizes - offset)
-        jbs = np.minimum(remaining, panel_nb)
-
-        device.launch(PanelGetf2Kernel(batch, offset, jbs, ipivs, max_rows))
-        stats["panel"] += 1
-        device.launch(RowSwapKernel(batch, offset, jbs, ipivs, max_rows))
-        stats["laswp"] += 1
-        device.launch(LeftTrsmKernel(batch, offset, jbs, max_rows, uplo="l", diag="u"))
-        stats["trsm"] += 1
-
-        tasks = []
-        for i in range(k):
-            jb = int(jbs[i])
-            trail = int(remaining[i]) - jb
-            if jb == 0 or trail <= 0:
-                tasks.append(GemmTask(0, 0, 0))
-                continue
-            if numerics:
-                a = batch.matrix_view(i)
-                j1 = offset + jb
-                tasks.append(
-                    GemmTask(
-                        m=trail, n=trail, k=jb,
-                        a=a[j1:, offset:j1], b=a[offset:j1, j1:], c=a[j1:, j1:],
-                        alpha=-1.0, beta=1.0,
-                    )
-                )
-            else:
-                tasks.append(GemmTask(m=trail, n=trail, k=jb))
-        if any(t.m > 0 for t in tasks):
-            device.launch(VbatchedGemmKernel(tasks, batch.precision, label="lu_update"))
-            stats["gemm"] += 1
-
-    elapsed = device.synchronize() - t0
-    infos = batch.download_infos() if numerics else np.zeros(k, dtype=np.int64)
-    for arr in (ipivs_dev, remaining_dev, panel_dev, stats_dev):
-        arr.free()
+    if options is None:
+        options = OpOptions(panel_nb=panel_nb)
+    result = run_op_vbatched(
+        device, batch, max_n, "getrf", options,
+        devices=devices, plan_cache=plan_cache, optimize=optimize,
+    )
     return GetrfResult(
-        elapsed=elapsed,
-        total_flops=float(sum(_flops.getrf_flops(int(n), int(n), batch.precision) for n in sizes)),
-        infos=infos,
-        ipivs=ipivs,
-        launch_stats=stats,
+        elapsed=result.elapsed,
+        total_flops=result.total_flops,
+        infos=result.infos,
+        ipivs=result.outputs["ipivs"],
+        launch_stats=result.launch_stats,
+        approach=result.approach,
+        placement=result.placement,
+        member_stats=result.member_stats,
     )

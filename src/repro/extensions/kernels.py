@@ -7,18 +7,26 @@ kernels here cover only the tall-skinny panel work and row swaps.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from .. import flops as _flops
 from ..device.kernel import BlockWork, Kernel, LaunchConfig
-from ..hostblas import geqr2, getf2, larft, trsm as host_trsm
+from ..hostblas import geqr2, getf2, jacobi_sweep, larft, trsm as host_trsm
+from ..kernels.gemm import VbatchedGemmKernel
 from ..types import Precision, precision_info
 
 __all__ = [
+    "OpRunStats",
     "PanelGetf2Kernel",
     "RowSwapKernel",
     "LeftTrsmKernel",
     "PanelGeqr2Kernel",
+    "LarfbUpdateGemmKernel",
+    "JacobiSweepKernel",
+    "SvdConvergenceKernel",
+    "SvdFinalizeKernel",
     "FusedPotrsKernel",
     "FusedGetrsKernel",
 ]
@@ -26,19 +34,39 @@ __all__ = [
 _WARP = 32
 
 
+@dataclass
+class OpRunStats:
+    """Planner-side accounting shared by the extension-op planners."""
+
+    steps: int = 0
+    window_launches_max: int = 0
+    sweeps: int = 0
+
+
 class _PanelKernelBase(Kernel):
-    """Shared scaffolding: one thread block per matrix, grouped works."""
+    """Shared scaffolding: one thread block per matrix, grouped works.
+
+    ``indices`` restricts the launch to a subset of the batch (one block
+    per listed matrix) — the implicit-sorting planners pass a size
+    window so sub-launches carry no dead blocks; ``None`` covers the
+    whole batch, matching the ETM launches.
+    """
 
     compute_efficiency = 0.50
     etm_mode = "aggressive"
 
-    def __init__(self, batch, max_rows: int):
+    def __init__(self, batch, max_rows: int, indices: np.ndarray | None = None):
         super().__init__()
         if max_rows <= 0:
             raise ValueError(f"max_rows must be positive, got {max_rows}")
         self.batch = batch
         self.max_rows = int(max_rows)
         self._info = precision_info(batch.precision)
+        if indices is None:
+            self.indices = np.arange(batch.batch_count, dtype=np.int64)
+        else:
+            self.indices = np.asarray(indices, dtype=np.int64)
+            self.matrix_indices = tuple(int(i) for i in self.indices)
 
     @property
     def precision(self) -> Precision:
@@ -76,8 +104,9 @@ class PanelGetf2Kernel(_PanelKernelBase):
     so the chain is ~3 dependent steps per column instead of potf2's 2.
     """
 
-    def __init__(self, batch, offset: int, jbs: np.ndarray, ipivs: np.ndarray, max_rows: int):
-        super().__init__(batch, max_rows)
+    def __init__(self, batch, offset: int, jbs: np.ndarray, ipivs: np.ndarray, max_rows: int,
+                 indices: np.ndarray | None = None):
+        super().__init__(batch, max_rows, indices)
         if offset < 0:
             raise ValueError(f"offset cannot be negative, got {offset}")
         self.offset = offset
@@ -89,8 +118,9 @@ class PanelGetf2Kernel(_PanelKernelBase):
         w = self._info.flop_weight
         elem = self._info.bytes_per_element
         per = []
-        for i, jb in enumerate(self.jbs):
-            jb = int(jb)
+        for i in self.indices:
+            i = int(i)
+            jb = int(self.jbs[i])
             m = max(0, int(self.batch.sizes_host[i]) - self.offset)
             if jb == 0 or m == 0:
                 per.append((0.0, 0.0, 0.0, 0))
@@ -105,8 +135,9 @@ class PanelGetf2Kernel(_PanelKernelBase):
 
     def run_numerics(self) -> None:
         infos = self.batch.infos_dev.data
-        for i, jb in enumerate(self.jbs):
-            jb = int(jb)
+        for i in self.indices:
+            i = int(i)
+            jb = int(self.jbs[i])
             n = int(self.batch.sizes_host[i])
             m = n - self.offset
             if jb == 0 or m <= 0:
@@ -222,8 +253,8 @@ class PanelGeqr2Kernel(_PanelKernelBase):
     """
 
     def __init__(self, batch, offset: int, jbs: np.ndarray, taus: np.ndarray,
-                 t_store: dict, max_rows: int):
-        super().__init__(batch, max_rows)
+                 t_store: dict, max_rows: int, indices: np.ndarray | None = None):
+        super().__init__(batch, max_rows, indices)
         self.offset = offset
         self.jbs = np.asarray(jbs, dtype=np.int64)
         self.taus = taus
@@ -234,8 +265,9 @@ class PanelGeqr2Kernel(_PanelKernelBase):
         w = self._info.flop_weight
         elem = self._info.bytes_per_element
         per = []
-        for i, jb in enumerate(self.jbs):
-            jb = int(jb)
+        for i in self.indices:
+            i = int(i)
+            jb = int(self.jbs[i])
             m = max(0, int(self.batch.sizes_host[i]) - self.offset)
             if jb == 0 or m == 0:
                 per.append((0.0, 0.0, 0.0, 0))
@@ -245,8 +277,9 @@ class PanelGeqr2Kernel(_PanelKernelBase):
         return self._grouped(per)
 
     def run_numerics(self) -> None:
-        for i, jb in enumerate(self.jbs):
-            jb = int(jb)
+        for i in self.indices:
+            i = int(i)
+            jb = int(self.jbs[i])
             n = int(self.batch.sizes_host[i])
             m = n - self.offset
             if jb == 0 or m <= 0:
@@ -255,6 +288,180 @@ class PanelGeqr2Kernel(_PanelKernelBase):
             panel = a[self.offset :, self.offset : self.offset + jb]
             geqr2(panel, self.taus[i, self.offset : self.offset + jb])
             self.t_store[i] = larft(panel, self.taus[i, self.offset : self.offset + jb])
+
+
+class LarfbUpdateGemmKernel(VbatchedGemmKernel):
+    """The second larfb gemm (``C -= V (T^H W)``) carrying the numerics.
+
+    Timing plane is identical to the plain
+    :class:`~repro.kernels.gemm.VbatchedGemmKernel` it subclasses (same
+    tasks, same name); the functional plane applies the exact compact-WY
+    update per matrix — this is what lets the QR planner put *all*
+    numerics on the plan instead of applying the block reflector on the
+    host after the launches.
+    """
+
+    def __init__(self, tasks, batch, offset: int, jbs: np.ndarray,
+                 t_store: dict, taus: np.ndarray, label: str = "larfb_c"):
+        super().__init__(tasks, batch.precision, label=label)
+        self.batch = batch
+        self.offset = int(offset)
+        self.jbs = np.asarray(jbs, dtype=np.int64)
+        self.t_store = t_store
+        self.taus = taus
+
+    def run_numerics(self) -> None:
+        from ..hostblas import apply_q_transpose
+
+        for i, jb in enumerate(self.jbs):
+            jb = int(jb)
+            n = int(self.batch.sizes_host[i])
+            if jb == 0 or n - self.offset - jb <= 0:
+                continue
+            a = self.batch.matrix_view(i)
+            apply_q_transpose(
+                a[self.offset :, self.offset : self.offset + jb],
+                self.t_store[i],
+                a[self.offset :, self.offset + jb :],
+            )
+
+
+class JacobiSweepKernel(_PanelKernelBase):
+    """One cyclic one-sided Jacobi sweep per matrix (one block each).
+
+    The timing plane charges the full sweep for every live matrix — the
+    sweep budget is fixed at plan time (static DAG), so timing depends
+    only on sizes and the plan stays cacheable.  The functional plane
+    skips matrices whose columns already converged (value-dependent
+    early exit that never moves the simulated clock).
+    """
+
+    def __init__(self, batch, sweep: int, state, max_rows: int,
+                 indices: np.ndarray | None = None):
+        super().__init__(batch, max_rows, indices)
+        self.sweep = int(sweep)
+        self.state = state
+        self.name = f"vbatched_jacobi_sweep:{self._info.name}"
+
+    def block_works(self) -> list[BlockWork]:
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        per = []
+        for i in self.indices:
+            n = int(self.batch.sizes_host[int(i)])
+            if n <= 1:
+                # A 1x1 problem needs no rotations; the block terminates.
+                per.append((0.0, 0.0, 0.0, 0))
+                continue
+            # Columns of A and V stage through shared memory; global
+            # traffic is one read+write pass over both per sweep.  The
+            # rotation rounds chain serially (round-robin ordering).
+            per.append((
+                _flops.gesvj_sweep_flops(n) * w,
+                4.0 * n * n * elem,
+                3.0 * (n - 1.0),
+                min(n, self.max_rows),
+            ))
+        return self._grouped(per)
+
+    def run_numerics(self) -> None:
+        st = self.state
+        for i in self.indices:
+            i = int(i)
+            n = int(self.batch.sizes_host[i])
+            if n == 0 or st.converged[i]:
+                continue
+            a = self.batch.matrix_view(i)
+            if n == 1:
+                st.converged[i] = True
+                continue
+            rotations = jacobi_sweep(a, st.v_store[i], st.tol)
+            if rotations == 0:
+                st.converged[i] = True
+            else:
+                st.sweeps_done[i] = self.sweep + 1
+
+
+class SvdConvergenceKernel(Kernel):
+    """Device-side reduction of the per-matrix convergence flags.
+
+    Models the tiny all-reduce a real gesvj driver runs between sweeps
+    to decide whether another sweep launch is needed; moves metadata
+    only (the simulated planner fixes the sweep budget up front).
+    """
+
+    etm_mode = "classic"
+    compute_efficiency = 1.0
+
+    def __init__(self, count: int, precision):
+        super().__init__()
+        self.count = int(count)
+        self._prec = Precision(precision)
+        self.name = "svd_conv_reduce"
+
+    @property
+    def precision(self) -> Precision:
+        return self._prec
+
+    def launch_config(self) -> LaunchConfig:
+        return LaunchConfig(threads_per_block=min(256, max(_WARP, self.count)))
+
+    def block_works(self) -> list[BlockWork]:
+        count = max(1, self.count)
+        return [
+            BlockWork(
+                flops=float(count),
+                bytes=8.0 * count,
+                serial_iters=float(max(1, count.bit_length())),
+                active_threads=min(256, count),
+            )
+        ]
+
+
+class SvdFinalizeKernel(_PanelKernelBase):
+    """Post-sweep finalize: norms, descending sort, normalize ``U``.
+
+    One block per matrix computes the singular values as column norms,
+    reorders columns of ``A`` (which becomes ``U`` in place) and ``V``
+    descending, and writes the transposed ``V`` out.
+    """
+
+    def __init__(self, batch, state, max_rows: int):
+        super().__init__(batch, max_rows)
+        self.state = state
+        self.name = f"vbatched_svd_finalize:{self._info.name}"
+
+    def block_works(self) -> list[BlockWork]:
+        w = self._info.flop_weight
+        elem = self._info.bytes_per_element
+        per = []
+        for i in range(self.batch.batch_count):
+            n = int(self.batch.sizes_host[i])
+            if n == 0:
+                per.append((0.0, 0.0, 0.0, 0))
+                continue
+            # Column norms (2n^2), scale (n^2); permute A and V in
+            # global memory.
+            per.append((3.0 * n * n * w, 6.0 * n * n * elem, 3.0, min(n, self.max_rows)))
+        return self._grouped(per)
+
+    def run_numerics(self) -> None:
+        st = self.state
+        for i in range(self.batch.batch_count):
+            n = int(self.batch.sizes_host[i])
+            if n == 0:
+                continue
+            a = self.batch.matrix_view(i)
+            v = st.v_store[i]
+            s = np.sqrt(np.sum(np.abs(a) ** 2, axis=0))
+            order = np.argsort(-s, kind="stable")
+            s = s[order]
+            a[...] = a[:, order]
+            v[...] = v[:, order]
+            nonzero = s > 0
+            a[:, nonzero] = a[:, nonzero] / s[nonzero]
+            st.sigma[i, :n] = s.astype(st.sigma.dtype)
+            st.vt_store[i] = v.T.copy()
 
 
 class FusedGetrsKernel(_PanelKernelBase):

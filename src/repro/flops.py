@@ -9,6 +9,7 @@ precisions multiply by the precision's flop weight.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable
 
 from .types import Precision, precision_info
@@ -22,6 +23,10 @@ __all__ = [
     "syrk_flops",
     "getrf_flops",
     "geqrf_flops",
+    "gesvj_sweep_flops",
+    "gesvj_flops",
+    "default_svd_sweeps",
+    "routine_flops",
     "batch_flops",
     "gflops",
 ]
@@ -106,18 +111,64 @@ def geqrf_flops(m: int, n: int, precision: Precision | str | None = None) -> flo
     return count * _weight(precision)
 
 
+def default_svd_sweeps(n: int) -> int:
+    """Modeled sweep count for the one-sided Jacobi SVD of order ``n``.
+
+    Jacobi converges in O(log n) sweeps on well-scaled inputs; the
+    planner fixes the count at plan time (a static DAG), so this is the
+    budget the timing plane charges regardless of per-matrix early
+    convergence.
+    """
+    if n <= 1:
+        return 1
+    return max(4, int(math.ceil(math.log2(float(n)))) + 3)
+
+
+def gesvj_sweep_flops(n: int, precision: Precision | str | None = None) -> float:
+    """One one-sided Jacobi sweep over an ``n x n`` matrix.
+
+    ``n(n-1)/2`` column pairs; each pair needs three length-``n`` dot
+    products (6n) and plane rotations of two columns of both ``A`` and
+    the accumulated ``V`` (12n): ~``9 n^2 (n-1)`` real flops per sweep.
+    """
+    n = float(n)
+    return 9.0 * n * n * max(0.0, n - 1.0) * _weight(precision)
+
+
+def gesvj_flops(
+    n: int, precision: Precision | str | None = None, sweeps: int | None = None
+) -> float:
+    """One-sided Jacobi SVD of an ``n x n`` matrix (modeled sweep budget)."""
+    if sweeps is None:
+        sweeps = default_svd_sweeps(int(n))
+    return float(sweeps) * gesvj_sweep_flops(n, precision)
+
+
+_ROUTINE_FLOPS = {
+    "potrf": potrf_flops,
+    "trtri": trtri_flops,
+    "getrf": lambda n, p=None: getrf_flops(n, n, p),
+    "geqrf": lambda n, p=None: geqrf_flops(n, n, p),
+    "gesvj": gesvj_flops,
+}
+
+
+def routine_flops(routine: str):
+    """The ``(n, precision) -> flops`` model of a square-problem routine."""
+    try:
+        return _ROUTINE_FLOPS[routine]
+    except KeyError:
+        known = ", ".join(sorted(_ROUTINE_FLOPS))
+        raise KeyError(f"unknown routine {routine!r} (known: {known})") from None
+
+
 def batch_flops(
     sizes: Iterable[int],
     routine: str = "potrf",
     precision: Precision | str | None = None,
 ) -> float:
     """Total flops for a batch of square problems of the given sizes."""
-    fn = {
-        "potrf": potrf_flops,
-        "trtri": trtri_flops,
-        "getrf": lambda n, p=None: getrf_flops(n, n, p),
-        "geqrf": lambda n, p=None: geqrf_flops(n, n, p),
-    }[routine]
+    fn = routine_flops(routine)
     return float(sum(fn(int(n), precision) for n in sizes))
 
 

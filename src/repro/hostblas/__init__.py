@@ -14,6 +14,7 @@ from .trtri import trtri
 from .potrf import potf2, potrf
 from .getrf import apply_pivots, getf2, getrf
 from .geqrf import apply_q_transpose, build_q, geqr2, geqrf, larft
+from .svd import gesvj, jacobi_sweep
 from .validate import (
     make_spd,
     make_spd_batch,
@@ -36,6 +37,8 @@ __all__ = [
     "larft",
     "apply_q_transpose",
     "build_q",
+    "gesvj",
+    "jacobi_sweep",
     "make_spd",
     "make_spd_batch",
     "cholesky_residual",

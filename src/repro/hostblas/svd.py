@@ -1,0 +1,82 @@
+"""One-sided Jacobi SVD (gesvj), the reference for the vbatched driver.
+
+Hestenes' method: right plane rotations orthogonalize the columns of
+``A`` in place (``A G_1 G_2 ... = U diag(s)``) while the rotations
+accumulate into ``V``.  Singular values are the final column norms,
+``U`` the normalized columns.  Real precisions only — the vbatched
+driver mirrors that restriction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["jacobi_sweep", "gesvj"]
+
+
+def jacobi_sweep(a: np.ndarray, v: np.ndarray, tol: float) -> int:
+    """One cyclic sweep of one-sided Jacobi rotations, in place.
+
+    Walks every column pair ``(p, q)``, ``p < q``, in row-cyclic order;
+    a pair whose normalized off-diagonal inner product exceeds ``tol``
+    gets a plane rotation applied to columns of both ``a`` and ``v``.
+    Returns the number of rotations applied (0 means converged).
+    """
+    n = a.shape[1]
+    rotations = 0
+    for p in range(n - 1):
+        for q in range(p + 1, n):
+            apq = float(a[:, p] @ a[:, q])
+            app = float(a[:, p] @ a[:, p])
+            aqq = float(a[:, q] @ a[:, q])
+            if abs(apq) <= tol * np.sqrt(app * aqq) or app == 0.0 or aqq == 0.0:
+                continue
+            zeta = (aqq - app) / (2.0 * apq)
+            t = np.sign(zeta) / (abs(zeta) + np.sqrt(1.0 + zeta * zeta))
+            if zeta == 0.0:
+                t = 1.0
+            c = 1.0 / np.sqrt(1.0 + t * t)
+            s = c * t
+            rot_p = c * a[:, p] - s * a[:, q]
+            rot_q = s * a[:, p] + c * a[:, q]
+            a[:, p], a[:, q] = rot_p, rot_q
+            rot_vp = c * v[:, p] - s * v[:, q]
+            rot_vq = s * v[:, p] + c * v[:, q]
+            v[:, p], v[:, q] = rot_vp, rot_vq
+            rotations += 1
+    return rotations
+
+
+def gesvj(
+    a: np.ndarray,
+    tol: float = 1.0e-10,
+    max_sweeps: int = 30,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Full SVD ``a = u @ diag(s) @ vt`` of a real ``m x n`` matrix, m >= n.
+
+    Returns ``(u, s, vt, sweeps)`` with ``u`` of shape ``(m, n)``, the
+    singular values descending, and ``sweeps`` the count actually spent
+    (0 for an already-orthogonal column set).  ``a`` is not modified.
+    """
+    a = np.array(a, copy=True)
+    if a.ndim != 2:
+        raise ValueError(f"gesvj needs a 2-D matrix, got shape {a.shape}")
+    if np.iscomplexobj(a):
+        raise ValueError("gesvj supports real precisions only")
+    m, n = a.shape
+    if m < n:
+        raise ValueError(f"gesvj needs m >= n, got {a.shape}")
+    v = np.eye(n, dtype=a.dtype)
+    sweeps = 0
+    for _ in range(max_sweeps):
+        if jacobi_sweep(a, v, tol) == 0:
+            break
+        sweeps += 1
+    s = np.sqrt(np.sum(np.abs(a) ** 2, axis=0))
+    order = np.argsort(-s, kind="stable")
+    s = s[order]
+    u = a[:, order]
+    v = v[:, order]
+    nonzero = s > 0
+    u[:, nonzero] = u[:, nonzero] / s[nonzero]
+    return u, s.astype(a.dtype), v.T.copy(), sweeps

@@ -52,6 +52,7 @@ from .registry import (
 )
 from .report import (
     GroupReport,
+    OpReport,
     TraceAnalysis,
     TrackOccupancy,
     analyze_trace,
@@ -75,6 +76,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "GroupReport",
+    "OpReport",
     "Histogram",
     "Metric",
     "MetricsRegistry",

@@ -15,7 +15,12 @@ quantities the paper's performance story turns on:
   ``batching`` block (the ``BENCH_pr3.json`` headline numbers) because
   both read the same per-batch accounting;
 * **top-N bottlenecks** — kernel/wait/barrier names ranked by total
-  simulated time.
+  simulated time;
+* **per-operation breakdown** — mixed-op traces (PR 8) attribute
+  stream time, padded-flops waste and top kernels to each operation:
+  every plan stamps ``meta["op"]`` onto its kernel spans and every
+  dispatch span carries its batch's op, so one shared-queue trace
+  decomposes into per-op POTRF/QR/LU/SVD accounts.
 
 ``python -m repro trace-report out.json`` prints all four tables.
 """
@@ -28,6 +33,7 @@ from .trace import INSTANT, SPAN, SIM, TraceEvent
 
 __all__ = [
     "GroupReport",
+    "OpReport",
     "TraceAnalysis",
     "TrackOccupancy",
     "analyze_trace",
@@ -93,12 +99,53 @@ class GroupReport:
 
 
 @dataclass
+class OpReport:
+    """Per-operation aggregates of a mixed-op trace (PR 8).
+
+    ``stream_busy`` sums the op's kernel spans on device stream tracks
+    (simulated seconds); ``stream_window`` is the total stream-seconds
+    available across every stream track in the trace, so
+    :attr:`occupancy` reads "fraction of the trace's stream capacity
+    this operation kept busy".  ``kernels`` maps kernel name to
+    ``(calls, total_sim_seconds)`` for the per-op top-kernels table.
+    """
+
+    op: str
+    batches: int = 0
+    requests: int = 0
+    useful_flops: float = 0.0
+    padded_flops: float = 0.0
+    execute_sim: float = 0.0
+    stream_busy: float = 0.0
+    stream_window: float = 0.0
+    kernels: dict = field(default_factory=dict)
+
+    @property
+    def efficiency(self) -> float:
+        return self.useful_flops / self.padded_flops if self.padded_flops else 0.0
+
+    @property
+    def waste_pct(self) -> float:
+        return 100.0 * (1.0 - self.efficiency) if self.padded_flops else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        return self.stream_busy / self.stream_window if self.stream_window > 0 else 0.0
+
+    def top_kernels(self, top: int = 5) -> list[tuple]:
+        """``(name, calls, total)`` rows, heaviest first."""
+        ranked = sorted(self.kernels.items(), key=lambda kv: -kv[1][1])
+        return [(name, calls, total) for name, (calls, total) in ranked[:top]]
+
+
+@dataclass
 class TraceAnalysis:
     """Everything :func:`analyze_trace` extracts from one trace."""
 
     events: int = 0
     occupancy: list[TrackOccupancy] = field(default_factory=list)
     groups: dict[str, GroupReport] = field(default_factory=dict)
+    ops: dict[str, OpReport] = field(default_factory=dict)
     bottlenecks: list[tuple] = field(default_factory=list)  # (name, cat, calls, total)
 
     def group(self, name: str) -> GroupReport:
@@ -107,6 +154,10 @@ class TraceAnalysis:
     def waste_by_group(self) -> dict[str, float]:
         """group -> padded-waste %, the acceptance-criteria view."""
         return {g: r.waste_pct for g, r in sorted(self.groups.items())}
+
+    def waste_by_op(self) -> dict[str, float]:
+        """op -> padded-waste %, the mixed-op acceptance view."""
+        return {op: r.waste_pct for op, r in sorted(self.ops.items())}
 
 
 def analyze_trace(events, top: int = 10) -> TraceAnalysis:
@@ -124,6 +175,12 @@ def analyze_trace(events, top: int = 10) -> TraceAnalysis:
     # -- per-stream occupancy (simulated spans on device tracks) --------
     windows: dict[str, tuple[float, float]] = {}
     busy: dict[tuple[str, str], tuple[int, float]] = {}
+
+    def op_report(op: str) -> OpReport:
+        if op not in analysis.ops:
+            analysis.ops[op] = OpReport(op)
+        return analysis.ops[op]
+
     for ev in events:
         if ev.phase != SPAN or ev.clock != SIM:
             continue
@@ -132,11 +189,22 @@ def analyze_trace(events, top: int = 10) -> TraceAnalysis:
         if ev.track.thread.startswith("stream"):
             n, t = busy.get((ev.track.process, ev.track.thread), (0, 0.0))
             busy[(ev.track.process, ev.track.thread)] = (n + 1, t + ev.duration)
+            op = ev.args.get("op")
+            if op:
+                rep = op_report(str(op))
+                rep.stream_busy += ev.duration
+                calls, total = rep.kernels.get(ev.name, (0, 0.0))
+                rep.kernels[ev.name] = (calls + 1, total + ev.duration)
     for (process, thread), (spans, total) in sorted(busy.items()):
         lo, hi = windows[process]
         analysis.occupancy.append(
             TrackOccupancy(process, thread, spans, total, hi - lo)
         )
+    stream_window = sum(
+        windows[process][1] - windows[process][0] for process, _ in busy
+    )
+    for rep in analysis.ops.values():
+        rep.stream_window = stream_window
 
     # -- per-group aggregates -------------------------------------------
     def group_for(ev) -> GroupReport:
@@ -155,6 +223,14 @@ def analyze_trace(events, top: int = 10) -> TraceAnalysis:
             rep.padded_flops += float(ev.args.get("padded_flops", 0.0))
             rep.queue_wait_sim += float(ev.args.get("queue_wait_sim", 0.0))
             rep.execute_sim += float(ev.args.get("sim_elapsed", 0.0))
+            op = ev.args.get("op")
+            if op:
+                orep = op_report(str(op))
+                orep.batches += 1
+                orep.requests += int(ev.args.get("size", 0))
+                orep.useful_flops += float(ev.args.get("useful_flops", 0.0))
+                orep.padded_flops += float(ev.args.get("padded_flops", 0.0))
+                orep.execute_sim += float(ev.args.get("sim_elapsed", 0.0))
         elif ev.phase == SPAN and ev.cat == "plan":
             rep = group_for(ev)
             rep.plan_builds += 1
@@ -229,6 +305,35 @@ def format_trace_report(analysis: TraceAnalysis, top: int = 10) -> str:
                 rows,
             )
         )
+
+    ops = [analysis.ops[op] for op in sorted(analysis.ops)]
+    if ops:
+        rows = [
+            [
+                o.op, o.batches, o.requests, o.useful_flops / 1e9,
+                o.padded_flops / 1e9, o.waste_pct, o.stream_busy * 1e3,
+                o.occupancy * 100,
+            ]
+            for o in ops
+        ]
+        blocks.append(
+            "== per-operation breakdown ==\n"
+            + format_table(
+                ["op", "batches", "requests", "useful_Gflop", "padded_Gflop",
+                 "waste_%", "stream_busy_ms", "occupancy_%"],
+                rows,
+            )
+        )
+        rows = [
+            [o.op, name, calls, total * 1e3]
+            for o in ops
+            for name, calls, total in o.top_kernels()
+        ]
+        if rows:
+            blocks.append(
+                "== top kernels (per operation) ==\n"
+                + format_table(["op", "kernel", "calls", "total_ms"], rows)
+            )
 
     if analysis.bottlenecks:
         grand = sum(t for _, _, _, t in analysis.bottlenecks) or 1.0

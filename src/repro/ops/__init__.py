@@ -1,0 +1,22 @@
+"""Operation registry and the generic vbatched-operation driver.
+
+The mixed-operation subsystem (PR 8): drivers, serving, autotune and
+trace reporting dispatch on an ``op`` tag instead of hard-coding POTRF.
+See :mod:`repro.ops.registry` for the descriptors and
+:mod:`repro.ops.driver` for the plan/execute/shard/place machinery.
+"""
+
+from .driver import OpResult, plan_op, run_op_vbatched
+from .options import OpOptions
+from .registry import Operation, get_op, list_ops, register
+
+__all__ = [
+    "OpOptions",
+    "OpResult",
+    "Operation",
+    "get_op",
+    "list_ops",
+    "plan_op",
+    "register",
+    "run_op_vbatched",
+]

@@ -1,0 +1,58 @@
+"""Options shared by the extension-operation drivers (QR/LU/SVD).
+
+A deliberately small, frozen (hashable — it rides in plan-cache keys)
+subset of :class:`~repro.core.driver.PotrfOptions`: the knobs every
+panel-sweep planner has, plus the Jacobi-SVD sweep controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.optimizer import resolve_passes
+from ..errors import ArgumentError
+
+__all__ = ["OpOptions"]
+
+
+@dataclass(frozen=True)
+class OpOptions:
+    """Knobs of the generic vbatched operation driver.
+
+    ``approach`` is ``"auto"`` (per-op crossover policy), ``"fused"``
+    (one whole-matrix launch per size window) or ``"separated"`` (the
+    blocked panel sweep); the SVD ignores it (single Jacobi path).
+    ``sorting`` enables implicit-sorting windows (fused) / sorted task
+    order (separated) — off by default so the default path is
+    launch-for-launch identical to the historical eager drivers.
+    ``sweeps``/``tol`` drive the Jacobi SVD.  ``on_error`` mirrors the
+    POTRF option: ``"raise"`` turns failed infos into
+    :class:`~repro.errors.BatchNumericalError`.
+    """
+
+    approach: str = "auto"
+    panel_nb: int = 64
+    sorting: bool = False
+    crossover_size: int | None = None
+    sweeps: int | None = None
+    tol: float = 1.0e-10
+    on_error: str = "info"
+    #: Plan-optimizer level: "none", "all", a pass name, or a
+    #: "+"-joined combination (see :mod:`repro.core.optimizer`).
+    optimize: str = "none"
+
+    def __post_init__(self):
+        try:
+            resolve_passes(self.optimize)
+        except ValueError as exc:
+            raise ArgumentError(9, str(exc)) from None
+        if self.approach not in ("auto", "fused", "separated"):
+            raise ArgumentError(1, f"bad approach {self.approach!r}")
+        if self.panel_nb <= 0:
+            raise ArgumentError(4, f"panel_nb must be positive, got {self.panel_nb}")
+        if self.sweeps is not None and self.sweeps <= 0:
+            raise ArgumentError(5, f"sweeps must be positive, got {self.sweeps}")
+        if self.tol <= 0.0:
+            raise ArgumentError(7, f"tol must be positive, got {self.tol}")
+        if self.on_error not in ("info", "raise"):
+            raise ArgumentError(8, f"bad on_error {self.on_error!r}")

@@ -25,6 +25,7 @@ benchmark.
 from .batcher import (
     Batcher,
     BatchingPolicy,
+    CrossOpGreedyPolicy,
     FifoPolicy,
     GreedyWindowPolicy,
     POLICIES,
@@ -55,6 +56,7 @@ __all__ = [
     "Batcher",
     "BatchingPolicy",
     "BatchRecord",
+    "CrossOpGreedyPolicy",
     "DEFAULT_SLOS",
     "FAULT_KINDS",
     "FaultEvent",

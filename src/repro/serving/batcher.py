@@ -12,7 +12,9 @@ enforces the invariants around them:
   (or its deadline minus ``deadline_margin`` has arrived), and every
   emitted batch contains that most urgent request — no starvation;
 * a batch never mixes dtypes (one :class:`~repro.core.batch.VBatch`
-  holds one precision).
+  holds one precision) nor factor operations (one launch runs one
+  kernel DAG; ``posv`` rides with ``potrf`` and ``gesv`` with
+  ``getrf`` because they share the factor launch).
 
 Policies choose *which* compatible requests ride along:
 
@@ -20,11 +22,17 @@ Policies choose *which* compatible requests ride along:
   unsorted launches correspond to);
 * ``"size-bucket"`` — quantize ``n`` into fixed-width buckets, serve
   the urgent request's bucket (the serving analogue of the fixed-size
-  batched + padding baseline, without the padding);
+  batched + padding baseline, without the padding); the bucket key is
+  op-aware because compatibility is;
 * ``"greedy-window"`` — grow a window around the urgent request's size,
   always absorbing the closest remaining size, while the window's
   max/min ratio stays under ``max_ratio`` (implicit sorting as an
-  admission rule).
+  admission rule);
+* ``"cross-op"`` — the greedy window tuned for mixed-operation queues:
+  each flush still serves one operation (the urgent request's), but
+  when that operation's backlog cannot fill the batch the size window
+  relaxes to ``relaxed_ratio`` so minority-op flushes leave full, and
+  majority-op flushes keep the tight homogeneous window.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from .request import Request
 __all__ = [
     "Batcher",
     "BatchingPolicy",
+    "CrossOpGreedyPolicy",
     "FifoPolicy",
     "GreedyWindowPolicy",
     "SizeBucketPolicy",
@@ -52,7 +61,8 @@ class BatchingPolicy:
     ``select`` receives the pending queue (arrival order), the index of
     the most urgent request, and the batch budget; it returns indices
     into ``pending``.  The :class:`Batcher` validates the contract:
-    non-empty, unique, within budget, urgent included, one dtype.
+    non-empty, unique, within budget, urgent included, one dtype, one
+    factor operation.
     """
 
     name = "abstract"
@@ -61,9 +71,17 @@ class BatchingPolicy:
         raise NotImplementedError
 
     def compatible(self, pending: Sequence[Request], urgent: int) -> list[int]:
-        """Indices sharing the urgent request's dtype (arrival order)."""
+        """Indices sharing the urgent request's dtype *and* factor op
+        (arrival order) — the two things one vbatched launch cannot
+        mix.  Every policy's candidate set starts here, which is what
+        makes size buckets and greedy windows op-aware for free."""
         dtype = pending[urgent].dtype
-        return [i for i, r in enumerate(pending) if r.dtype == dtype]
+        op_key = pending[urgent].factor_op
+        return [
+            i
+            for i, r in enumerate(pending)
+            if r.dtype == dtype and r.factor_op == op_key
+        ]
 
 
 class FifoPolicy(BatchingPolicy):
@@ -122,6 +140,11 @@ class GreedyWindowPolicy(BatchingPolicy):
         self.max_ratio = float(max_ratio)
 
     def select(self, pending: Sequence[Request], urgent: int, max_batch: int) -> list[int]:
+        return self._window(pending, urgent, max_batch, self.max_ratio)
+
+    def _window(
+        self, pending: Sequence[Request], urgent: int, max_batch: int, ratio: float
+    ) -> list[int]:
         anchor = pending[urgent].n
         picks = [urgent]
         lo = hi = max(anchor, 1)
@@ -133,17 +156,49 @@ class GreedyWindowPolicy(BatchingPolicy):
             if len(picks) >= max_batch:
                 break
             n = max(pending[i].n, 1)
-            if max(hi, n) / min(lo, n) > self.max_ratio:
+            if max(hi, n) / min(lo, n) > ratio:
                 continue
             picks.append(i)
             lo, hi = min(lo, n), max(hi, n)
         return picks
 
 
+class CrossOpGreedyPolicy(GreedyWindowPolicy):
+    """The greedy window specialized for mixed-operation queues.
+
+    A dispatched batch still runs one factor op (a vbatched launch is
+    one kernel DAG), so the cross-op leverage is in *when the window
+    widens*: with the urgent op's backlog at or above ``max_batch`` the
+    tight ``max_ratio`` window applies unchanged (plenty of same-op
+    fill to choose from), but a minority op that could only scrape
+    together a sliver of a batch relaxes to ``relaxed_ratio`` — its
+    rare flushes leave full instead of trickling out padded singletons
+    between the majority op's batches.  The per-op flush cadence itself
+    falls out of the urgency rule: whichever op's oldest request
+    expires first gets the next window.
+    """
+
+    name = "cross-op"
+
+    def __init__(self, max_ratio: float = 1.5, relaxed_ratio: float = 4.0):
+        super().__init__(max_ratio)
+        if relaxed_ratio < max_ratio:
+            raise ArgumentError(
+                1, f"relaxed_ratio must be >= max_ratio, got {relaxed_ratio} < {max_ratio}"
+            )
+        self.relaxed_ratio = float(relaxed_ratio)
+
+    def select(self, pending: Sequence[Request], urgent: int, max_batch: int) -> list[int]:
+        same_op = self.compatible(pending, urgent)
+        ratio = self.max_ratio if len(same_op) >= max_batch else self.relaxed_ratio
+        return self._window(pending, urgent, max_batch, ratio)
+
+
 POLICIES = {
     "fifo": FifoPolicy,
     "size-bucket": SizeBucketPolicy,
     "greedy-window": GreedyWindowPolicy,
+    "cross-op": CrossOpGreedyPolicy,
 }
 
 
@@ -309,3 +364,6 @@ class Batcher:
         dtypes = {self._pending[i].dtype for i in picks}
         if len(dtypes) != 1:
             raise ServingError(f"{name} mixed dtypes in one batch: {sorted(map(str, dtypes))}")
+        ops = {self._pending[i].factor_op for i in picks}
+        if len(ops) != 1:
+            raise ServingError(f"{name} mixed operations in one batch: {sorted(ops)}")

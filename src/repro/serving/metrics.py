@@ -59,6 +59,9 @@ class BatchRecord:
     sim_elapsed: float
     devices_used: int = 1
     launch_stats: LaunchStats | None = None
+    #: Factor operation the batch dispatched (``posv`` batches record
+    #: their ``potrf`` factor launch, ``gesv`` their ``getrf``).
+    op: str = "potrf"
 
     @property
     def efficiency(self) -> float:
@@ -90,6 +93,19 @@ class ServerMetrics:
         )
         self._flops = r.counter(
             "serving_batch_flops_total", "potrf flops by accounting", labels=("kind",)
+        )
+        self._op_batches = r.counter(
+            "serving_op_batches_total", "dispatched batches by operation", labels=("op",)
+        )
+        self._op_flops = r.counter(
+            "serving_op_flops_total",
+            "flops by operation and accounting",
+            labels=("op", "kind"),
+        )
+        self._op_busy = r.counter(
+            "serving_op_sim_busy_seconds_total",
+            "simulated device-busy seconds by operation",
+            labels=("op",),
         )
         self._latency = r.summary(
             "serving_latency_seconds", "request latency by clock", labels=("clock",)
@@ -166,6 +182,10 @@ class ServerMetrics:
         self._sim_busy.inc(record.sim_elapsed)
         self._flops.inc(record.useful_flops, kind="useful")
         self._flops.inc(record.padded_flops, kind="padded")
+        self._op_batches.inc(op=record.op)
+        self._op_flops.inc(record.useful_flops, op=record.op, kind="useful")
+        self._op_flops.inc(record.padded_flops, op=record.op, kind="padded")
+        self._op_busy.inc(record.sim_elapsed, op=record.op)
         self._batch_sizes.observe(record.size)
         for resp in responses:
             self._requests.inc(outcome="completed")
@@ -200,11 +220,19 @@ class ServerMetrics:
 
     # -- derived views ---------------------------------------------------
     @staticmethod
-    def padded_flops_for(sizes, precision) -> tuple[float, float]:
-        """(useful, padded) POTRF flops of one launch over ``sizes``."""
+    def padded_flops_for(sizes, precision, op: str = "potrf") -> tuple[float, float]:
+        """(useful, padded) flops of one ``op`` launch over ``sizes``.
+
+        The padded total is what a fixed-size batched launch of the
+        same operation would have paid — the denominator of the
+        batching-efficiency headline, per operation.
+        """
+        from ..ops.registry import get_op
+
         sizes = [int(n) for n in sizes]
-        useful = sum(_flops.potrf_flops(n, precision) for n in sizes)
-        padded = len(sizes) * _flops.potrf_flops(max(sizes), precision) if sizes else 0.0
+        matrix_flops = get_op(op).matrix_flops
+        useful = sum(matrix_flops(n, precision) for n in sizes)
+        padded = len(sizes) * matrix_flops(max(sizes), precision) if sizes else 0.0
         return useful, padded
 
     def batch_size_histogram(self) -> dict[int, int]:
@@ -234,6 +262,24 @@ class ServerMetrics:
                 wall = self.wall_stopped - self.wall_started
         useful = sum(b.useful_flops for b in batches)
         padded = sum(b.padded_flops for b in batches)
+        per_op: dict[str, dict] = {}
+        for rec in batches:
+            row = per_op.setdefault(
+                rec.op,
+                {"batches": 0, "matrices": 0, "sim_busy_s": 0.0,
+                 "useful_flops": 0.0, "padded_flops": 0.0},
+            )
+            row["batches"] += 1
+            row["matrices"] += rec.size
+            row["sim_busy_s"] += rec.sim_elapsed
+            row["useful_flops"] += rec.useful_flops
+            row["padded_flops"] += rec.padded_flops
+        for row in per_op.values():
+            row["wasted_flops"] = row["padded_flops"] - row["useful_flops"]
+            row["efficiency"] = (
+                row["useful_flops"] / row["padded_flops"] if row["padded_flops"] else 0.0
+            )
+            row["mean_batch_size"] = row["matrices"] / row["batches"]
         sim_busy = self.sim_busy
         completed = self.completed
         hist: dict[int, int] = {}
@@ -266,6 +312,7 @@ class ServerMetrics:
                 "mean_wait_wall_s": self._queue_wait.mean(),
             },
             "batch_size_histogram": {str(k): v for k, v in sorted(hist.items())},
+            "ops": {op: dict(row) for op, row in sorted(per_op.items())},
             "batching": {
                 "useful_flops": useful,
                 "padded_flops": padded,

@@ -1,9 +1,13 @@
 """Request/response envelope of the batch-serving subsystem.
 
-One :class:`Request` is one independent problem — an SPD matrix to
-factorize (``op="potrf"``) or factorize-and-solve (``op="posv"``) —
+One :class:`Request` is one independent problem — a matrix to
+factorize (``op="potrf"``/``"geqrf"``/``"getrf"``), decompose
+(``op="gesvj"``) or factorize-and-solve (``op="posv"``/``"gesv"``) —
 submitted on its own, the way an inference server receives individual
-queries.  The server aggregates requests into
+queries.  The accepted operations and their validation rules
+(right-hand-side requirements, real-only precisions, flop accounting)
+come from the operation registry (:mod:`repro.ops.registry`), so the
+serving tier gains an operation the moment the registry does.  The server aggregates requests into
 :class:`~repro.core.batch.VBatch` launches; each request carries a
 :class:`RequestFuture` that resolves to a :class:`Response` when its
 batch completes.
@@ -22,12 +26,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ArgumentError, ServingError
+from ..ops.registry import get_op
 from ..types import Precision
-from .. import flops as _flops
 
 __all__ = ["Request", "RequestFuture", "Response"]
 
-OPS = ("potrf", "posv")
+#: Operations the serving tier accepts — every registered op, the
+#: factor-only drivers and the solve aliases alike.
+OPS = ("potrf", "posv", "geqrf", "getrf", "gesvj", "gesv")
 
 
 class RequestFuture:
@@ -124,18 +130,23 @@ class Request:
     def __post_init__(self):
         if self.op not in OPS:
             raise ArgumentError(2, f"bad op {self.op!r} (use one of {OPS})")
+        desc = get_op(self.op)
         m = self.matrix
         if not isinstance(m, np.ndarray) or m.ndim != 2 or m.shape[0] != m.shape[1]:
             raise ArgumentError(1, f"request matrix must be square 2-D, got {getattr(m, 'shape', None)}")
-        if self.op == "posv":
+        if desc.real_only and np.dtype(m.dtype).kind == "c":
+            raise ArgumentError(
+                2, f"{self.op} requests support real precisions only, got {m.dtype}"
+            )
+        if desc.needs_rhs:
             if self.rhs is None:
-                raise ArgumentError(3, "posv request needs a right-hand side")
+                raise ArgumentError(3, f"{self.op} request needs a right-hand side")
             if self.rhs.shape[0] != m.shape[0]:
                 raise ArgumentError(
                     3, f"rhs has {self.rhs.shape[0]} rows, matrix has {m.shape[0]}"
                 )
         elif self.rhs is not None:
-            raise ArgumentError(3, "potrf request must not carry a right-hand side")
+            raise ArgumentError(3, f"{self.op} request must not carry a right-hand side")
 
     @property
     def n(self) -> int:
@@ -152,9 +163,18 @@ class Request:
         return Precision.from_dtype(self.matrix.dtype)
 
     @property
+    def factor_op(self) -> str:
+        """The factorization that actually runs on the device: the op
+        itself, or the base op a solve alias factors through (``posv``
+        -> ``potrf``, ``gesv`` -> ``getrf``).  Batches group on this —
+        a potrf and a posv request can share one launch."""
+        desc = get_op(self.op)
+        return desc.base or desc.name
+
+    @property
     def flops(self) -> float:
-        """Useful POTRF flops of this request (metrics currency)."""
-        return _flops.potrf_flops(self.n, self.precision)
+        """Useful flops of this request's operation (metrics currency)."""
+        return get_op(self.op).matrix_flops(self.n, self.precision)
 
     def effective_deadline(self, max_wait: float) -> float:
         """The instant this request must be in flight: its own deadline
@@ -167,13 +187,16 @@ class Request:
 class Response:
     """What a resolved :class:`RequestFuture` yields.
 
-    ``factor`` is the ``n x n`` Cholesky output (lower triangle holds
-    ``L``, strict upper untouched — exactly what ``potrf_vbatched``
-    leaves in the batch) and ``solution`` the solve output for ``posv``
-    requests; both are ``None`` on a timing-only device.  ``info`` is
-    the per-matrix LAPACK code (0 = success).  Timing fields cover both
-    clocks: wall latency for the serving tier itself, simulated-seconds
-    latency for the modeled hardware.
+    ``factor`` is the ``n x n`` in-place output of the request's factor
+    op (Cholesky ``L``, the LU or QR packed factors, or ``U`` for
+    ``gesvj``) and ``solution`` the solve output for ``posv``/``gesv``
+    requests; both are ``None`` on a timing-only device.  ``extras``
+    carries the op-specific side outputs sliced per request — ``taus``
+    for ``geqrf``, ``ipivs`` for ``getrf``/``gesv``,
+    ``singular_values``/``vt`` for ``gesvj`` — and is empty for POTRF
+    requests.  ``info`` is the per-matrix LAPACK code (0 = success).
+    Timing fields cover both clocks: wall latency for the serving tier
+    itself, simulated-seconds latency for the modeled hardware.
     """
 
     req_id: int
@@ -181,6 +204,7 @@ class Response:
     info: int
     factor: np.ndarray | None = None
     solution: np.ndarray | None = None
+    extras: dict = field(default_factory=dict)
     batch_id: int = -1
     batch_size: int = 0
     batch_max_n: int = 0

@@ -42,8 +42,10 @@ from ..device.device import Device
 from ..device.hetero import HeteroGroup
 from ..device.topology import DeviceGroup
 from ..errors import AdmissionError, ArgumentError, RequestCancelled, ServingError
-from ..extensions.solve import potrs_vbatched
+from ..extensions.solve import getrs_vbatched, potrs_vbatched
 from ..observability.trace import Track, current_tracer
+from ..ops.driver import run_op_vbatched
+from ..ops.options import OpOptions
 from .batcher import Batcher, BatchingPolicy
 from .metrics import BatchRecord, ServerMetrics
 from .request import Request, RequestFuture, Response
@@ -54,7 +56,11 @@ _ADMISSIONS = ("block", "reject")
 
 
 class BatchServer:
-    """Aggregates individual potrf/posv requests into vbatched launches.
+    """Aggregates individual factorization requests into vbatched launches.
+
+    Every registered operation is servable (``potrf``/``posv``,
+    ``geqrf``, ``getrf``/``gesv``, ``gesvj``); each dispatched batch
+    runs one factor op, and the batcher keys compatibility on it.
 
     Parameters
     ----------
@@ -76,10 +82,15 @@ class BatchServer:
         backpressure (submit waits for space — needs a running worker),
         ``"reject"`` raises :class:`~repro.errors.AdmissionError`.
     options:
-        :class:`~repro.core.driver.PotrfOptions` for every dispatch.
+        :class:`~repro.core.driver.PotrfOptions` for every POTRF
+        dispatch.
+    op_options:
+        :class:`~repro.ops.options.OpOptions` for every non-POTRF
+        dispatch (QR/LU/SVD batches).
     optimize:
         Plan-optimizer pass level for every dispatch (overrides
-        ``options.optimize``); see :mod:`repro.core.optimizer`.
+        ``options.optimize`` and ``op_options.optimize``); see
+        :mod:`repro.core.optimizer`.
     plan_cache:
         ``"auto"`` (default) creates a private thread-safe
         :class:`~repro.core.plan.PlanCache`; pass an instance to share
@@ -110,6 +121,7 @@ class BatchServer:
         queue_limit: int = 1024,
         admission: str = "block",
         options: PotrfOptions | None = None,
+        op_options: OpOptions | None = None,
         optimize: str | None = None,
         plan_cache: PlanCache | str | None = "auto",
         fault_injector=None,
@@ -130,8 +142,11 @@ class BatchServer:
             self.device = device if device is not None else Device()
             self.group = None
         self.options = options or PotrfOptions()
+        self.op_options = op_options or OpOptions()
         if optimize is not None and optimize != self.options.optimize:
             self.options = replace(self.options, optimize=optimize)
+        if optimize is not None and optimize != self.op_options.optimize:
+            self.op_options = replace(self.op_options, optimize=optimize)
         self.plan_cache = PlanCache() if plan_cache == "auto" else plan_cache
         self.fault_injector = fault_injector
         self.queue_limit = int(queue_limit)
@@ -163,15 +178,20 @@ class BatchServer:
         matrix: np.ndarray,
         rhs: np.ndarray | None = None,
         *,
+        op: str | None = None,
         deadline: float | None = None,
     ) -> RequestFuture:
         """Queue one problem; returns the future resolving to its
         :class:`~repro.serving.request.Response`.
 
-        ``matrix`` is factorized (``rhs=None``) or factor-and-solved
-        (``posv``) without being mutated.  ``deadline`` is relative wall
-        seconds from now; it pressures the window to flush early and is
-        counted as missed (not dropped) if exceeded.
+        ``op`` names any registered operation
+        (:data:`~repro.serving.request.OPS`); left ``None`` it infers
+        the Cholesky pair — ``"potrf"`` without a right-hand side,
+        ``"posv"`` with one — preserving the pre-mixed-op call shape.
+        ``matrix`` is never mutated (factors come back in the
+        response).  ``deadline`` is relative wall seconds from now; it
+        pressures the window to flush early and is counted as missed
+        (not dropped) if exceeded.
         """
         if deadline is not None and deadline < 0:
             raise ArgumentError(3, f"deadline cannot be negative, got {deadline}")
@@ -192,7 +212,7 @@ class BatchServer:
             now = self.clock()
             request = Request(
                 req_id=self._next_req_id,
-                op="potrf" if rhs is None else "posv",
+                op=op if op is not None else ("potrf" if rhs is None else "posv"),
                 matrix=matrix,
                 rhs=rhs,
                 deadline=None if deadline is None else now + deadline,
@@ -218,12 +238,12 @@ class BatchServer:
             self._cond.notify_all()
             return request.future
 
-    def submit_many(self, matrices, rhs=None, *, deadline=None) -> list[RequestFuture]:
+    def submit_many(self, matrices, rhs=None, *, op=None, deadline=None) -> list[RequestFuture]:
         """Submit a sequence of problems; returns their futures in order."""
         rhs = rhs if rhs is not None else [None] * len(matrices)
         if len(rhs) != len(matrices):
             raise ArgumentError(2, f"need {len(matrices)} rhs entries, got {len(rhs)}")
-        return [self.submit(m, b, deadline=deadline) for m, b in zip(matrices, rhs)]
+        return [self.submit(m, b, op=op, deadline=deadline) for m, b in zip(matrices, rhs)]
 
     @property
     def queue_depth(self) -> int:
@@ -418,6 +438,33 @@ class BatchServer:
                 if reraise:
                     raise
 
+    @staticmethod
+    def _op_extras(op_key: str, reqs: list[Request], result) -> list[dict]:
+        """Slice an op's side outputs per request (``Response.extras``).
+
+        Everything is copied: a cached plan re-fills the same output
+        storage on the next dispatch, so handing out views would let a
+        later batch silently overwrite an earlier response.
+        """
+        extras: list[dict] = [{} for _ in reqs]
+        outputs = result.outputs
+        if op_key == "geqrf":
+            taus = outputs["taus"]
+            for i, r in enumerate(reqs):
+                extras[i]["taus"] = np.array(taus[i, : r.n], copy=True)
+        elif op_key == "getrf":
+            ipivs = outputs["ipivs"]
+            for i, r in enumerate(reqs):
+                extras[i]["ipivs"] = np.array(ipivs[i, : r.n], copy=True)
+        elif op_key == "gesvj":
+            sigma = outputs["singular_values"]
+            vt = outputs["vt"]
+            for i, r in enumerate(reqs):
+                extras[i]["singular_values"] = np.array(sigma[i, : r.n], copy=True)
+                v = vt.get(i)
+                extras[i]["vt"] = None if v is None else np.array(v, copy=True)
+        return extras
+
     def _dispatch_inner(self, requests: list[Request]) -> None:
         tracer = current_tracer()
         with tracer.span(
@@ -444,26 +491,47 @@ class BatchServer:
                     self.name, batch_id, [r.n for r in reqs]
                 )
 
+            # The batcher guarantees one factor op per batch; dispatch on it.
+            op_key = reqs[0].factor_op
             batch = VBatch.from_host(self.device, [r.matrix for r in reqs])
+            extras: list[dict] = [{} for _ in reqs]
             try:
-                result = run_potrf_vbatched(
-                    self.device,
-                    batch,
-                    max_n,
-                    self.options,
-                    devices=self.group,
-                    plan_cache=self.plan_cache,
-                )
+                if op_key == "potrf":
+                    result = run_potrf_vbatched(
+                        self.device,
+                        batch,
+                        max_n,
+                        self.options,
+                        devices=self.group,
+                        plan_cache=self.plan_cache,
+                    )
+                else:
+                    result = run_op_vbatched(
+                        self.device,
+                        batch,
+                        max_n,
+                        op_key,
+                        self.op_options,
+                        devices=self.group,
+                        plan_cache=self.plan_cache,
+                    )
                 factors: list[np.ndarray | None] = [None] * len(reqs)
                 solutions: list[np.ndarray | None] = [None] * len(reqs)
                 solve = None
                 if self.device.execute_numerics:
                     factors = batch.download_matrices()
-                rhs = [None if r.op != "posv" else np.array(r.rhs, copy=True) for r in reqs]
+                rhs = [None if r.rhs is None else np.array(r.rhs, copy=True) for r in reqs]
                 if any(b is not None for b in rhs):
-                    solve = potrs_vbatched(self.device, batch, rhs)
+                    if op_key == "potrf":
+                        solve = potrs_vbatched(self.device, batch, rhs)
+                    else:  # gesv requests ride getrf batches
+                        solve = getrs_vbatched(
+                            self.device, batch, result.outputs["ipivs"], rhs
+                        )
                     if self.device.execute_numerics:
                         solutions = rhs
+                if op_key != "potrf":
+                    extras = self._op_extras(op_key, reqs, result)
             finally:
                 batch.free()
 
@@ -472,7 +540,7 @@ class BatchServer:
             completed_wall = self.clock()
             completed_sim = self._sim_now()
             useful, padded = ServerMetrics.padded_flops_for(
-                [r.n for r in reqs], reqs[0].precision
+                [r.n for r in reqs], reqs[0].precision, op=op_key
             )
             responses = []
             for i, req in enumerate(reqs):
@@ -484,6 +552,7 @@ class BatchServer:
                     factor=factors[i],
                     # A failed factorization's "solution" is meaningless.
                     solution=solutions[i] if info == 0 else None,
+                    extras=extras[i],
                     batch_id=batch_id,
                     batch_size=len(reqs),
                     batch_max_n=max_n,
@@ -505,6 +574,7 @@ class BatchServer:
                 sim_elapsed=sim_elapsed,
                 devices_used=result.launch_stats.devices_used,
                 launch_stats=result.launch_stats,
+                op=op_key,
             )
             self.metrics.record_batch(record, responses, result.launch_stats)
             if result.member_stats is not None:
@@ -512,6 +582,7 @@ class BatchServer:
             if tracer:
                 span_args.update(
                     batch_id=batch_id,
+                    op=op_key,
                     size=len(reqs),
                     max_n=max_n,
                     useful_flops=useful,

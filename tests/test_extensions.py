@@ -61,8 +61,9 @@ class TestGetrfVbatched:
         b = VBatch.allocate(dev, [200] * 4, "d")
         res = getrf_vbatched(dev, b, max_n=200, panel_nb=64)
         assert res.launch_stats["steps"] == 4  # ceil(200/64)
-        assert res.launch_stats["panel"] == 4
-        assert res.launch_stats["gemm"] >= 3
+        assert res.launch_stats.panel_launches == 4
+        assert res.launch_stats.swap_launches == 4
+        assert res.launch_stats.gemm_launches >= 3
 
     def test_reuses_vbatched_gemm(self):
         """The §V claim: the BLAS kernels are reused out of the box."""
@@ -101,7 +102,7 @@ class TestGeqrfVbatched:
         res = geqrf_vbatched(dev, b, max_n=150, panel_nb=64)
         # Every step except the last (no trailing columns) applies the
         # block reflector with exactly two gemm launches.
-        assert res.launch_stats["larfb_gemms"] == 2 * (res.launch_stats["steps"] - 1)
+        assert res.launch_stats.gemm_launches == 2 * (res.launch_stats["steps"] - 1)
 
     def test_validation(self):
         dev = Device()

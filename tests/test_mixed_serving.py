@@ -1,0 +1,233 @@
+"""Mixed-operation serving: op-aware batching, dispatch and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.device import Device
+from repro.errors import ArgumentError, ServingError
+from repro.hostblas import build_q, make_spd
+from repro.serving import BatchServer, CrossOpGreedyPolicy, GreedyWindowPolicy, POLICIES
+from repro.serving.request import Request
+
+
+def _rand(n, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    if np.issubdtype(dtype, np.complexfloating):
+        a = a + 1j * rng.standard_normal((n, n))
+    return np.ascontiguousarray(a.astype(dtype))
+
+
+def _req(req_id, n, op="potrf", arrival=0.0, dtype=np.float64):
+    return Request(
+        req_id=req_id,
+        op=op,
+        matrix=np.zeros((n, n), dtype=dtype),
+        arrival=arrival,
+    )
+
+
+class TestOpValidation:
+    def test_unknown_op_rejected(self):
+        server = BatchServer(Device())
+        with pytest.raises(ArgumentError, match="bad op 'syevd'"):
+            server.submit(np.eye(4), op="syevd")
+
+    def test_gesvj_rejects_complex(self):
+        server = BatchServer(Device())
+        with pytest.raises(ArgumentError, match="real"):
+            server.submit(np.eye(4, dtype=np.complex128), op="gesvj")
+
+    def test_rhs_requirements_follow_the_op(self):
+        server = BatchServer(Device())
+        with pytest.raises(ArgumentError, match="right-hand side"):
+            server.submit(np.eye(4), op="posv")  # solve op without rhs
+        with pytest.raises(ArgumentError, match="right-hand side"):
+            server.submit(np.eye(4), rhs=np.ones(4), op="geqrf")  # factor op with rhs
+        with pytest.raises(ArgumentError, match="right-hand side"):
+            server.submit(np.eye(4), op="gesv")
+
+    def test_factor_op_maps_aliases_to_their_base(self):
+        rhs = np.ones(4)
+        assert _req(0, 4, op="potrf").factor_op == "potrf"
+        assert Request(req_id=0, op="posv", matrix=np.eye(4), rhs=rhs).factor_op == "potrf"
+        assert Request(req_id=0, op="gesv", matrix=np.eye(4), rhs=rhs).factor_op == "getrf"
+        assert _req(0, 4, op="gesvj").factor_op == "gesvj"
+
+
+class TestCrossOpPolicy:
+    def test_registered_and_validated(self):
+        assert POLICIES["cross-op"] is CrossOpGreedyPolicy
+        assert isinstance(CrossOpGreedyPolicy(), GreedyWindowPolicy)
+        with pytest.raises(ArgumentError):
+            CrossOpGreedyPolicy(max_ratio=1.5, relaxed_ratio=1.2)
+
+    def test_batches_are_single_op(self):
+        pending = [_req(i, 32, op=op) for i, op in
+                   enumerate(["geqrf", "potrf", "geqrf", "gesvj", "geqrf"])]
+        picks = CrossOpGreedyPolicy().select(pending, urgent=0, max_batch=8)
+        assert picks and all(pending[i].factor_op == "geqrf" for i in picks)
+        assert sorted(picks) == [0, 2, 4]
+
+    def test_aliases_batch_with_their_base_op(self):
+        rhs = np.ones(32)
+        pending = [
+            _req(0, 32, op="potrf"),
+            Request(req_id=1, op="posv", matrix=np.zeros((32, 32)), rhs=rhs),
+            _req(2, 32, op="getrf"),
+            Request(req_id=3, op="gesv", matrix=np.zeros((32, 32)), rhs=rhs),
+        ]
+        picks = CrossOpGreedyPolicy().select(pending, urgent=0, max_batch=8)
+        assert sorted(picks) == [0, 1]
+        picks = CrossOpGreedyPolicy().select(pending, urgent=2, max_batch=8)
+        assert sorted(picks) == [2, 3]
+
+    def test_majority_op_keeps_the_tight_window(self):
+        # Backlog >= max_batch: the 1.5 window must exclude far sizes.
+        pending = [_req(i, n, op="geqrf") for i, n in
+                   enumerate([32, 32, 32, 32, 300])]
+        picks = CrossOpGreedyPolicy().select(pending, urgent=0, max_batch=4)
+        assert 4 not in picks and len(picks) == 4
+
+    def test_minority_op_relaxes_the_window(self):
+        # Backlog < max_batch: the relaxed 4.0 ratio pulls in the far
+        # size a plain greedy window would strand as a padded singleton.
+        pending = [_req(i, n, op="gesvj") for i, n in enumerate([32, 100])]
+        tight = GreedyWindowPolicy().select(pending, urgent=0, max_batch=8)
+        relaxed = CrossOpGreedyPolicy().select(pending, urgent=0, max_batch=8)
+        assert tight == [0]
+        assert sorted(relaxed) == [0, 1]
+
+    def test_mixed_batch_rejected_at_validation(self):
+        class BadPolicy(GreedyWindowPolicy):
+            name = "bad"
+
+            def select(self, pending, urgent, max_batch):
+                return list(range(len(pending)))  # ignores op boundaries
+
+        server = BatchServer(Device(execute_numerics=False), policy=BadPolicy())
+        server.submit(np.zeros((8, 8)), op="geqrf")
+        server.submit(np.zeros((8, 8)), op="potrf")
+        with pytest.raises(ServingError, match="mixed operations"):
+            server.pump(force=True)
+
+
+class TestMixedDispatch:
+    def test_each_op_served_correctly_end_to_end(self):
+        server = BatchServer(Device(), policy="cross-op")
+        spd = make_spd(12, seed=1)
+        qr_in = _rand(10, seed=2)
+        lu_in = _rand(11, seed=3)
+        sv_in = _rand(9, seed=4)
+        futs = {
+            "potrf": server.submit(spd),
+            "geqrf": server.submit(qr_in, op="geqrf"),
+            "getrf": server.submit(lu_in, op="getrf"),
+            "gesvj": server.submit(sv_in, op="gesvj"),
+        }
+        while server.pump(force=True):
+            pass
+        resps = {op: f.result(timeout=10.0) for op, f in futs.items()}
+        assert all(r.info == 0 for r in resps.values())
+
+        l = np.tril(resps["potrf"].factor)
+        assert np.allclose(l @ l.T, spd, atol=1e-9)
+        assert resps["potrf"].extras == {}
+
+        f, taus = resps["geqrf"].factor, resps["geqrf"].extras["taus"]
+        assert np.allclose(build_q(f, taus) @ np.triu(f), qr_in, atol=1e-9)
+
+        lu = resps["getrf"].factor
+        ipiv = resps["getrf"].extras["ipivs"]
+        rebuilt = (np.tril(lu, -1) + np.eye(11)) @ np.triu(lu)
+        for k in reversed(range(11)):
+            p = int(ipiv[k]) - 1
+            if p != k:
+                rebuilt[[k, p]] = rebuilt[[p, k]]
+        assert np.allclose(rebuilt, lu_in, atol=1e-9)
+
+        sigma = resps["gesvj"].extras["singular_values"]
+        vt = resps["gesvj"].extras["vt"]
+        assert np.all(np.diff(sigma) <= 1e-12 * sigma[0])
+        assert np.allclose(resps["gesvj"].factor @ (sigma[:, None] * vt),
+                           sv_in, atol=1e-8)
+
+    def test_gesv_rides_getrf_batches_and_solves(self):
+        server = BatchServer(Device(), policy="cross-op")
+        a = _rand(8, seed=7)
+        b = np.arange(8, dtype=np.float64)
+        fut_solve = server.submit(a, rhs=b, op="gesv")
+        fut_factor = server.submit(_rand(8, seed=8), op="getrf")
+        while server.pump(force=True):
+            pass
+        solve, factor = fut_solve.result(timeout=10.0), fut_factor.result(timeout=10.0)
+        assert solve.batch_id == factor.batch_id  # one getrf launch
+        assert solve.op == "gesv"
+        assert np.allclose(a @ solve.solution, b, atol=1e-9)
+        assert "ipivs" in solve.extras
+
+    def test_posv_still_rides_potrf_batches(self):
+        server = BatchServer(Device(), policy="cross-op")
+        a = make_spd(8, seed=9)
+        b = np.ones(8)
+        fut_solve = server.submit(a, rhs=b)
+        fut_factor = server.submit(make_spd(8, seed=10))
+        while server.pump(force=True):
+            pass
+        solve, factor = fut_solve.result(timeout=10.0), fut_factor.result(timeout=10.0)
+        assert solve.batch_id == factor.batch_id
+        assert solve.op == "posv" and factor.op == "potrf"
+        assert np.allclose(a @ solve.solution, b, atol=1e-8)
+
+    def test_extras_are_isolated_copies(self):
+        """Cached plans re-fill the same output storage on the next
+        launch, so responses must carry private copies."""
+        server = BatchServer(Device(), policy="cross-op")
+        a1, a2 = _rand(6, seed=11), _rand(6, seed=12)
+        f1 = server.submit(a1, op="geqrf")
+        while server.pump(force=True):
+            pass
+        taus_first = f1.result(timeout=10.0).extras["taus"].copy()
+        f2 = server.submit(a2, op="geqrf")
+        while server.pump(force=True):
+            pass
+        f2.result(timeout=10.0)
+        assert np.array_equal(f1.result().extras["taus"], taus_first)
+
+
+class TestPerOpMetrics:
+    def test_snapshot_breaks_batches_down_by_op(self):
+        server = BatchServer(Device(execute_numerics=False), policy="cross-op")
+        for n, op in [(16, "geqrf"), (20, "geqrf"), (16, "gesvj"), (12, "potrf")]:
+            server.submit(np.zeros((n, n)), op=op)
+        while server.pump(force=True):
+            pass
+        snap = server.metrics.snapshot()
+        ops = snap["ops"]
+        assert set(ops) == {"geqrf", "gesvj", "potrf"}
+        assert ops["geqrf"]["matrices"] == 2
+        assert ops["gesvj"]["batches"] == 1
+        for row in ops.values():
+            assert 0.0 < row["efficiency"] <= 1.0
+            assert row["padded_flops"] >= row["useful_flops"]
+        total = sum(r["useful_flops"] for r in ops.values())
+        assert total == pytest.approx(snap["batching"]["useful_flops"])
+
+    def test_op_counters_exported_with_labels(self):
+        server = BatchServer(Device(execute_numerics=False), policy="cross-op")
+        server.submit(np.zeros((16, 16)), op="getrf")
+        while server.pump(force=True):
+            pass
+        rendered = server.metrics.registry.expose()
+        assert 'serving_op_batches_total{op="getrf"} 1' in rendered
+        assert 'serving_op_flops_total{op="getrf",kind="useful"}' in rendered
+        assert 'serving_op_sim_busy_seconds_total{op="getrf"}' in rendered
+
+    def test_alias_requests_account_under_the_factor_op(self):
+        server = BatchServer(Device(), policy="cross-op")
+        a = make_spd(8, seed=2)
+        server.submit(a, rhs=np.ones(8))  # posv
+        while server.pump(force=True):
+            pass
+        ops = server.metrics.snapshot()["ops"]
+        assert list(ops) == ["potrf"]

@@ -1,0 +1,68 @@
+"""Planner timing for geqrf/getrf must replay the eager drivers exactly.
+
+These constants are the elapsed times the *eager* (pre-planner)
+geqrf/getrf drivers produced for the pinned workloads below, captured
+immediately before the extensions were rewritten as pure planners.
+``Device.launch`` timing depends only on the kernel sequence, launch
+order and stream assignment, so planning first and executing after
+must replay bit-identical times — ``==`` on floats, no tolerance.
+
+The harness is part of the contract: ONE shared timing-only device
+runs all eight configs in this exact order (clock state carries
+across launches).  If a change here is deliberate (cost model or
+driver behavior), recapture all eight constants together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import VBatch
+from repro.device import Device
+from repro.extensions import geqrf_vbatched, getrf_vbatched
+
+EXPECTED = {
+    ("geqrf", "uniform-d", "d", 64): 0.009289999109405044,
+    ("getrf", "uniform-d", "d", 64): 0.004872247907558252,
+    ("geqrf", "uniform-s", "s", 64): 0.002610802790463806,
+    ("getrf", "uniform-s", "s", 64): 0.0015443448536421114,
+    ("geqrf", "ragged-z", "z", 32): 0.007656810630055005,
+    ("getrf", "ragged-z", "z", 32): 0.0036887168573361447,
+    ("geqrf", "chunky-d", "d", 128): 0.005949137663779226,
+    ("getrf", "chunky-d", "d", 128): 0.0027993100324229248,
+}
+
+
+def _sizes(seed, count, lo, hi):
+    rng = np.random.default_rng(seed)
+    return rng.integers(lo, hi + 1, size=count).astype(np.int64)
+
+
+CONFIGS = [
+    ("uniform-d", _sizes(3, 150, 32, 300), "d", 64),
+    ("uniform-s", _sizes(4, 200, 16, 256), "s", 64),
+    ("ragged-z", _sizes(5, 96, 1, 180), "z", 32),
+    ("chunky-d", np.array([512, 384, 256, 200, 129, 64, 33, 7], dtype=np.int64), "d", 128),
+]
+
+
+@pytest.fixture(scope="module")
+def measured():
+    """Replay the capture harness: one device, all configs in order."""
+    dev = Device(execute_numerics=False)
+    out = {}
+    for name, sizes, prec, nb in CONFIGS:
+        for fn, label in ((geqrf_vbatched, "geqrf"), (getrf_vbatched, "getrf")):
+            batch = VBatch.allocate(dev, sizes, prec)
+            res = fn(dev, batch, max_n=int(sizes.max()), panel_nb=nb)
+            out[(label, name, prec, nb)] = res.elapsed
+            batch.free()
+    return out
+
+
+@pytest.mark.parametrize("key", sorted(EXPECTED))
+def test_planned_timing_is_bit_identical_to_eager(measured, key):
+    assert measured[key] == EXPECTED[key]
+
+
+def test_every_config_is_pinned(measured):
+    assert set(measured) == set(EXPECTED)

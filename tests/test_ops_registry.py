@@ -1,0 +1,169 @@
+"""The operation registry and the generic op driver (repro.ops)."""
+
+import numpy as np
+import pytest
+
+from repro import flops as _flops
+from repro.core import PlanCache, VBatch
+from repro.device import Device, DeviceGroup
+from repro.errors import ArgumentError
+from repro.ops import OpOptions, run_op_vbatched
+from repro.ops.registry import Operation, get_op, list_ops, register
+
+
+class TestRegistryContents:
+    def test_plannable_and_alias_split(self):
+        assert list_ops(plannable=True) == ("geqrf", "gesvj", "getrf", "potrf")
+        assert list_ops(plannable=False) == ("gesv", "posv")
+        assert set(list_ops()) == set(list_ops(plannable=True)) | set(
+            list_ops(plannable=False)
+        )
+
+    def test_unknown_op_raises_with_known_list(self):
+        with pytest.raises(ArgumentError, match="unknown op 'syevd'"):
+            get_op("syevd")
+
+    def test_aliases_point_at_their_base(self):
+        posv, gesv = get_op("posv"), get_op("gesv")
+        assert posv.base == "potrf" and posv.planner is None
+        assert gesv.base == "getrf" and gesv.planner is None
+        assert posv.needs_rhs and gesv.needs_rhs
+        # Factor accounting matches the base op exactly.
+        for n in (7, 64, 300):
+            assert posv.matrix_flops(n, "d") == get_op("potrf").matrix_flops(n, "d")
+            assert gesv.matrix_flops(n, "d") == get_op("getrf").matrix_flops(n, "d")
+
+    def test_flop_models_match_the_flops_module(self):
+        for name in list_ops(plannable=True):
+            desc = get_op(name)
+            for prec in ("s", "d"):
+                assert desc.matrix_flops(100, prec) == _flops.routine_flops(name)(
+                    100, prec
+                )
+
+    def test_gesvj_is_real_only_and_spd_marks_potrf(self):
+        assert get_op("gesvj").real_only
+        assert get_op("potrf").spd_input and get_op("posv").spd_input
+        assert not get_op("geqrf").spd_input
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ArgumentError, match="already registered"):
+            register(Operation(name="potrf", doc="dup", matrix_flops=lambda n, p: 0.0))
+
+
+class TestChooseApproach:
+    def test_explicit_approach_validated(self):
+        desc = get_op("geqrf")
+        assert desc.choose_approach("d", 64, OpOptions(approach="fused")) == "fused"
+        with pytest.raises(ArgumentError, match="bad approach"):
+            OpOptions(approach="blocked")
+        # Valid option value, but not an approach this op implements.
+        with pytest.raises(ArgumentError, match="no 'fused' approach"):
+            get_op("gesvj").choose_approach("d", 64, OpOptions(approach="fused"))
+
+    def test_auto_uses_the_op_crossover_default(self):
+        desc = get_op("geqrf")  # default_crossover = 96
+        assert desc.default_crossover == 96
+        assert desc.choose_approach("d", 64, OpOptions()) == "fused"
+        assert desc.choose_approach("d", 200, OpOptions()) == "separated"
+
+    def test_options_crossover_overrides_the_default(self):
+        desc = get_op("getrf")
+        small = desc.choose_approach("d", 64, OpOptions(crossover_size=32))
+        assert small == "separated"
+
+
+class TestOpOptions:
+    def test_frozen_and_hashable(self):
+        opts = OpOptions(panel_nb=32)
+        assert hash(opts) == hash(OpOptions(panel_nb=32))
+        assert opts != OpOptions()
+        with pytest.raises(AttributeError):
+            opts.panel_nb = 64
+
+    def test_usable_as_cache_key_component(self):
+        cache = {OpOptions(): "a", OpOptions(sorting=True): "b"}
+        assert cache[OpOptions()] == "a"
+
+
+class TestPlanCacheOpKey:
+    def test_op_is_structural_in_the_key(self):
+        dev = Device(execute_numerics=False)
+        batch = VBatch.allocate(dev, np.array([32, 64], dtype=np.int64), "d")
+        args = (dev, batch, 64, "fused", OpOptions())
+        keys = {PlanCache.key_for(*args, op=op) for op in ("potrf", "geqrf", "getrf")}
+        assert len(keys) == 3
+        key = PlanCache.key_for(*args, op="geqrf")
+        assert "geqrf" in key
+        batch.free()
+
+    def test_no_cross_op_cache_hits(self):
+        """Regression: geqrf and getrf on the same batch shape must not
+        collide even though both planners use the same approach labels
+        and an identical options object."""
+        dev = Device(execute_numerics=False)
+        cache = PlanCache(max_plans=8)
+        sizes = np.array([48, 32, 17], dtype=np.int64)
+        for op in ("geqrf", "getrf", "potrf"):
+            batch = VBatch.allocate(dev, sizes, "d")
+            run_op_vbatched(dev, batch, 48, op, OpOptions(), plan_cache=cache)
+            batch.free()
+        assert cache.hits == 0 and cache.misses == 3 and len(cache) == 3
+        # Same op again: now it hits.
+        batch = VBatch.allocate(dev, sizes, "d")
+        run_op_vbatched(dev, batch, 48, "geqrf", OpOptions(), plan_cache=cache)
+        batch.free()
+        assert cache.hits == 1 and len(cache) == 3
+
+
+class TestRunOpVbatched:
+    def test_rejects_unknown_and_alias_ops(self):
+        dev = Device(execute_numerics=False)
+        batch = VBatch.allocate(dev, np.array([16], dtype=np.int64), "d")
+        with pytest.raises(ArgumentError, match="unknown op"):
+            run_op_vbatched(dev, batch, 16, "qr", OpOptions())
+        with pytest.raises(ArgumentError, match="serving alias"):
+            run_op_vbatched(dev, batch, 16, "posv", OpOptions())
+        batch.free()
+
+    def test_potrf_tag_delegates_to_the_potrf_driver(self):
+        dev = Device(execute_numerics=False)
+        sizes = np.array([64, 40, 8], dtype=np.int64)
+        batch = VBatch.allocate(dev, sizes, "d")
+        result = run_op_vbatched(dev, batch, 64, "potrf", OpOptions())
+        assert result.op == "potrf"
+        assert result.total_flops == get_op("potrf").batch_flops(sizes, "d")
+        assert result.launch_stats.executed_launches > 0
+        batch.free()
+
+    def test_gesvj_rejects_complex_precision(self):
+        dev = Device(execute_numerics=False)
+        batch = VBatch.allocate(dev, np.array([16], dtype=np.int64), "z")
+        with pytest.raises(ArgumentError, match="real"):
+            run_op_vbatched(dev, batch, 16, "gesvj", OpOptions())
+        batch.free()
+
+    def test_sharded_run_merges_outputs_and_stats(self):
+        group = DeviceGroup.simulated(2, execute_numerics=False)
+        dev = group.staging_device
+        sizes = np.array([64, 48, 32, 24, 16, 8], dtype=np.int64)
+        batch = VBatch.allocate(dev, sizes, "d")
+        result = run_op_vbatched(dev, batch, 64, "geqrf", OpOptions(), devices=group)
+        assert result.meta["shards"] == 2
+        assert result.launch_stats.devices_used == 2
+        assert result.outputs["taus"].shape == (len(sizes), 64)
+        assert result.infos.shape == (len(sizes),)
+        batch.free()
+
+
+class TestServingPaddedFlops:
+    def test_padded_flops_use_the_op_flop_model(self):
+        from repro.serving.metrics import ServerMetrics
+
+        sizes = [32, 17, 9]
+        for op in ("potrf", "geqrf", "getrf", "gesvj"):
+            useful, padded = ServerMetrics.padded_flops_for(sizes, "d", op=op)
+            desc = get_op(op)
+            assert useful == pytest.approx(desc.batch_flops(sizes, "d"))
+            assert padded == pytest.approx(len(sizes) * desc.matrix_flops(32, "d"))
+            assert padded >= useful

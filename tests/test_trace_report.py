@@ -229,3 +229,50 @@ class TestTraceCli:
     def test_trace_report_missing_file(self, capsys, tmp_path):
         assert main(["trace-report", str(tmp_path / "nope.json")]) == 2
         assert "trace-report" in capsys.readouterr().err
+
+
+class TestPerOperationBreakdown:
+    @pytest.fixture(scope="class")
+    def mixed_trace(self):
+        import numpy as np
+
+        from repro.device import Device
+        from repro.observability.trace import activate
+        from repro.serving import BatchServer
+
+        tracer = Tracer()
+        with activate(tracer):
+            server = BatchServer(Device(execute_numerics=False), policy="cross-op")
+            for n, op in [(24, "geqrf"), (20, "geqrf"), (16, "potrf"),
+                          (24, "gesvj"), (18, "getrf")]:
+                server.submit(np.zeros((n, n)), op=op)
+            while server.pump(force=True):
+                pass
+            server.shutdown(drain=True)
+        return analyze_trace(tracer), server.metrics.snapshot()
+
+    def test_ops_reported_with_occupancy_and_waste(self, mixed_trace):
+        analysis, snap = mixed_trace
+        assert set(analysis.ops) == {"geqrf", "gesvj", "getrf", "potrf"}
+        for op, rep in analysis.ops.items():
+            assert rep.batches >= 1
+            assert 0.0 <= rep.occupancy <= 1.0
+            assert 0.0 <= rep.waste_pct <= 100.0
+            assert rep.top_kernels(), f"no kernels attributed to {op}"
+        assert set(analysis.waste_by_op()) == set(analysis.ops)
+
+    def test_op_flops_match_serving_metrics(self, mixed_trace):
+        analysis, snap = mixed_trace
+        for op, row in snap["ops"].items():
+            rep = analysis.ops[op]
+            assert rep.useful_flops == pytest.approx(row["useful_flops"])
+            assert rep.padded_flops == pytest.approx(row["padded_flops"])
+            assert rep.requests == row["matrices"]
+
+    def test_format_renders_per_op_tables(self, mixed_trace):
+        analysis, _ = mixed_trace
+        text = format_trace_report(analysis)
+        assert "per-operation breakdown" in text
+        assert "top kernels (per operation)" in text
+        for op in ("geqrf", "gesvj", "getrf", "potrf"):
+            assert op in text
