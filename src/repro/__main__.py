@@ -10,7 +10,10 @@ Subcommands:
 * ``energy`` — run one Fig-10 energy bucket;
 * ``serve-bench`` — closed-loop load-generator benchmark of the batch
   server's windowing policies (writes ``BENCH_pr3.json``-style output;
-  ``--trace`` records a Perfetto-loadable end-to-end trace);
+  ``--trace`` records a Perfetto-loadable end-to-end trace;
+  ``--adaptive`` A/Bs the online tuner against every static policy on
+  the adaptive bench's workload mixes — the ``adaptive-smoke`` CI job
+  runs it with ``--adaptive --smoke``);
 * ``fleet-bench`` — open-loop overload/chaos benchmark of the
   multi-replica serving fleet: SLO classes, shedding, fault injection
   and retries vs. a single-server baseline (writes
@@ -30,6 +33,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+# serve-bench parser defaults; ``--adaptive`` swaps in the adaptive
+# bench's own (much larger) defaults when these are left untouched.
+_SERVE_BENCH_DEFAULT_REQUESTS = 2000
+_SERVE_BENCH_DEFAULT_CONCURRENCY = 128
 
 
 def _cmd_figures(args) -> int:
@@ -132,6 +140,8 @@ def _cmd_serve_bench(args) -> int:
 
     from .serving import check_acceptance, run_serve_bench
 
+    if args.adaptive:
+        return _cmd_serve_bench_adaptive(args)
     if args.smoke:
         config = dict(requests=150, max_size=96, max_batch=16, concurrency=48)
     else:
@@ -198,6 +208,84 @@ def _cmd_serve_bench(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve_bench_adaptive(args) -> int:
+    """``serve-bench --adaptive``: the tuned-vs-static A/B replay.
+
+    The adaptive bench brings its own workload mixes (uniform / bursty
+    small-heavy / diurnal mixed-op), so ``-n``/``-d``/``--optimize``
+    are ignored here; ``-r``/``--concurrency`` are honored only when
+    set explicitly (the classic defaults are far too small for a cold
+    tuner to converge mid-trace).
+    """
+    import json
+    from pathlib import Path
+
+    from .adaptive import run_adaptive_bench
+
+    kwargs = {}
+    if args.requests != _SERVE_BENCH_DEFAULT_REQUESTS:
+        kwargs["requests"] = args.requests
+    if args.concurrency != _SERVE_BENCH_DEFAULT_CONCURRENCY:
+        kwargs["concurrency"] = args.concurrency
+    tracer = None
+    if args.trace or args.trace_jsonl:
+        from .observability import Tracer
+
+        tracer = Tracer()
+    report = run_adaptive_bench(
+        seed=args.seed,
+        device_count=args.devices,
+        smoke=args.smoke,
+        tracer=tracer,
+        **kwargs,
+    )
+
+    cfg = report["config"]
+    print(f"serve-bench --adaptive: {cfg['requests']} base requests, "
+          f"concurrency {cfg['concurrency']}, seed {cfg['seed']}, "
+          f"{cfg['device_count']} device(s), knobs {cfg['knobs']}\n")
+    header = (
+        f"{'mix':>14} {'case':>16} {'mat/sim_s':>12} {'waste_%':>8} "
+        f"{'mean_bs':>8} {'p95_ms':>8} {'explored':>9}"
+    )
+    print(header)
+    for mix, entry in report["mixes"].items():
+        cases = [(p, s) for p, s in entry["static"].items()]
+        cases += [(f"adaptive-{k}", entry["adaptive"][k]) for k in ("cold", "warm")]
+        for case, snap in cases:
+            tuner = snap.get("tuner") or {}
+            explored = tuner.get("exploration_batches", "-")
+            print(
+                f"{mix:>14} {case:>16} {snap['throughput_per_sim_s']:>12.0f} "
+                f"{100.0 * snap['waste_ratio']:>8.2f} {snap['mean_batch_size']:>8.1f} "
+                f"{snap['latency_sim_p95'] * 1e3:>8.3f} {explored:>9}"
+            )
+        cmp = entry["comparison"]
+        beat = "strictly beats all statics" if cmp["strictly_beats_all_statics"] else ""
+        print(f"{'':>14} tuned(warm) = {cmp['warm_vs_best_static']:.2f}x best static "
+              f"({cmp['best_static']}), {cmp['warm_vs_cold']:.2f}x cold  {beat}\n")
+
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {path}")
+    if tracer is not None:
+        from .observability import write_chrome_trace, write_trace_jsonl
+
+        if args.trace:
+            path = write_chrome_trace(tracer, args.trace)
+            print(f"trace written to {path} ({len(tracer)} events; "
+                  "load in ui.perfetto.dev or chrome://tracing)")
+        if args.trace_jsonl:
+            path = write_trace_jsonl(tracer, args.trace_jsonl)
+            print(f"event log written to {path}")
+
+    violations = report["acceptance"]["violations"]
+    for violation in violations:
+        print(f"ACCEPTANCE FAIL: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
 def _cmd_fleet_bench(args) -> int:
     import json
     from pathlib import Path
@@ -217,6 +305,7 @@ def _cmd_fleet_bench(args) -> int:
         fault_rate=args.fault_rate,
         faults=args.faults,
         smoke=args.smoke,
+        adaptive=args.adaptive,
     )
 
     cfg, cap = report["config"], report["capacity"]
@@ -242,6 +331,18 @@ def _cmd_fleet_bench(args) -> int:
     print(f"\noverload: shed ratio {overload['shed_ratio']:.2f}, "
           f"retries {sum(overload['fleet']['retries'].values())}, "
           f"faults injected {overload.get('faults', {}).get('injected', 0)}")
+    if args.adaptive:
+        for run_name in ("unloaded", "overload"):
+            tuners = report["runs"][run_name].get("tuners", {})
+            if not tuners:
+                continue
+            states = ", ".join(
+                f"{name.rsplit(':', 1)[-1]}:{t['state']}"
+                for name, t in sorted(tuners.items())
+            )
+            explored = sum(t["exploration_batches"] for t in tuners.values())
+            print(f"adaptive {run_name}: {states} "
+                  f"({explored} exploration batches fleet-wide)")
 
     if args.output:
         path = Path(args.output)
@@ -421,14 +522,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("serve-bench", help="benchmark the batch-serving subsystem")
-    p.add_argument("-r", "--requests", type=int, default=2000)
+    p.add_argument("-r", "--requests", type=int, default=_SERVE_BENCH_DEFAULT_REQUESTS)
     p.add_argument("-n", "--max-size", type=int, default=256)
     p.add_argument("-d", "--distribution", default="uniform")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-batch", type=int, default=32)
-    p.add_argument("--concurrency", type=int, default=128,
+    p.add_argument("--concurrency", type=int, default=_SERVE_BENCH_DEFAULT_CONCURRENCY,
                    help="closed-loop outstanding requests")
     p.add_argument("--devices", type=int, default=1, help="simulated devices to shard over")
+    p.add_argument("--adaptive", action="store_true",
+                   help="A/B the online tuner against every static policy "
+                        "on the adaptive bench's workload mixes")
     p.add_argument("--smoke", action="store_true",
                    help="tiny fixed load for CI (overrides size arguments)")
     p.add_argument("-o", "--output", help="write the JSON report here (e.g. BENCH_pr3.json)")
@@ -454,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="router backlog bound; shed levels are fractions of it")
     p.add_argument("--fault-rate", type=float, default=0.08)
     p.add_argument("--faults", default="seeded", choices=["seeded", "off"])
+    p.add_argument("--adaptive", action="store_true",
+                   help="attach online tuners to the unloaded/overload fleets "
+                        "(the collapse baseline stays static)")
     p.add_argument("--smoke", action="store_true",
                    help="tiny fixed load for CI (shrinks the workload)")
     p.add_argument("-o", "--output", help="write the JSON report here (e.g. BENCH_pr6.json)")

@@ -1,0 +1,45 @@
+"""Online autotuning: close the observability → policy loop.
+
+The paper (§III) defers final tuning "to the moment of execution at the
+user site"; this package does that *while serving*.  A
+:class:`WorkloadFingerprint` summarizes each decision window's traffic
+(log-size histogram + op mix + arrival-rate band), a
+:class:`SignalSource` reads epoch-delta rewards out of the existing
+MetricsRegistry, per-knob :class:`Controller` bandits (UCB with
+min-dwell hysteresis and rollback-on-regression) pick arms for the
+serving knobs (max-batch, batcher policy, window, fused/separated
+crossover, plan-optimizer level, partitioner), and the
+:class:`OnlineTuner` orchestrates them at batch-window boundaries
+inside :class:`~repro.serving.server.BatchServer`, persisting converged
+winners to the autotune :class:`~repro.autotune.TuningCache` keyed by
+(device spec, workload fingerprint) so warm restarts skip exploration
+entirely.
+
+Enable it with ``BatchServer(..., adaptive=True)`` /
+``build_fleet(..., adaptive=True)`` or benchmark it A/B against every
+static policy with ``python -m repro serve-bench --adaptive``.
+"""
+
+from .bench import check_adaptive_acceptance, run_adaptive_bench
+from .controller import ArmStats, Controller, Decision
+from .fingerprint import FingerprintBuilder, WindowSample, WorkloadFingerprint
+from .knobs import Knob, compact_knobs, default_knobs
+from .signals import EpochSignals, SignalSource
+from .tuner import OnlineTuner
+
+__all__ = [
+    "ArmStats",
+    "Controller",
+    "Decision",
+    "EpochSignals",
+    "FingerprintBuilder",
+    "Knob",
+    "OnlineTuner",
+    "SignalSource",
+    "WindowSample",
+    "WorkloadFingerprint",
+    "check_adaptive_acceptance",
+    "compact_knobs",
+    "default_knobs",
+    "run_adaptive_bench",
+]

@@ -1,0 +1,229 @@
+"""Per-knob discrete-arm controllers for the online tuner.
+
+Each serving knob (max-batch, batcher policy, crossover n, optimize
+level, partitioner) gets one :class:`Controller` over a small discrete
+arm set.  The controller is a UCB1 bandit with three serving-specific
+guards layered on top:
+
+* **min-dwell hysteresis** — an arm must stay active for at least
+  ``min_dwell`` decision epochs before the controller may switch away,
+  so one noisy window cannot thrash a knob;
+* **rollback on regression** — if a newly explored arm's reward falls
+  more than ``rollback_ratio`` below the best arm's running mean, the
+  controller snaps back to that best arm immediately (no dwell) and
+  penalizes the offender so UCB does not re-try it soon;
+* **indifference hold** — once every arm is covered, switch proposals
+  are ignored while the incumbent's mean sits within ``indifference``
+  of the best mean; flat-reward knobs would otherwise ping-pong on the
+  exploration bonus and never settle;
+* **convergence detection** — once every arm has minimum coverage and
+  the incumbent has held for ``converged_after`` consecutive epochs,
+  the controller freezes (pure exploitation) until ``reset()``.
+
+Rewards are normalized upstream (epoch useful Gflop/s), higher is
+better.  All exploration order is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["ArmStats", "Controller", "Decision"]
+
+
+@dataclass
+class ArmStats:
+    pulls: int = 0
+    total_reward: float = 0.0
+    penalty: float = 0.0  # subtracted from the UCB score after a rollback
+
+    @property
+    def mean(self) -> float:
+        return self.total_reward / self.pulls if self.pulls else 0.0
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What the controller chose for the next epoch, and why."""
+
+    arm: object
+    action: str  # "hold" | "explore" | "exploit" | "rollback" | "converged"
+    reason: str
+
+
+@dataclass
+class Controller:
+    """UCB1 bandit over a discrete arm set with dwell + rollback guards."""
+
+    name: str
+    arms: tuple
+    min_dwell: int = 2
+    rollback_ratio: float = 0.15
+    converged_after: int = 6
+    exploration: float = 1.2  # UCB confidence width multiplier
+    epsilon: float = 0.0  # optional epsilon-greedy jitter on top of UCB
+    #: Relative reward band within which arms count as equivalent.  Once
+    #: every arm is pulled and the incumbent's mean is within this
+    #: fraction of the best mean, UCB switch proposals are held instead
+    #: of followed — without it, two flat-reward arms oscillate forever
+    #: (the exploration bonus always favors whichever was pulled less)
+    #: and the controller never converges.
+    indifference: float = 0.02
+    seed: int = 0
+
+    _stats: dict = field(default_factory=dict, init=False, repr=False)
+    _rng: random.Random = field(init=False, repr=False)
+    current: object = field(default=None, init=False)
+    dwell: int = field(default=0, init=False)
+    hold_streak: int = field(default=0, init=False)
+    converged: bool = field(default=False, init=False)
+    rollbacks: int = field(default=0, init=False)
+    switches: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.arms:
+            raise ValueError(f"controller {self.name!r} needs at least one arm")
+        if len(set(map(repr, self.arms))) != len(self.arms):
+            raise ValueError(f"controller {self.name!r} has duplicate arms")
+        self._rng = random.Random(self.seed)
+        self._stats = {arm: ArmStats() for arm in self.arms}
+        self.current = self.arms[0]
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def stats(self, arm: object) -> ArmStats:
+        return self._stats[arm]
+
+    @property
+    def best_arm(self) -> object:
+        pulled = [a for a in self.arms if self._stats[a].pulls]
+        if not pulled:
+            return self.current
+        return max(pulled, key=lambda a: self._stats[a].mean)
+
+    @property
+    def total_pulls(self) -> int:
+        return sum(s.pulls for s in self._stats.values())
+
+    def force(self, arm: object, *, converged: bool = False) -> None:
+        """Pin an arm externally (warm start from the tuning cache)."""
+        if arm not in self._stats:
+            raise ValueError(f"unknown arm {arm!r} for controller {self.name!r}")
+        self.current = arm
+        self.dwell = 0
+        self.converged = converged
+        if converged:
+            self.hold_streak = self.converged_after
+
+    def reset(self) -> None:
+        """Drop learned state (workload drift => the past is stale)."""
+        for stats in self._stats.values():
+            stats.pulls = 0
+            stats.total_reward = 0.0
+            stats.penalty = 0.0
+        self.dwell = 0
+        self.hold_streak = 0
+        self.converged = False
+
+    # -- the decision step ---------------------------------------------
+
+    def observe(self, reward: float) -> Decision:
+        """Record the epoch reward for the current arm and pick the next."""
+        stats = self._stats[self.current]
+        stats.pulls += 1
+        stats.total_reward += reward
+        self.dwell += 1
+
+        if self.converged:
+            return Decision(self.current, "converged", "frozen on winner")
+
+        best = self.best_arm
+        best_mean = self._stats[best].mean
+
+        # Rollback: the active arm regressed hard against the known best.
+        if (
+            best is not self.current
+            and best_mean > 0
+            and stats.mean < best_mean * (1.0 - self.rollback_ratio)
+        ):
+            stats.penalty += best_mean * self.rollback_ratio
+            prev = self.current
+            self._switch(best)
+            self.rollbacks += 1
+            return Decision(
+                best,
+                "rollback",
+                f"{prev!r} mean {stats.mean:.3g} < "
+                f"{1.0 - self.rollback_ratio:.2f}x best {best_mean:.3g}",
+            )
+
+        # Hysteresis: hold the arm until it has earned a full dwell.
+        if self.dwell < self.min_dwell:
+            self.hold_streak += 1
+            return Decision(
+                self.current, "hold", f"dwell {self.dwell}/{self.min_dwell}"
+            )
+
+        choice = self._select()
+        covered = all(s.pulls > 0 for s in self._stats.values())
+        if choice is not self.current and covered:
+            # Indifference hold: every arm is covered and the incumbent is
+            # within ``indifference`` of the best mean — the proposed switch
+            # is exploration-bonus noise, not signal.  Following it would
+            # oscillate between equivalent arms forever.
+            if stats.mean >= best_mean * (1.0 - self.indifference):
+                choice = self.current
+        if choice is self.current:
+            self.hold_streak += 1
+            if self.hold_streak >= self.converged_after and covered:
+                self.converged = True
+                return Decision(self.current, "converged", "incumbent stable")
+            return Decision(self.current, "exploit", "incumbent still best")
+
+        self._switch(choice)
+        action = "explore" if self._stats[choice].pulls == 0 else "exploit"
+        return Decision(choice, action, f"ucb prefers {choice!r}")
+
+    def _switch(self, arm: object) -> None:
+        if arm is not self.current:
+            self.switches += 1
+        self.current = arm
+        self.dwell = 0
+        self.hold_streak = 0
+
+    def _select(self) -> object:
+        unpulled = [a for a in self.arms if self._stats[a].pulls == 0]
+        if unpulled:
+            return unpulled[0]
+        if self.epsilon and self._rng.random() < self.epsilon:
+            return self._rng.choice(self.arms)
+        total = self.total_pulls
+        scale = max(abs(self._stats[a].mean) for a in self.arms) or 1.0
+
+        def score(arm: object) -> float:
+            stats = self._stats[arm]
+            bonus = self.exploration * scale * math.sqrt(
+                math.log(total) / stats.pulls
+            )
+            return stats.mean - stats.penalty + bonus
+
+        return max(self.arms, key=score)
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "current": repr(self.current),
+            "converged": self.converged,
+            "switches": self.switches,
+            "rollbacks": self.rollbacks,
+            "arms": {
+                repr(arm): {
+                    "pulls": s.pulls,
+                    "mean_reward": s.mean,
+                    "penalty": s.penalty,
+                }
+                for arm, s in self._stats.items()
+            },
+        }

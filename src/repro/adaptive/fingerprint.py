@@ -1,0 +1,203 @@
+"""Workload fingerprints: compact, stable signatures of a traffic mix.
+
+The online tuner persists converged knob settings keyed by *what the
+workload looks like*, not when it arrived.  A fingerprint therefore has
+to be invariant to request order and to uniform duplication of the
+stream (twice the same traffic is the same workload), while still
+separating workloads whose winning configuration differs: size mix,
+operation mix, and how hard requests arrive.
+
+Three quantized components give that:
+
+* a normalized log2-size histogram (sizes bucketed by ``floor(log2 n)``,
+  counts normalized and quantized to a coarse grid),
+* the operation mix (per-op request fractions on the same grid),
+* an arrival-rate band (log-scale bucket of requests per sim-second).
+
+Quantization makes near-identical mixes collide on purpose — the tuned
+config for 10.1k req/s uniform[32..96] potrf traffic is the right warm
+start for 9.8k req/s of the same shape.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+__all__ = ["WindowSample", "WorkloadFingerprint", "FingerprintBuilder"]
+
+# Histogram fractions snap to this many levels; coarse on purpose so
+# sampling noise between decision windows maps to the same fingerprint.
+_QUANT_LEVELS = 8
+# Arrival-rate bands double per step: band = round(log2(rate)) clamped.
+_RATE_BAND_MIN = -4
+_RATE_BAND_MAX = 32
+
+
+def _quantize(fraction: float) -> int:
+    """Snap a fraction in [0, 1] to one of ``_QUANT_LEVELS`` + 1 levels."""
+    return round(fraction * _QUANT_LEVELS)
+
+
+def _log2_bucket(n: int) -> int:
+    return max(0, n - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class WorkloadFingerprint:
+    """Order- and scale-invariant signature of one decision window."""
+
+    size_histogram: tuple[tuple[int, int], ...]  # (log2 bucket, quantized frac)
+    op_mix: tuple[tuple[str, int], ...]  # (op, quantized frac)
+    rate_band: int  # round(log2(requests per sim second))
+
+    def key(self) -> str:
+        """Stable string form used as the TuningCache key component."""
+        sizes = ",".join(f"{b}:{q}" for b, q in self.size_histogram)
+        ops = ",".join(f"{op}:{q}" for op, q in self.op_mix)
+        return f"sz[{sizes}]|op[{ops}]|rate[{self.rate_band}]"
+
+    def similar_to(self, other: "WorkloadFingerprint", *, tolerance: int = 1) -> bool:
+        """Structurally the same workload, up to quantization wobble.
+
+        Two windows of the same traffic can land one quantization level
+        apart when a bucket's true fraction sits on a grid boundary
+        (0.083 of 8 levels flips between 0 and 1).  Exact equality would
+        read that wobble as drift, so similarity allows each size-bucket
+        and op level to differ by up to ``tolerance`` (a missing entry
+        counts as level 0).  The arrival-rate band is ignored: rate is a
+        closed-loop function of our own knob choices.
+        """
+        for mine, theirs in (
+            (dict(self.size_histogram), dict(other.size_histogram)),
+            (dict(self.op_mix), dict(other.op_mix)),
+        ):
+            for key in mine.keys() | theirs.keys():
+                if abs(mine.get(key, 0) - theirs.get(key, 0)) > tolerance:
+                    return False
+        return True
+
+    @classmethod
+    def from_requests(
+        cls,
+        sizes: list[int],
+        ops: list[str],
+        *,
+        window_sim_s: float,
+    ) -> "WorkloadFingerprint":
+        if not sizes:
+            raise ValueError("cannot fingerprint an empty window")
+        if len(sizes) != len(ops):
+            raise ValueError("sizes and ops must be the same length")
+        total = len(sizes)
+
+        size_counts = Counter(_log2_bucket(n) for n in sizes)
+        histogram = tuple(
+            (bucket, q)
+            for bucket, count in sorted(size_counts.items())
+            if (q := _quantize(count / total)) > 0
+        )
+
+        op_counts = Counter(ops)
+        mix = tuple(
+            (op, q)
+            for op, count in sorted(op_counts.items())
+            if (q := _quantize(count / total)) > 0
+        )
+
+        if window_sim_s <= 0:
+            rate_band = _RATE_BAND_MAX
+        else:
+            rate = total / window_sim_s
+            band = math.log2(rate) if rate > 0 else _RATE_BAND_MIN
+            rate_band = max(_RATE_BAND_MIN, min(_RATE_BAND_MAX, round(band)))
+        return cls(size_histogram=histogram, op_mix=mix, rate_band=rate_band)
+
+
+@dataclass
+class WindowSample:
+    """Sliding sample of the last ``maxlen`` observed requests.
+
+    ``maxlen=None`` accumulates without bound (useful for one-shot
+    fingerprinting); the builder uses a bounded window so consecutive
+    snapshots overlap heavily and quantization noise stays small.
+    """
+
+    maxlen: int | None = None
+    sizes: deque = field(init=False)
+    ops: deque = field(init=False)
+    times: deque = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.sizes = deque(maxlen=self.maxlen)
+        self.ops = deque(maxlen=self.maxlen)
+        self.times = deque(maxlen=self.maxlen)
+
+    def add(self, n: int, op: str, sim_now: float) -> None:
+        self.sizes.append(n)
+        self.ops.append(op)
+        self.times.append(sim_now)
+
+    def add_batch(self, sizes: list[int], op: str, sim_now: float) -> None:
+        for n in sizes:
+            self.add(n, op, sim_now)
+
+    @property
+    def count(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def span_sim_s(self) -> float:
+        if not self.times:
+            return 0.0
+        return self.times[-1] - self.times[0]
+
+    def clear(self) -> None:
+        self.sizes.clear()
+        self.ops.clear()
+        self.times.clear()
+
+
+class FingerprintBuilder:
+    """Sliding-window fingerprint over the live *arrival* stream.
+
+    The builder must be fed at admission, not at dispatch: dispatched
+    batches are size-clustered by the batching policy (that is the
+    policy's whole job), so a per-batch feed would make the fingerprint
+    a function of our own knob settings — every policy or max-batch
+    change would read as workload drift.  Admission order is the
+    workload as the client sent it.
+
+    ``snapshot`` fingerprints the last ``window`` requests; consecutive
+    snapshots share most of their sample, so the fingerprint moves only
+    when the traffic actually shifts.
+    """
+
+    def __init__(self, window: int = 1024) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self._window = WindowSample(maxlen=int(window))
+        self.last: WorkloadFingerprint | None = None
+
+    def observe_request(self, n: int, op: str, sim_now: float) -> None:
+        self._window.add(n, op, sim_now)
+
+    def observe_batch(self, sizes: list[int], op: str, sim_now: float) -> None:
+        self._window.add_batch(sizes, op, sim_now)
+
+    @property
+    def window_count(self) -> int:
+        return self._window.count
+
+    def snapshot(self) -> WorkloadFingerprint | None:
+        """Fingerprint the current window; None if the window is empty."""
+        if self._window.count == 0:
+            return None
+        fp = WorkloadFingerprint.from_requests(
+            list(self._window.sizes),
+            list(self._window.ops),
+            window_sim_s=max(self._window.span_sim_s, 1e-9),
+        )
+        self.last = fp
+        return fp

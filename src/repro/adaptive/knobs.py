@@ -1,0 +1,152 @@
+"""Tunable serving knobs: discrete arm sets + how to apply a choice.
+
+A :class:`Knob` binds one controller to one server setting.  Every arm
+is a JSON-serializable primitive so converged winners persist to the
+:class:`~repro.autotune.TuningCache` verbatim.  ``default_knobs`` reads
+the server's live configuration and puts the *current* setting first in
+each arm tuple — the controller's initial incumbent must be what the
+server is actually running, or the first epoch's reward would be
+credited to the wrong arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..device.topology import DeviceGroup
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serving.server import BatchServer
+
+__all__ = ["Knob", "compact_knobs", "default_knobs"]
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One adaptive dimension: its arm set and its application hook."""
+
+    name: str
+    arms: tuple
+    apply: Callable[["BatchServer", object], None]
+
+    def __post_init__(self) -> None:
+        if not self.arms:
+            raise ValueError(f"knob {self.name!r} has no arms")
+
+
+def _current_first(current, candidates: tuple) -> tuple:
+    """Arm tuple with the server's live setting as the incumbent."""
+    rest = tuple(c for c in candidates if c != current)
+    return (current, *rest)
+
+
+def _apply_max_batch(server: "BatchServer", arm) -> None:
+    server.reconfigure(max_batch=int(arm))
+
+
+def _apply_policy(server: "BatchServer", arm) -> None:
+    server.reconfigure(policy=str(arm))
+
+
+def _apply_max_wait(server: "BatchServer", arm) -> None:
+    server.reconfigure(max_wait=float(arm))
+
+
+def _apply_crossover(server: "BatchServer", arm) -> None:
+    server.reconfigure(crossover_size=None if arm is None else int(arm))
+
+
+def _apply_optimize(server: "BatchServer", arm) -> None:
+    server.reconfigure(optimize=str(arm))
+
+
+def _apply_partition(server: "BatchServer", arm) -> None:
+    server.group.partition = str(arm)
+
+
+def default_knobs(server: "BatchServer") -> tuple[Knob, ...]:
+    """The standard knob set for one server, seeded from its live config.
+
+    ``max_batch`` arms stay within the admission queue limit (tuning the
+    window above the queue bound would starve it), and the partitioner
+    knob only exists when the server shards over a plain
+    :class:`~repro.device.topology.DeviceGroup` (heterogeneous groups
+    place greedily; their partitioner is not a free dial).
+    """
+    batcher = server._batcher
+    knobs = [
+        Knob(
+            "max_batch",
+            _current_first(
+                batcher.max_batch,
+                tuple(m for m in (16, 32, 64, 128) if m <= server.queue_limit),
+            ),
+            _apply_max_batch,
+        ),
+        Knob(
+            "policy",
+            _current_first(
+                batcher.policy.name,
+                ("greedy-window", "cross-op", "size-bucket", "fifo"),
+            ),
+            _apply_policy,
+        ),
+        Knob(
+            "crossover",
+            _current_first(server.options.crossover_size, (None, 64, 128)),
+            _apply_crossover,
+        ),
+        Knob(
+            "optimize",
+            _current_first(server.options.optimize, ("none", "all")),
+            _apply_optimize,
+        ),
+        Knob(
+            "max_wait",
+            _current_first(batcher.max_wait, (2e-3, 5e-3)),
+            _apply_max_wait,
+        ),
+    ]
+    if isinstance(server.group, DeviceGroup):
+        knobs.append(
+            Knob(
+                "partition",
+                _current_first(
+                    server.group.partition,
+                    ("flops", "size-stratified", "round-robin", "contiguous"),
+                ),
+                _apply_partition,
+            )
+        )
+    return tuple(knobs)
+
+
+def compact_knobs(server: "BatchServer") -> tuple[Knob, ...]:
+    """A trimmed knob set for smoke runs: the two dominant dials only.
+
+    Small arm sets converge in a handful of epochs, which keeps CI smoke
+    benches fast while still exercising the full explore → converge →
+    persist → warm-start loop.
+    """
+    batcher = server._batcher
+    return (
+        Knob(
+            "max_batch",
+            _current_first(
+                batcher.max_batch,
+                tuple(m for m in (32, 64, 128) if m <= server.queue_limit),
+            ),
+            _apply_max_batch,
+        ),
+        Knob(
+            "policy",
+            _current_first(batcher.policy.name, ("greedy-window", "fifo")),
+            _apply_policy,
+        ),
+        Knob(
+            "crossover",
+            _current_first(server.options.crossover_size, (None, 64)),
+            _apply_crossover,
+        ),
+    )

@@ -1,0 +1,109 @@
+"""Epoch-delta signal extraction from the serving metrics registry.
+
+The online tuner scores each decision epoch on what happened *during*
+that epoch, but the MetricsRegistry is cumulative.  :class:`SignalSource`
+keeps cursors into the registry (counter values, summary lengths,
+batch-list index) and yields :class:`EpochSignals` deltas at decision
+boundaries — no second bookkeeping path in the dispatch hot loop, the
+signals are read from the same counters the Prometheus exposition and
+``serve-bench`` reports already use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..observability.registry import percentile
+from ..serving.metrics import ServerMetrics
+
+__all__ = ["EpochSignals", "SignalSource"]
+
+
+@dataclass(frozen=True)
+class EpochSignals:
+    """What one decision epoch looked like, as deltas."""
+
+    batches: int
+    completed: int
+    useful_flops: float
+    padded_flops: float
+    sim_busy_s: float
+    mean_batch_size: float
+    mean_queue_depth: float
+    latency_sim_p50: float
+    latency_sim_p95: float
+
+    @property
+    def wasted_flops(self) -> float:
+        return self.padded_flops - self.useful_flops
+
+    @property
+    def waste_ratio(self) -> float:
+        return self.wasted_flops / self.padded_flops if self.padded_flops else 0.0
+
+    @property
+    def useful_gflops(self) -> float:
+        """Useful Gflop/s over the epoch's busy time — the tuner reward.
+
+        Useful (not padded) flops per simulated busy second folds both
+        levers into one number: bigger batches amortize launch overhead
+        (raises the numerator per second), while sloppy windowing pads
+        (burns busy seconds for zero useful flops).
+        """
+        if self.sim_busy_s <= 0:
+            return 0.0
+        return self.useful_flops / self.sim_busy_s / 1e9
+
+
+class SignalSource:
+    """Cursor-based epoch-delta reader over one server's metrics."""
+
+    def __init__(self, metrics: ServerMetrics):
+        self._metrics = metrics
+        self._batch_index = 0
+        self._completed = 0
+        self._useful = 0.0
+        self._padded = 0.0
+        self._sim_busy = 0.0
+        self._queue_index = 0
+        self._latency_index = 0
+
+    def read_epoch(self) -> EpochSignals:
+        """Snapshot the deltas since the previous call and advance."""
+        m = self._metrics
+        with m._lock:
+            batches = m.batches[self._batch_index :]
+            self._batch_index = len(m.batches)
+
+        completed = m.completed
+        useful = sum(b.useful_flops for b in batches)
+        padded = sum(b.padded_flops for b in batches)
+        sim_busy = sum(b.sim_elapsed for b in batches)
+        matrices = sum(b.size for b in batches)
+
+        depths = m._queue_depth.values()
+        new_depths = depths[self._queue_index :]
+        self._queue_index = len(depths)
+
+        sims = m._latency.values(clock="sim")
+        new_sims = sims[self._latency_index :]
+        self._latency_index = len(sims)
+
+        signals = EpochSignals(
+            batches=len(batches),
+            completed=completed - self._completed,
+            useful_flops=useful,
+            padded_flops=padded,
+            sim_busy_s=sim_busy,
+            mean_batch_size=matrices / len(batches) if batches else 0.0,
+            mean_queue_depth=(
+                sum(new_depths) / len(new_depths) if new_depths else 0.0
+            ),
+            latency_sim_p50=percentile(new_sims, 50.0),
+            latency_sim_p95=percentile(new_sims, 95.0),
+        )
+        self._completed = completed
+        self._useful += useful
+        self._padded += padded
+        self._sim_busy += sim_busy
+        return signals

@@ -1,0 +1,501 @@
+"""The online tuner: fingerprint → signals → controllers → knobs.
+
+:class:`OnlineTuner` closes the observability → policy loop inside one
+:class:`~repro.serving.server.BatchServer`.  It is driven entirely by
+the server's dispatch path — ``on_batch`` after every dispatched batch
+— and makes decisions only at *epoch* boundaries (every
+``epoch_batches`` batches), so the hot loop pays one counter increment
+and a list append per batch.
+
+Decision state machine::
+
+    observing --first epoch--> [cache hit]  --> converged
+                               [cache miss] --> exploring
+    exploring --all controllers converged--> converged (persist winners)
+    exploring/converged --fingerprint drift--> observing (re-enter)
+
+* **observing** — the first ``observe_epochs`` windows after attach (or
+  after drift): knobs stay put, traffic is fingerprinted, nothing is
+  credited.  The waste baseline is flops-weighted over the observing
+  windows *excluding the first* when more than one is observed — the
+  first window after attach carries the queue-fill startup transient,
+  and a baseline inflated by it would admit genuinely padding-heavy
+  arms.  At the last observing boundary the fingerprint keys a
+  TuningCache lookup: a hit forces every knob to the cached winner and
+  skips exploration entirely (the warm restart path); a miss starts
+  exploration.
+* **exploring** — coordinate descent over the knobs: the first
+  still-open controller owns consecutive epochs until it converges,
+  then the next knob takes the floor — one active knob at a time keeps
+  credit assignment unambiguous.  The epoch reward is useful Gflop/s of
+  simulated busy time, *waste-guarded*: an epoch whose padded-flops
+  waste ratio exceeds the observing-window baseline (by
+  ``waste_tolerance`` relative plus ``waste_slack`` absolute) has its
+  reward scaled down quartically with the overrun, so arms that buy
+  throughput with padding roll back immediately.
+* **converged** — pure exploitation; the winning arms are persisted to
+  the cache keyed by ``(device key, entry fingerprint)``.
+
+Fingerprint drift (the size/op mix changed, not the self-inflicted
+arrival-rate shift of a faster config) resets the controllers and
+re-enters observation, where the cache may already hold the new phase's
+winner — a diurnal workload explores each phase once, then flips
+between cached configs.
+"""
+
+from __future__ import annotations
+
+from ..autotune.cache import TuningCache
+from ..observability.trace import Track, current_tracer
+from .controller import Controller
+from .fingerprint import FingerprintBuilder, WorkloadFingerprint
+from .knobs import Knob, compact_knobs, default_knobs
+from .signals import EpochSignals, SignalSource
+
+__all__ = ["OnlineTuner"]
+
+_CACHE_PREFIX = "adaptive"
+
+
+class OnlineTuner:
+    """Per-server online knob tuner; see the module docstring."""
+
+    def __init__(
+        self,
+        server,
+        *,
+        cache: TuningCache | None = None,
+        knobs: tuple[Knob, ...] | str | None = None,
+        epoch_batches: int = 12,
+        seed: int = 0,
+        min_dwell: int = 1,
+        converged_after: int = 3,
+        rollback_ratio: float = 0.3,
+        waste_tolerance: float = 1.15,
+        waste_slack: float = 0.01,
+        observe_epochs: int = 1,
+        drift_windows: int = 2,
+        fingerprint_window: int = 4096,
+    ):
+        if epoch_batches <= 0:
+            raise ValueError(f"epoch_batches must be positive, got {epoch_batches}")
+        self.server = server
+        self.cache = cache
+        self.epoch_batches = int(epoch_batches)
+        self.waste_tolerance = float(waste_tolerance)
+        self.waste_slack = float(waste_slack)
+        self.observe_epochs = max(1, int(observe_epochs))
+        self.drift_windows = max(1, int(drift_windows))
+        if knobs is None or knobs == "default":
+            self.knobs = default_knobs(server)
+        elif knobs == "compact":
+            self.knobs = compact_knobs(server)
+        else:
+            self.knobs = tuple(knobs)
+        self.controllers = {
+            knob.name: Controller(
+                name=knob.name,
+                arms=knob.arms,
+                min_dwell=min_dwell,
+                converged_after=converged_after,
+                rollback_ratio=rollback_ratio,
+                seed=seed + i,
+            )
+            for i, knob in enumerate(self.knobs)
+        }
+        self.signals = SignalSource(server.metrics)
+        self.fingerprints = FingerprintBuilder(window=fingerprint_window)
+        self.state = "observing"
+        self.epoch = 0
+        self.exploration_batches = 0
+        self.last_signals: EpochSignals | None = None
+        self.entry_fingerprint: WorkloadFingerprint | None = None
+        #: Waste ratio measured in the observing window under the entry
+        #: config; arms whose epoch waste blows past it earn a reward
+        #: scaled down quartically with the overrun.
+        self.baseline_waste: float = 0.0
+        self._observe_seen = 0
+        self._observe_wasted = 0.0
+        self._observe_padded = 0.0
+        self._drift_streak = 0
+        self._prev_fingerprint: WorkloadFingerprint | None = None
+        self._batches_in_epoch = 0
+        self.track = Track(server.name, "adaptive")
+
+        r = server.metrics.registry
+        self._m_epochs = r.counter("autotune_epochs_total", "decision epochs")
+        self._m_decisions = r.counter(
+            "autotune_decisions_total",
+            "controller decisions by knob and action",
+            labels=("knob", "action"),
+        )
+        self._m_exploration = r.counter(
+            "autotune_exploration_batches_total",
+            "batches dispatched while exploring",
+        )
+        self._m_cache = r.counter(
+            "autotune_cache_events_total",
+            "tuning-cache interactions",
+            labels=("event",),
+        )
+        self._m_drift = r.counter(
+            "autotune_fingerprint_drift_total", "workload fingerprint changes"
+        )
+        self._m_reward = r.gauge(
+            "autotune_epoch_reward_gflops", "last epoch useful Gflop/s reward"
+        )
+        self._m_converged = r.gauge(
+            "autotune_converged", "1 once every controller froze"
+        )
+
+    # -- identity -------------------------------------------------------
+
+    def device_key(self) -> str:
+        """Stable hardware identity for the cache key."""
+        spec = self.server.device.spec.name
+        group = self.server.group
+        width = len(getattr(group, "devices", None) or ()) or 1
+        return f"{spec}x{width}"
+
+    def cache_key(self, fingerprint: WorkloadFingerprint) -> str:
+        return f"{_CACHE_PREFIX}:{self.device_key()}:{fingerprint.key()}"
+
+    # -- hot-path hook --------------------------------------------------
+
+    def on_admit(self, n: int, op: str) -> None:
+        """Admission-path hook: feed the arrival stream's fingerprint.
+
+        Fed at admission (not dispatch) so the fingerprint reflects the
+        traffic as sent, not as re-clustered by the batching policy.
+        """
+        self.fingerprints.observe_request(int(n), op, self.server._sim_now())
+
+    def on_batch(self, sizes: list[int], op: str) -> None:
+        """Dispatch-path hook; called after every recorded batch."""
+        if self.state == "exploring":
+            self.exploration_batches += 1
+            self._m_exploration.inc()
+        self._batches_in_epoch += 1
+        if self._batches_in_epoch >= self.epoch_batches:
+            self._batches_in_epoch = 0
+            self._epoch_boundary()
+
+    # -- decision epochs ------------------------------------------------
+
+    def _epoch_boundary(self) -> None:
+        signals = self.signals.read_epoch()
+        fingerprint = self.fingerprints.snapshot()
+        if fingerprint is None:
+            return
+        self.epoch += 1
+        self.last_signals = signals
+        self._m_epochs.inc()
+        self._m_reward.set(signals.useful_gflops)
+        tracer = current_tracer()
+
+        if self.state == "observing":
+            self._observe_seen += 1
+            # The first window after attach carries the queue-fill
+            # startup transient; with a multi-window observation it is
+            # excluded from the baseline.
+            if self.observe_epochs == 1 or self._observe_seen > 1:
+                self._observe_wasted += signals.wasted_flops
+                self._observe_padded += signals.padded_flops
+            if self._observe_seen < self.observe_epochs:
+                return
+            self.entry_fingerprint = fingerprint
+            self.baseline_waste = (
+                self._observe_wasted / self._observe_padded
+                if self._observe_padded
+                else 0.0
+            )
+            self._observe_seen = 0
+            self._observe_wasted = 0.0
+            self._observe_padded = 0.0
+            if self._try_warm_start(fingerprint, tracer):
+                self._enter_converged(signals, persist=False, tracer=tracer)
+            else:
+                self.state = "exploring"
+                self._emit(
+                    tracer, "adaptive-explore-start",
+                    {"fingerprint": fingerprint.key(), "epoch": self.epoch},
+                )
+            return
+
+        if self._drifted(fingerprint):
+            self._on_drift(fingerprint, tracer)
+            return
+
+        if self.state == "converged":
+            return
+
+        active = self._active_controller()
+        if active is None:
+            self._enter_converged(signals, persist=True, tracer=tracer)
+            return
+
+        previous = active.current
+        decision = active.observe(self._reward(signals))
+        self._m_decisions.inc(knob=active.name, action=decision.action)
+        if decision.arm != previous:
+            self._apply(active.name, decision.arm)
+        self._emit(
+            tracer, "adaptive-decision",
+            {
+                "epoch": self.epoch,
+                "knob": active.name,
+                "action": decision.action,
+                "arm": repr(decision.arm),
+                "reason": decision.reason,
+                "reward_gflops": signals.useful_gflops,
+                "waste_ratio": signals.waste_ratio,
+                "mean_batch_size": signals.mean_batch_size,
+            },
+        )
+        if all(c.converged for c in self.controllers.values()):
+            self._enter_converged(signals, persist=True, tracer=tracer)
+
+    def _active_controller(self) -> Controller | None:
+        """Coordinate descent: the first still-open knob owns the epoch.
+
+        One knob explores at a time (clean credit assignment); a knob
+        keeps the floor until it converges, so its dwell and hold-streak
+        logic sees consecutive epochs.  Knob order is the ``knobs``
+        tuple order — highest-impact dials first.
+        """
+        for knob in self.knobs:
+            controller = self.controllers[knob.name]
+            if not controller.converged:
+                return controller
+        return None
+
+    def _apply(self, knob_name: str, arm) -> None:
+        knob = next(k for k in self.knobs if k.name == knob_name)
+        knob.apply(self.server, arm)
+
+    def waste_budget(self) -> float:
+        """Maximum epoch waste ratio that still earns full reward."""
+        return self.baseline_waste * self.waste_tolerance + self.waste_slack
+
+    def _reward(self, signals: EpochSignals) -> float:
+        """Waste-guarded useful throughput.
+
+        Reward is useful Gflop/s of simulated busy time; an epoch whose
+        padded-flops waste ratio exceeds the baseline budget
+        (``waste_tolerance`` relative + ``waste_slack`` absolute) has
+        its reward scaled by ``(budget / waste)**4``.  Such an arm buys
+        its throughput with padding — the one degenerate solution an
+        amortization-driven cost model would otherwise always converge
+        to — so a heavy overrun crushes the reward toward zero and the
+        rollback guard fires on the next observation.  Two shape
+        choices matter:
+
+        * *smooth*, not a hard zero: per-epoch waste is noisy, and a
+          hard gate lets one marginal incumbent epoch zero the
+          incumbent's mean — after which every arm scores zero,
+          rollback can never fire (it needs a positive best mean), and
+          the controller converges on whatever arm it happens to hold;
+        * *quartic*, not quadratic: measured on the uniform mix,
+          doubling max_batch buys ~1.7x useful Gflop/s for ~2.1x the
+          waste, so the penalty's falloff must beat amortization's
+          rise by enough margin that one lucky padded epoch vs one
+          unlucky honest epoch cannot flip the comparison.  A 2x
+          overrun keeps 6% of its reward.
+        """
+        budget = self.waste_budget()
+        waste = signals.waste_ratio
+        if waste <= budget:
+            return signals.useful_gflops
+        overrun = budget / waste
+        return signals.useful_gflops * overrun ** 4
+
+    # -- state transitions ----------------------------------------------
+
+    def _drifted(self, fingerprint: WorkloadFingerprint) -> bool:
+        """Debounced structural drift: size histogram or op mix moved.
+
+        The reference depends on the state.  While *exploring*, each
+        window is compared against the previous one: a stochastic
+        workload slowly wanders away from the exploration-start
+        fingerprint, and anchoring there would reset mid-exploration
+        over and over, while a genuine phase flip makes even adjacent
+        windows dissimilar.  Once *converged*, windows are compared
+        against the entry fingerprint, so a gradual shift that
+        accumulates past tolerance still re-triggers observation.
+
+        Two guards against false resets: similarity tolerates one
+        quantization level of per-bucket wobble (a fraction on a grid
+        boundary flips levels between otherwise identical windows), and
+        the dissimilarity must persist for ``drift_windows`` consecutive
+        epochs.  The arrival-rate band is excluded entirely — in a
+        closed loop our own tuning changes the served rate, and chasing
+        that feedback would reset exploration forever.
+        """
+        if self.state == "converged":
+            reference = self.entry_fingerprint
+        else:
+            reference = self._prev_fingerprint
+        self._prev_fingerprint = fingerprint
+        if reference is None:
+            return False
+        if fingerprint.similar_to(reference):
+            self._drift_streak = 0
+            return False
+        self._drift_streak += 1
+        return self._drift_streak >= self.drift_windows
+
+    def _on_drift(self, fingerprint: WorkloadFingerprint, tracer) -> None:
+        self._m_drift.inc()
+        self._m_converged.set(0)
+        self._drift_streak = 0
+        self._observe_seen = 0
+        self._observe_wasted = 0.0
+        self._observe_padded = 0.0
+        for controller in self.controllers.values():
+            controller.reset()
+        # Re-enter observation: the next window (under the still-applied
+        # previous winners) re-measures the waste baseline and re-keys
+        # the cache lookup for the new phase.
+        self.state = "observing"
+        self.entry_fingerprint = None
+        self._emit(
+            tracer, "adaptive-drift",
+            {"epoch": self.epoch, "fingerprint": fingerprint.key()},
+        )
+
+    def _similar_entry(self, fingerprint: WorkloadFingerprint) -> dict | None:
+        """Fallback cache scan: a stored fingerprint one wobble away.
+
+        Exact key lookup can miss when two runs of the same workload
+        quantize a boundary bucket differently; stored entries carry
+        their fingerprint components, so scan this device's entries for
+        a structurally similar one.
+        """
+        prefix = f"{_CACHE_PREFIX}:{self.device_key()}:"
+        for key in self.cache.keys():
+            if not key.startswith(prefix):
+                continue
+            entry = self.cache.get_entry(key)
+            stored = (entry or {}).get("fingerprint")
+            if not stored:
+                continue
+            candidate = WorkloadFingerprint(
+                size_histogram=tuple(
+                    (int(b), int(q)) for b, q in stored.get("size_histogram", ())
+                ),
+                op_mix=tuple(
+                    (str(op), int(q)) for op, q in stored.get("op_mix", ())
+                ),
+                rate_band=int(stored.get("rate_band", 0)),
+            )
+            # Wider tolerance than drift detection: an entry fingerprint
+            # snapshotted mid-phase-transition (the sliding window still
+            # holds a tail of the previous phase) should still match the
+            # settled phase it converged for.
+            if fingerprint.similar_to(candidate, tolerance=2):
+                return entry
+        return None
+
+    def _try_warm_start(self, fingerprint: WorkloadFingerprint, tracer) -> bool:
+        if self.cache is None:
+            return False
+        entry = self.cache.get_entry(self.cache_key(fingerprint))
+        if entry is None:
+            entry = self._similar_entry(fingerprint)
+        if entry is None:
+            self._m_cache.inc(event="miss")
+            return False
+        known = {k.name for k in self.knobs}
+        winners = {
+            name: arm for name, arm in entry.get("knobs", {}).items() if name in known
+        }
+        for knob in self.knobs:
+            if knob.name not in winners:
+                continue
+            arm = _match_arm(knob.arms, winners[knob.name])
+            if arm is _NO_ARM:
+                self._m_cache.inc(event="stale")
+                return False
+        for knob in self.knobs:
+            if knob.name not in winners:
+                continue
+            arm = _match_arm(knob.arms, winners[knob.name])
+            self.controllers[knob.name].force(arm, converged=True)
+            knob.apply(self.server, arm)
+        for controller in self.controllers.values():
+            controller.converged = True
+        self._m_cache.inc(event="hit")
+        self._emit(
+            tracer, "adaptive-warm-start",
+            {"epoch": self.epoch, "knobs": {k: repr(v) for k, v in winners.items()}},
+        )
+        return True
+
+    def _enter_converged(self, signals: EpochSignals, *, persist: bool, tracer) -> None:
+        self.state = "converged"
+        self._m_converged.set(1)
+        winners = {
+            knob.name: self.controllers[knob.name].current for knob in self.knobs
+        }
+        if persist and self.cache is not None and self.entry_fingerprint is not None:
+            entry_fp = self.entry_fingerprint
+            self.cache.put_entry(
+                self.cache_key(entry_fp),
+                {
+                    "knobs": winners,
+                    "fingerprint": {
+                        "size_histogram": [list(p) for p in entry_fp.size_histogram],
+                        "op_mix": [list(p) for p in entry_fp.op_mix],
+                        "rate_band": entry_fp.rate_band,
+                    },
+                    "reward_gflops": signals.useful_gflops,
+                    "epochs": self.epoch,
+                    "device": self.device_key(),
+                },
+            )
+            self._m_cache.inc(event="persist")
+        self._emit(
+            tracer, "adaptive-converged",
+            {
+                "epoch": self.epoch,
+                "persisted": bool(persist and self.cache is not None),
+                "knobs": {k: repr(v) for k, v in winners.items()},
+                "reward_gflops": signals.useful_gflops,
+            },
+        )
+
+    # -- reporting ------------------------------------------------------
+
+    def _emit(self, tracer, name: str, args: dict) -> None:
+        if tracer:
+            tracer.instant(name, self.track, cat="adaptive", args=args)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for bench reports and ``FleetRouter.snapshot``."""
+        return {
+            "state": self.state,
+            "epochs": self.epoch,
+            "exploration_batches": self.exploration_batches,
+            "baseline_waste": self.baseline_waste,
+            "entry_fingerprint": (
+                self.entry_fingerprint.key() if self.entry_fingerprint else None
+            ),
+            "knobs": {
+                knob.name: self.controllers[knob.name].snapshot()
+                for knob in self.knobs
+            },
+        }
+
+
+class _NoArm:
+    """Sentinel: a cached winner no longer present in the arm set."""
+
+
+_NO_ARM = _NoArm()
+
+
+def _match_arm(arms: tuple, cached):
+    for arm in arms:
+        if arm == cached:
+            return arm
+    return _NO_ARM

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
+import threading
 from pathlib import Path
 
 __all__ = ["TuningCache"]
@@ -11,12 +15,23 @@ __all__ = ["TuningCache"]
 class TuningCache:
     """Keyed store for tuner winners, optionally persisted to JSON.
 
-    Keys are ``(routine, precision, band)`` triples; values are plain
-    JSON-serializable dicts (chosen parameter + measured Gflop/s).
+    Two key families share one namespace:
+
+    * offline sweeps use ``(routine, precision, band)`` triples via
+      :meth:`get` / :meth:`put` (key ``"routine:precision:band"``);
+    * the online tuner uses free-form string keys via :meth:`get_entry`
+      / :meth:`put_entry` (conventionally ``"adaptive:<device>:<fp>"``).
+
+    Values are plain JSON-serializable dicts.  The store is thread-safe
+    (the online tuner writes it from the serving loop while benches read
+    it) and persistence is atomic: each write lands in a temp file in
+    the target directory and is moved into place with ``os.replace``, so
+    a concurrent reader never observes a torn JSON document.
     """
 
     def __init__(self, path: str | Path | None = None):
         self.path = Path(path) if path is not None else None
+        self._lock = threading.RLock()
         self._data: dict[str, dict] = {}
         if self.path is not None and self.path.exists():
             self._data = json.loads(self.path.read_text())
@@ -26,18 +41,47 @@ class TuningCache:
         return f"{routine}:{precision}:{band}"
 
     def get(self, routine: str, precision: str, band: int) -> dict | None:
-        return self._data.get(self._key(routine, precision, band))
+        return self.get_entry(self._key(routine, precision, band))
 
     def put(self, routine: str, precision: str, band: int, value: dict) -> None:
-        self._data[self._key(routine, precision, band)] = value
-        if self.path is not None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text(json.dumps(self._data, indent=2, sort_keys=True))
+        self.put_entry(self._key(routine, precision, band), value)
+
+    def get_entry(self, key: str) -> dict | None:
+        with self._lock:
+            return self._data.get(key)
+
+    def put_entry(self, key: str, value: dict) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._flush_locked()
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._data)
+
+    def _flush_locked(self) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(self._data, indent=2, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.path)
+        except BaseException:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(tmp)
+            raise
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
-        if self.path is not None and self.path.exists():
-            self.path.unlink()
+        with self._lock:
+            self._data.clear()
+            if self.path is not None and self.path.exists():
+                self.path.unlink()

@@ -51,6 +51,7 @@ from .registry import (
     percentile,
 )
 from .report import (
+    AdaptiveReport,
     GroupReport,
     OpReport,
     TraceAnalysis,
@@ -73,6 +74,7 @@ from .trace import (
 )
 
 __all__ = [
+    "AdaptiveReport",
     "Counter",
     "Gauge",
     "GroupReport",

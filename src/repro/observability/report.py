@@ -20,9 +20,14 @@ quantities the paper's performance story turns on:
   stream time, padded-flops waste and top kernels to each operation:
   every plan stamps ``meta["op"]`` onto its kernel spans and every
   dispatch span carries its batch's op, so one shared-queue trace
-  decomposes into per-op POTRF/QR/LU/SVD accounts.
+  decomposes into per-op POTRF/QR/LU/SVD accounts;
+* **adaptive decisions** — traces of servers running the online tuner
+  (PR 9) carry ``cat="adaptive"`` instants at every decision epoch:
+  per server, the report counts controller actions by kind
+  (explore/exploit/hold/rollback/converged), fingerprint drifts and
+  cache warm-starts, and shows the final converged knob settings.
 
-``python -m repro trace-report out.json`` prints all four tables.
+``python -m repro trace-report out.json`` prints all the tables.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from dataclasses import dataclass, field
 from .trace import INSTANT, SPAN, SIM, TraceEvent
 
 __all__ = [
+    "AdaptiveReport",
     "GroupReport",
     "OpReport",
     "TraceAnalysis",
@@ -139,6 +145,27 @@ class OpReport:
 
 
 @dataclass
+class AdaptiveReport:
+    """One tuner-equipped server's decision history (PR 9 traces).
+
+    Aggregated from the ``cat="adaptive"`` instants the
+    :class:`~repro.adaptive.OnlineTuner` emits on its server's
+    ``adaptive`` track: ``actions`` counts ``adaptive-decision`` events
+    by controller action, ``final_knobs`` is the knob map of the last
+    warm-start or convergence event (the settings the server ended on).
+    """
+
+    server: str
+    decisions: int = 0
+    actions: dict = field(default_factory=dict)  # action -> count
+    explore_starts: int = 0
+    drifts: int = 0
+    warm_starts: int = 0
+    convergences: int = 0
+    final_knobs: dict = field(default_factory=dict)
+
+
+@dataclass
 class TraceAnalysis:
     """Everything :func:`analyze_trace` extracts from one trace."""
 
@@ -146,6 +173,7 @@ class TraceAnalysis:
     occupancy: list[TrackOccupancy] = field(default_factory=list)
     groups: dict[str, GroupReport] = field(default_factory=dict)
     ops: dict[str, OpReport] = field(default_factory=dict)
+    adaptive: dict[str, AdaptiveReport] = field(default_factory=dict)
     bottlenecks: list[tuple] = field(default_factory=list)  # (name, cat, calls, total)
 
     def group(self, name: str) -> GroupReport:
@@ -243,6 +271,25 @@ def analyze_trace(events, top: int = 10) -> TraceAnalysis:
                 rep.cache_misses += 1
             elif ev.name == "plan-cache-evict":
                 rep.cache_evictions += int(ev.args.get("count", 1))
+        elif ev.phase == INSTANT and ev.cat == "adaptive":
+            server = ev.track.process
+            arep = analysis.adaptive.get(server)
+            if arep is None:
+                arep = analysis.adaptive[server] = AdaptiveReport(server)
+            if ev.name == "adaptive-decision":
+                arep.decisions += 1
+                action = str(ev.args.get("action", "?"))
+                arep.actions[action] = arep.actions.get(action, 0) + 1
+            elif ev.name == "adaptive-explore-start":
+                arep.explore_starts += 1
+            elif ev.name == "adaptive-drift":
+                arep.drifts += 1
+            elif ev.name == "adaptive-warm-start":
+                arep.warm_starts += 1
+                arep.final_knobs = dict(ev.args.get("knobs", {}))
+            elif ev.name == "adaptive-converged":
+                arep.convergences += 1
+                arep.final_knobs = dict(ev.args.get("knobs", {}))
         if ev.phase == SPAN and ev.clock == SIM:
             n, t = hot.get((ev.name, ev.cat), (0, 0.0))
             hot[(ev.name, ev.cat)] = (n + 1, t + ev.duration)
@@ -334,6 +381,34 @@ def format_trace_report(analysis: TraceAnalysis, top: int = 10) -> str:
                 "== top kernels (per operation) ==\n"
                 + format_table(["op", "kernel", "calls", "total_ms"], rows)
             )
+
+    if analysis.adaptive:
+        servers = [analysis.adaptive[s] for s in sorted(analysis.adaptive)]
+        rows = [
+            [
+                a.server, a.decisions,
+                a.actions.get("explore", 0), a.actions.get("exploit", 0),
+                a.actions.get("hold", 0), a.actions.get("rollback", 0),
+                a.drifts, a.warm_starts, a.convergences,
+            ]
+            for a in servers
+        ]
+        blocks.append(
+            "== adaptive decisions (per server) ==\n"
+            + format_table(
+                ["server", "decisions", "explore", "exploit", "hold",
+                 "rollback", "drifts", "warm_starts", "converged"],
+                rows,
+            )
+        )
+        finals = [
+            f"{a.server}: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(a.final_knobs.items()))
+            for a in servers
+            if a.final_knobs
+        ]
+        if finals:
+            blocks.append("final knob settings:\n" + "\n".join(finals))
 
     if analysis.bottlenecks:
         grand = sum(t for _, _, _, t in analysis.bottlenecks) or 1.0

@@ -83,6 +83,9 @@ def build_fleet(
     health_threshold: int = 2,
     health_cooldown: float = 0.25,
     name: str = "fleet",
+    adaptive: bool = False,
+    tuning_cache=None,
+    adaptive_options: dict | None = None,
 ) -> list[Replica]:
     """Stand up ``replica_count`` replicas for a router to own.
 
@@ -98,6 +101,12 @@ def build_fleet(
     decisions land in the replica server's metrics.  ``fault_injector``
     is installed on every replica — the injector itself keys its
     schedule on the replica name, so replicas fault independently.
+
+    ``adaptive=True`` attaches an :class:`~repro.adaptive.OnlineTuner`
+    to every replica server; a shared ``tuning_cache`` lets the first
+    replica to converge on a workload warm-start its peers (and the
+    next process).  Each replica's tuner gets a distinct seed so
+    exploration orders decorrelate across the fleet.
     """
     if replica_count <= 0:
         raise ArgumentError(1, f"replica_count must be positive, got {replica_count}")
@@ -131,6 +140,14 @@ def build_fleet(
             from ..device.device import Device
 
             kwargs["device"] = Device(execute_numerics=execute_numerics, name=f"{rname}:dev0")
+        if adaptive:
+            per_replica = dict(adaptive_options or {})
+            per_replica["seed"] = per_replica.get("seed", 0) + i
+            kwargs.update(
+                adaptive=True,
+                tuning_cache=tuning_cache,
+                adaptive_options=per_replica,
+            )
         server = BatchServer(
             policy=policy,
             max_batch=max_batch,

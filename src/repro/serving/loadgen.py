@@ -23,6 +23,7 @@ FIFO — come out of :func:`run_serve_bench` ready for
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -505,6 +506,9 @@ def _run_fleet_case(
     admission: bool,
     slos=None,
     default_slo: str = "batch",
+    adaptive: bool = False,
+    tuning_cache=None,
+    adaptive_options: dict | None = None,
 ) -> dict:
     """Stand up one fleet, run one workload to completion, report."""
     clock = VirtualClock()
@@ -525,6 +529,9 @@ def _run_fleet_case(
         # ejection must cost milliseconds, not the whole run.
         health_cooldown=5e-3,
         clock=clock,
+        adaptive=adaptive,
+        tuning_cache=tuning_cache,
+        adaptive_options=adaptive_options,
     )
     router.set_tenant("acme", weight=2.0)
     pairs = open_loop(router, items, clock)
@@ -532,6 +539,12 @@ def _run_fleet_case(
     summary = _summarize_pairs(pairs)
     summary["makespan_sim_s"] = clock()
     summary["fleet"] = router.snapshot()
+    if adaptive:
+        summary["tuners"] = {
+            r.name: r.server.tuner.snapshot()
+            for r in router.replicas
+            if r.server.tuner is not None
+        }
     if injector is not None:
         summary["faults"] = {
             "injected": injector.injected(),
@@ -557,6 +570,8 @@ def run_fleet_bench(
     faults: str = "seeded",
     max_retries: int = 3,
     smoke: bool = False,
+    adaptive: bool = False,
+    tuning_cache_path: str | None = None,
 ) -> dict:
     """The ``fleet-bench``: graceful overload vs. single-server collapse.
 
@@ -577,12 +592,38 @@ def run_fleet_bench(
     ``"off"``.  ``smoke=True`` shrinks the workload for CI.  The report
     carries its own acceptance verdict
     (:func:`check_fleet_acceptance`); ``BENCH_pr6.json`` is this dict.
+
+    ``adaptive=True`` attaches online tuners to every replica in the
+    unloaded and overload runs (the collapse baseline stays static — it
+    exists to show the *untuned* single server).  All replicas share one
+    :class:`~repro.autotune.TuningCache` at ``tuning_cache_path`` (a
+    temp file when unset), so the overload fleet warm-starts from
+    whatever the unloaded fleet converged onto.
     """
     if faults not in ("seeded", "off"):
         raise ArgumentError(13, f"faults must be 'seeded' or 'off', got {faults!r}")
     if smoke:
         requests = min(requests, 240)
         max_size = min(max_size, 96)
+    tuning_cache = None
+    adaptive_options = None
+    if adaptive:
+        import tempfile
+
+        from ..autotune import TuningCache
+
+        if tuning_cache_path is None:
+            tuning_cache_path = os.path.join(
+                tempfile.mkdtemp(prefix="fleet-adaptive-"), "tuning_cache.json"
+            )
+        tuning_cache = TuningCache(path=tuning_cache_path)
+        # Open-loop fleet traces are short; the compact knob set and a
+        # fast cadence give the tuners a chance to act within one run.
+        adaptive_options = {
+            "knobs": "compact",
+            "epoch_batches": 6,
+            "converged_after": 2,
+        }
     per_replica = _measure_capacity(max_size, distribution, seed, max_batch)
     fleet_rate = per_replica * replica_count
     # Backoff on the virtual clock: a couple of batch service times, not
@@ -605,6 +646,7 @@ def run_fleet_bench(
             "faults": faults,
             "max_retries": int(max_retries),
             "smoke": bool(smoke),
+            "adaptive": bool(adaptive),
             "interactive_target_p95_s": DEFAULT_SLOS["interactive"].target_p95,
             "loop": "open",
         },
@@ -624,6 +666,9 @@ def run_fleet_bench(
         retry=retry,
         shed=True,
         admission=True,
+        adaptive=adaptive,
+        tuning_cache=tuning_cache,
+        adaptive_options=adaptive_options,
     )
     injector = (
         FaultInjector(rate=fault_rate, seed=seed if fault_seed is None else fault_seed)
@@ -642,6 +687,9 @@ def run_fleet_bench(
         retry=retry,
         shed=True,
         admission=True,
+        adaptive=adaptive,
+        tuning_cache=tuning_cache,
+        adaptive_options=adaptive_options,
     )
     report["runs"]["baseline"] = _run_fleet_case(
         _fleet_workload(

@@ -270,6 +270,9 @@ class FleetRouter:
         health_cooldown: float = 0.25,
         clock=time.monotonic,
         name: str = "fleet",
+        adaptive: bool = False,
+        tuning_cache=None,
+        adaptive_options: dict | None = None,
     ):
         if queue_limit <= 0:
             raise ArgumentError(7, f"queue_limit must be positive, got {queue_limit}")
@@ -304,6 +307,9 @@ class FleetRouter:
                 health_threshold=health_threshold,
                 health_cooldown=health_cooldown,
                 name=name,
+                adaptive=adaptive,
+                tuning_cache=tuning_cache,
+                adaptive_options=adaptive_options,
             )
         if not replicas:
             raise ArgumentError(1, "fleet needs at least one replica")
@@ -1014,4 +1020,11 @@ class FleetRouter:
         snap["replica_serving"] = {
             r.name: r.server.metrics.snapshot() for r in self.replicas
         }
+        adaptive = {
+            r.name: r.server.tuner.snapshot()
+            for r in self.replicas
+            if r.server.tuner is not None
+        }
+        if adaptive:
+            snap["adaptive"] = adaptive
         return snap

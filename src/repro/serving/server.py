@@ -46,13 +46,14 @@ from ..extensions.solve import getrs_vbatched, potrs_vbatched
 from ..observability.trace import Track, current_tracer
 from ..ops.driver import run_op_vbatched
 from ..ops.options import OpOptions
-from .batcher import Batcher, BatchingPolicy
+from .batcher import Batcher, BatchingPolicy, make_policy
 from .metrics import BatchRecord, ServerMetrics
 from .request import Request, RequestFuture, Response
 
 __all__ = ["BatchServer"]
 
 _ADMISSIONS = ("block", "reject")
+_UNSET = object()
 
 
 class BatchServer:
@@ -107,6 +108,20 @@ class BatchServer:
         Trace process label for this server's queue/dispatch tracks;
         defaults to ``"{policy}:serving"`` so a multi-policy bench
         trace groups each server with its (prefix-named) devices.
+    adaptive:
+        ``True`` attaches an :class:`~repro.adaptive.OnlineTuner` that
+        retunes the serving knobs (policy, window, max-batch, crossover,
+        optimize level, partitioner) at batch-window boundaries from
+        live metrics.  ``False`` (the default) leaves the dispatch path
+        bit-identical to a server without the subsystem.
+    tuning_cache:
+        Optional :class:`~repro.autotune.TuningCache` the tuner reads
+        warm-start winners from and persists converged configs to,
+        keyed by (device spec, workload fingerprint).
+    adaptive_options:
+        Extra keyword arguments for the
+        :class:`~repro.adaptive.OnlineTuner` (``epoch_batches``,
+        ``seed``, ``converged_after``, ...).
     """
 
     def __init__(
@@ -127,6 +142,9 @@ class BatchServer:
         fault_injector=None,
         clock=time.monotonic,
         name: str | None = None,
+        adaptive: bool = False,
+        tuning_cache=None,
+        adaptive_options: dict | None = None,
     ):
         if admission not in _ADMISSIONS:
             raise ArgumentError(7, f"bad admission {admission!r} (use one of {_ADMISSIONS})")
@@ -169,6 +187,15 @@ class BatchServer:
         self._next_batch_id = 0
         self._cancel_flags: set[int] = set()
         self.metrics.wall_started = self.clock()
+        self.tuner = None
+        if adaptive:
+            # Imported lazily: the adaptive package depends on serving
+            # metrics, and a non-adaptive server must not pay for it.
+            from ..adaptive import OnlineTuner
+
+            self.tuner = OnlineTuner(
+                self, cache=tuning_cache, **(adaptive_options or {})
+            )
 
     # ------------------------------------------------------------------
     # admission
@@ -225,6 +252,8 @@ class BatchServer:
             request.future.req_id = request.req_id
             self._batcher.add(request)
             self.metrics.record_submit(len(self._batcher))
+            if self.tuner is not None:
+                self.tuner.on_admit(request.n, request.op)
             tracer = current_tracer()
             if tracer:
                 tracer.instant(
@@ -249,6 +278,53 @@ class BatchServer:
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._batcher)
+
+    def reconfigure(
+        self,
+        *,
+        policy: str | BatchingPolicy | None = None,
+        max_batch: int | None = None,
+        max_wait: float | None = None,
+        crossover_size=_UNSET,
+        optimize: str | None = None,
+    ) -> None:
+        """Retune serving knobs on a live server (thread-safe).
+
+        Changes apply from the *next* formed batch: the batcher queue is
+        untouched (policies are stateless selectors over it) and
+        dispatch options are swapped wholesale, so an in-flight dispatch
+        keeps the options it started with.  This is the application
+        point for the :mod:`repro.adaptive` controllers, and is equally
+        usable by operators.  ``crossover_size`` accepts ``None`` (the
+        per-precision paper default) — leave it at the ``_UNSET``
+        sentinel to keep the current value.
+        """
+        with self._cond:
+            if policy is not None:
+                new_policy = make_policy(policy)
+                if type(new_policy) is not type(self._batcher.policy):
+                    self._batcher.policy = new_policy
+            if max_batch is not None:
+                if max_batch <= 0:
+                    raise ArgumentError(2, f"max_batch must be positive, got {max_batch}")
+                self._batcher.max_batch = int(max_batch)
+            if max_wait is not None:
+                if max_wait < 0:
+                    raise ArgumentError(3, f"max_wait cannot be negative, got {max_wait}")
+                self._batcher.max_wait = float(max_wait)
+            if crossover_size is not _UNSET:
+                if crossover_size != self.options.crossover_size:
+                    self.options = replace(self.options, crossover_size=crossover_size)
+                if crossover_size != self.op_options.crossover_size:
+                    self.op_options = replace(
+                        self.op_options, crossover_size=crossover_size
+                    )
+            if optimize is not None:
+                if optimize != self.options.optimize:
+                    self.options = replace(self.options, optimize=optimize)
+                if optimize != self.op_options.optimize:
+                    self.op_options = replace(self.op_options, optimize=optimize)
+            self._cond.notify_all()
 
     def cancel(self, req_id: int) -> str:
         """Cancel one queued request; returns the propagation outcome.
@@ -579,6 +655,8 @@ class BatchServer:
             self.metrics.record_batch(record, responses, result.launch_stats)
             if result.member_stats is not None:
                 self.metrics.record_placement(result.member_stats)
+            if self.tuner is not None:
+                self.tuner.on_batch([r.n for r in reqs], op_key)
             if tracer:
                 span_args.update(
                     batch_id=batch_id,

@@ -1,0 +1,407 @@
+"""Tests for the adaptive serving subsystem (online autotuning).
+
+Covers the pieces in isolation — fingerprint stability under
+Hypothesis, controller guard rails under seeded adversarial reward
+sequences, tuning-cache concurrency — and the closed loop end to end:
+a cold server converging and persisting winners, then a warm server
+replaying the same trace with zero exploration batches.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adaptive import (
+    Controller,
+    FingerprintBuilder,
+    OnlineTuner,
+    WorkloadFingerprint,
+    check_adaptive_acceptance,
+)
+from repro.adaptive.bench import (
+    _bursty_workload,
+    _closed_loop_ops,
+    _diurnal_workload,
+    _make_server,
+    _uniform_workload,
+)
+from repro.adaptive.fingerprint import _RATE_BAND_MAX, _RATE_BAND_MIN
+from repro.autotune import TuningCache
+
+# ---------------------------------------------------------------------------
+# fingerprint stability
+# ---------------------------------------------------------------------------
+
+_SIZES = st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=64)
+_OPS = st.sampled_from(["potrf", "geqrf", "gesvd"])
+
+
+@given(sizes=_SIZES, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_fingerprint_permutation_invariant(sizes, data):
+    ops = [data.draw(_OPS) for _ in sizes]
+    fp = WorkloadFingerprint.from_requests(sizes, ops, window_sim_s=1.0)
+    order = data.draw(st.permutations(list(range(len(sizes)))))
+    shuffled = WorkloadFingerprint.from_requests(
+        [sizes[i] for i in order], [ops[i] for i in order], window_sim_s=1.0
+    )
+    assert fp == shuffled
+
+
+@given(sizes=_SIZES, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_fingerprint_duplication_invariant(sizes, data):
+    """Twice the same traffic in twice the time is the same workload."""
+    ops = [data.draw(_OPS) for _ in sizes]
+    fp = WorkloadFingerprint.from_requests(sizes, ops, window_sim_s=0.5)
+    doubled = WorkloadFingerprint.from_requests(
+        sizes * 2, ops * 2, window_sim_s=1.0
+    )
+    assert fp == doubled
+
+
+@given(
+    count=st.integers(min_value=1, max_value=10_000),
+    window=st.floats(min_value=1e-9, max_value=1e6),
+)
+@settings(max_examples=100, deadline=None)
+def test_fingerprint_rate_band_bounded(count, window):
+    fp = WorkloadFingerprint.from_requests(
+        [8] * count, ["potrf"] * count, window_sim_s=window
+    )
+    assert _RATE_BAND_MIN <= fp.rate_band <= _RATE_BAND_MAX
+
+
+def test_fingerprint_rate_band_boundaries():
+    mk = lambda rate: WorkloadFingerprint.from_requests(
+        [8] * 1024, ["potrf"] * 1024, window_sim_s=1024.0 / rate
+    ).rate_band
+    assert mk(1.0) == 0
+    assert mk(2.0) == 1
+    assert mk(4096.0) == 12
+    # Clamps at both ends rather than running away.
+    assert mk(1e-12) == _RATE_BAND_MIN
+    assert mk(1e30) == _RATE_BAND_MAX
+
+
+def test_fingerprint_rejects_bad_input():
+    with pytest.raises(ValueError):
+        WorkloadFingerprint.from_requests([], [], window_sim_s=1.0)
+    with pytest.raises(ValueError):
+        WorkloadFingerprint.from_requests([8], [], window_sim_s=1.0)
+
+
+def test_similar_to_tolerates_one_level_wobble():
+    a = WorkloadFingerprint(((5, 4), (6, 4)), (("potrf", 8),), 10)
+    b = WorkloadFingerprint(((5, 3), (6, 5)), (("potrf", 8),), 14)
+    c = WorkloadFingerprint(((5, 1), (6, 7)), (("potrf", 8),), 10)
+    assert a.similar_to(b)  # one level off per bucket, rate ignored
+    assert not a.similar_to(c)
+    assert a.similar_to(c, tolerance=3)
+    # A bucket present on one side only counts as level 0 on the other.
+    d = WorkloadFingerprint(((5, 4), (6, 4), (2, 1)), (("potrf", 8),), 10)
+    assert a.similar_to(d)
+
+
+def test_builder_sliding_window_forgets_old_phase():
+    builder = FingerprintBuilder(window=64)
+    for i in range(64):
+        builder.observe_request(8, "potrf", float(i))
+    before = builder.snapshot()
+    for i in range(64):
+        builder.observe_request(200, "geqrf", 64.0 + i)
+    after = builder.snapshot()
+    assert before is not None and after is not None
+    assert not before.similar_to(after)
+    assert after.op_mix == (("geqrf", 8),)
+
+
+# ---------------------------------------------------------------------------
+# controller guard rails
+# ---------------------------------------------------------------------------
+
+
+def test_controller_rollback_on_regression():
+    c = Controller(name="k", arms=("good", "bad"), min_dwell=1, converged_after=4)
+    # Establish the incumbent, then follow UCB onto the unexplored arm.
+    c.observe(100.0)
+    assert c.current == "bad"
+    d = c.observe(10.0)  # adversarial: the new arm craters
+    assert d.action == "rollback"
+    assert c.current == "good"
+    assert c.rollbacks == 1
+    assert c.stats("bad").penalty > 0
+
+
+def test_controller_rollback_respects_ratio():
+    c = Controller(
+        name="k", arms=("a", "b"), min_dwell=1, rollback_ratio=0.5, converged_after=8
+    )
+    c.observe(100.0)
+    assert c.current == "b"
+    d = c.observe(60.0)  # regressed, but within the 50% band
+    assert d.action != "rollback"
+
+
+def test_controller_flat_rewards_converge():
+    """Indifference hold: equal arms must not ping-pong forever."""
+    c = Controller(name="k", arms=("a", "b", "c"), min_dwell=1, converged_after=3)
+    for _ in range(40):
+        if c.converged:
+            break
+        c.observe(50.0)
+    assert c.converged
+    assert c.switches <= len(c.arms) + 1
+
+
+def test_controller_min_dwell_holds():
+    c = Controller(name="k", arms=("a", "b"), min_dwell=3, converged_after=8)
+    assert c.observe(1.0).action == "hold"
+    assert c.observe(1.0).action == "hold"
+    assert c.current == "a"
+
+
+def test_controller_reset_clears_learning():
+    c = Controller(name="k", arms=("a", "b"), min_dwell=1)
+    for _ in range(10):
+        c.observe(5.0)
+    c.reset()
+    assert not c.converged
+    assert c.total_pulls == 0
+    assert all(c.stats(a).penalty == 0 for a in c.arms)
+
+
+def test_controller_force_pins_winner():
+    c = Controller(name="k", arms=("a", "b"))
+    c.force("b", converged=True)
+    assert c.current == "b" and c.converged
+    assert c.observe(1.0).action == "converged"
+    with pytest.raises(ValueError):
+        c.force("nope")
+
+
+@given(
+    rewards=st.lists(
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    seed=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=60, deadline=None)
+def test_controller_invariants_under_adversarial_rewards(rewards, seed):
+    c = Controller(name="k", arms=(16, 32, 64), min_dwell=1, seed=seed,
+                   converged_after=3)
+    for r in rewards:
+        d = c.observe(r)
+        assert d.arm in c.arms
+        assert c.current in c.arms
+        if c.converged:
+            # Convergence requires full coverage and then never unfreezes.
+            assert all(c.stats(a).pulls > 0 for a in c.arms)
+            assert d.arm == c.current
+    assert c.total_pulls == len(rewards)
+
+
+# ---------------------------------------------------------------------------
+# tuning cache: concurrency + atomic persistence
+# ---------------------------------------------------------------------------
+
+
+def test_tuning_cache_concurrent_writers(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = TuningCache(path=str(path))
+    errors = []
+
+    def writer(i: int) -> None:
+        try:
+            for j in range(20):
+                cache.put_entry(f"adaptive:dev:{i}:{j}", {"knobs": {"mb": i * j}})
+        except Exception as exc:  # pragma: no cover - the assertion payload
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # Every write landed and the file on disk is one valid JSON document
+    # (writes go to a temp file then os.replace, so no torn state).
+    on_disk = json.loads(path.read_text())
+    assert len(on_disk) == 8 * 20
+    reloaded = TuningCache(path=str(path))
+    assert reloaded.get_entry("adaptive:dev:7:19") == {"knobs": {"mb": 133}}
+
+
+# ---------------------------------------------------------------------------
+# the closed loop: converge -> persist -> warm restart
+# ---------------------------------------------------------------------------
+
+_TUNER_OPTIONS = {"knobs": "compact", "epoch_batches": 4, "converged_after": 2}
+
+
+def _run(workload, *, cache, concurrency=96):
+    server = _make_server(
+        "t", device_count=1, adaptive=True, tuning_cache=cache,
+        adaptive_options=dict(_TUNER_OPTIONS),
+    )
+    _closed_loop_ops(server, workload, concurrency)
+    snap = server.tuner.snapshot()
+    server.shutdown()
+    return snap
+
+
+def test_tuner_converges_persists_and_warm_starts(tmp_path):
+    cache = TuningCache(path=str(tmp_path / "cache.json"))
+    workload = _uniform_workload(2500, seed=3)
+
+    cold = _run(workload, cache=cache)
+    assert cold["state"] == "converged"
+    assert cold["exploration_batches"] > 0
+    assert len(cache) == 1
+
+    warm = _run(workload, cache=cache)
+    assert warm["state"] == "converged"
+    assert warm["exploration_batches"] == 0
+    assert all(k["converged"] for k in warm["knobs"].values())
+    # The warm run exploits the cold run's winners, not its own search.
+    cold_winners = {k: v["current"] for k, v in cold["knobs"].items()}
+    warm_winners = {k: v["current"] for k, v in warm["knobs"].items()}
+    assert warm_winners == cold_winners
+
+
+def test_tuner_records_autotune_metrics(tmp_path):
+    cache = TuningCache(path=str(tmp_path / "cache.json"))
+    server = _make_server(
+        "t", device_count=1, adaptive=True, tuning_cache=cache,
+        adaptive_options=dict(_TUNER_OPTIONS),
+    )
+    _closed_loop_ops(server, _uniform_workload(1500, seed=5), 96)
+    registry = server.metrics.registry
+    epochs = registry.get("autotune_epochs_total").value()
+    decisions = registry.get("autotune_decisions_total").items()
+    converged = registry.get("autotune_converged").value()
+    exposition = registry.expose()
+    server.shutdown()
+    assert epochs > 0
+    assert decisions  # at least one (knob, action) pair credited
+    assert converged in (0, 1)
+    assert "autotune_epochs_total" in exposition
+
+
+def test_adaptive_off_has_no_tuner():
+    server = _make_server("t", device_count=1)
+    try:
+        assert server.tuner is None
+    finally:
+        server.shutdown()
+
+
+def test_trace_report_renders_adaptive_decisions(tmp_path):
+    """Tuner decisions land on the trace and in the rendered report."""
+    from repro.observability import (
+        Tracer, activate, analyze_trace, format_trace_report,
+    )
+
+    cache = TuningCache(path=str(tmp_path / "cache.json"))
+    tracer = Tracer()
+    with activate(tracer):
+        server = _make_server(
+            "t", device_count=1, adaptive=True, tuning_cache=cache,
+            adaptive_options=dict(_TUNER_OPTIONS),
+        )
+        _closed_loop_ops(server, _uniform_workload(1500, seed=5), 96)
+        snap = server.tuner.snapshot()
+        server.shutdown()
+
+    analysis = analyze_trace(tracer)
+    assert analysis.adaptive, "no adaptive events reached the trace"
+    report = next(iter(analysis.adaptive.values()))
+    assert report.decisions >= 1
+    assert report.decisions == sum(report.actions.values())
+    assert report.explore_starts >= 1
+    if snap["state"] == "converged":
+        assert report.convergences >= 1
+        winners = {k: str(v["current"]) for k, v in snap["knobs"].items()}
+        assert {k: str(v) for k, v in report.final_knobs.items()} == winners
+
+    text = format_trace_report(analysis)
+    assert "adaptive decisions" in text
+    assert "final knob settings" in text
+
+
+# ---------------------------------------------------------------------------
+# bench plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_workload_builders_shapes():
+    uni = _uniform_workload(500, seed=0)
+    assert len(uni) == 500
+    assert all(1 <= n <= 96 and op == "potrf" for n, op in uni)
+
+    bursty = _bursty_workload(500, seed=0)
+    assert len(bursty) == 500
+    from repro.adaptive.bench import _BURST_LARGE, _BURST_SMALL
+
+    assert all(n in _BURST_SMALL + _BURST_LARGE for n, _ in bursty)
+
+    diurnal = _diurnal_workload(1000, seed=0)
+    assert len(diurnal) == 1000
+    ops_by_phase = (
+        {op for _, op in diurnal[:400]},
+        {op for _, op in diurnal[400:800]},
+        {op for _, op in diurnal[800:]},
+    )
+    assert ops_by_phase[0] == {"potrf"}
+    assert ops_by_phase[1] == {"potrf", "geqrf"}
+    assert ops_by_phase[2] == {"potrf"}
+
+
+def _fake_report(*, warm_ratio=1.2, warm_waste=0.0, best_waste=0.0,
+                 explored=0, warm_vs_cold=1.0, strict=True):
+    return {
+        "mixes": {
+            "uniform": {
+                "comparison": {
+                    "best_static": "greedy-window",
+                    "best_static_throughput": 1000.0,
+                    "best_static_waste": best_waste,
+                    "warm_vs_best_static": warm_ratio,
+                    "warm_waste_ratio": warm_waste,
+                    "warm_vs_cold": warm_vs_cold,
+                    "warm_exploration_batches": explored,
+                    "strictly_beats_all_statics": strict,
+                },
+            },
+        },
+    }
+
+
+def test_acceptance_passes_clean_report():
+    assert check_adaptive_acceptance(_fake_report()) == []
+
+
+def test_acceptance_flags_each_violation():
+    assert check_adaptive_acceptance(_fake_report(warm_ratio=0.8))
+    assert check_adaptive_acceptance(_fake_report(warm_waste=0.3))
+    assert check_adaptive_acceptance(_fake_report(explored=5))
+    assert check_adaptive_acceptance(_fake_report(warm_vs_cold=0.5))
+    # The strict-win requirement is cross-mix and kicks in at >= 2 mixes.
+    no_strict = _fake_report(strict=False)
+    no_strict["mixes"]["bursty"] = no_strict["mixes"]["uniform"]
+    assert check_adaptive_acceptance(no_strict) == [
+        "no mix where adaptive strictly beats every static"
+    ]
+
+
+def test_tuner_rejects_bad_epoch_batches():
+    server = _make_server("t", device_count=1)
+    try:
+        with pytest.raises(ValueError):
+            OnlineTuner(server, epoch_batches=0)
+    finally:
+        server.shutdown()

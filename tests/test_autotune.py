@@ -73,6 +73,31 @@ class TestTuner:
                 )
                 assert base > 0.8 * best.gflops, (prec, n, built_in, best.choice)
 
+    def test_fused_nb_table_regenerates_at_interior_points(self):
+        """The shipped ``_NB_TABLE`` is what the autotuner produces.
+
+        Re-runs the fused-nb sweep at interior representative points of
+        every band of the static table and asserts the swept winner IS
+        the tabled value — the table is a regeneration artifact, not an
+        independent hand-tuning.  Band-boundary sizes are excluded on
+        purpose: there adjacent templates sit within simulated-timing
+        noise and the argmax is not stable, which is exactly why the
+        shipped table quantizes to bands.
+        """
+        tuner = Tuner()  # the default batch_count the table was swept at
+        interior_points = {
+            # precision -> (band, expected nb) per _NB_TABLE bucket
+            "s": ((64, 32), (128, 24), (512, 16)),
+            "d": ((64, 16), (192, 12), (768, 8)),
+            "z": ((32, 12), (64, 8), (256, 6), (768, 4)),
+        }
+        for prec, points in interior_points.items():
+            for band, expected in points:
+                swept = tuner.tune_fused_nb(band, prec).choice["nb"]
+                assert swept == expected == default_fused_nb(band, prec), (
+                    prec, band, swept, expected
+                )
+
     def test_crossover_between_bounds(self):
         tuner = Tuner()
         r = tuner.tune_crossover("d", grid=(128, 256, 384, 512, 768), batch_count=200)
